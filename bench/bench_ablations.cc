@@ -1,0 +1,222 @@
+// Ablations of the design choices DESIGN.md calls out (not paper figures,
+// but the knobs that explain *why* the reproduction behaves as it does):
+//
+//   1. broadcast threshold — how the hash/broadcast flip point moves;
+//   2. histogram bucket count — single-predicate estimation error;
+//   3. pilot-run sample size k — plan quality vs sampling effort;
+//   4. re-optimization granularity — full dynamic vs INGRES-style
+//      decompose-everything vs no-online-stats.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/pilot_run_optimizer.h"
+#include "common/random.h"
+#include "stats/column_stats.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace dynopt {
+namespace bench {
+namespace {
+
+// --- 1. Broadcast threshold sweep -------------------------------------------
+
+void BM_BroadcastThreshold(benchmark::State& state, const std::string& query,
+                           uint64_t threshold) {
+  for (auto _ : state) {
+    // Fresh engine per threshold (the cached ones share a config).
+    Engine engine;
+    double sf = GeneratorSfForPaperSf(100);
+    engine.mutable_cluster().broadcast_threshold_bytes = threshold;
+    TpchOptions tpch;
+    tpch.sf = sf;
+    TpcdsOptions tpcds;
+    tpcds.sf = sf;
+    if (!LoadTpch(&engine, tpch).ok() || !LoadTpcds(&engine, tpcds).ok()) {
+      state.SkipWithError("load failed");
+      return;
+    }
+    auto spec = GetQuery(&engine, query);
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    DynamicOptimizer optimizer(&engine);
+    auto result = optimizer.Run(spec.value());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(result->metrics.simulated_seconds);
+    state.counters["broadcast_MB"] =
+        static_cast<double>(result->metrics.bytes_broadcast) / 1e6;
+    state.counters["shuffled_MB"] =
+        static_cast<double>(result->metrics.bytes_shuffled) / 1e6;
+  }
+}
+
+// --- 2. Histogram bucket count vs estimation error ---------------------------
+
+void BM_HistogramBuckets(benchmark::State& state, int buckets) {
+  for (auto _ : state) {
+    // Skewed column: 90% of values < 100, long tail to 10000.
+    Rng rng(7);
+    StatsOptions options;
+    options.histogram_buckets = buckets;
+    ColumnStatsBuilder builder(options);
+    int true_hits = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+      int64_t v = rng.NextBool(0.9) ? rng.NextInt64(0, 99)
+                                    : rng.NextInt64(100, 9999);
+      if (v < 50) ++true_hits;
+      builder.Add(Value(v));
+    }
+    ColumnStatsSnapshot snap = builder.Finalize();
+    double est =
+        snap.EstimateRangeSelectivity(Value(int64_t{0}), Value(int64_t{49}));
+    double truth = static_cast<double>(true_hits) / n;
+    double rel_error = std::abs(est - truth) / truth;
+    state.SetIterationTime(rel_error + 1e-9);  // "Time" = relative error.
+    state.counters["est"] = est;
+    state.counters["truth"] = truth;
+    state.counters["rel_error_pct"] = 100.0 * rel_error;
+  }
+}
+
+// --- 3. Pilot-run sample size -------------------------------------------------
+
+void BM_PilotSampleSize(benchmark::State& state, const std::string& query,
+                        size_t k) {
+  Engine* engine = GetEngine(100, false);
+  for (auto _ : state) {
+    auto spec = GetQuery(engine, query);
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    PilotRunOptions options;
+    options.sample_limit = k;
+    PilotRunOptimizer optimizer(engine, options);
+    auto result = optimizer.Run(spec.value());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(result->metrics.simulated_seconds);
+    state.counters["rows"] = static_cast<double>(result->rows.size());
+  }
+}
+
+// --- 4. Re-optimization granularity -------------------------------------------
+
+void BM_ReoptGranularity(benchmark::State& state, const std::string& query,
+                         bool pushdown_simple, bool online_stats) {
+  Engine* engine = GetEngine(100, false);
+  for (auto _ : state) {
+    auto spec = GetQuery(engine, query);
+    if (!spec.ok()) {
+      state.SkipWithError(spec.status().ToString().c_str());
+      return;
+    }
+    DynamicOptimizerOptions options;
+    options.pushdown_simple_predicates = pushdown_simple;
+    options.collect_online_stats = online_stats;
+    DynamicOptimizer optimizer(engine, options);
+    auto result = optimizer.Run(spec.value());
+    if (!result.ok()) {
+      state.SkipWithError(result.status().ToString().c_str());
+      return;
+    }
+    state.SetIterationTime(result->metrics.simulated_seconds);
+    state.counters["reopts"] =
+        static_cast<double>(result->metrics.num_reopt_points);
+    state.counters["reopt_s"] = result->metrics.reopt_seconds;
+    state.counters["stats_s"] = result->metrics.stats_seconds;
+  }
+}
+
+void RegisterAll() {
+  for (const char* query : {"q9", "q17"}) {
+    for (uint64_t kb : {64, 256, 1024, 4096}) {
+      std::string name = std::string("ablation_broadcast_threshold/") +
+                         query + "/" + std::to_string(kb) + "KB";
+      benchmark::RegisterBenchmark(
+          name.c_str(), [query = std::string(query), kb](
+                            benchmark::State& state) {
+            BM_BroadcastThreshold(state, query, kb << 10);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  for (int buckets : {4, 16, 64, 256}) {
+    std::string name =
+        "ablation_histogram_buckets/" + std::to_string(buckets);
+    benchmark::RegisterBenchmark(
+        name.c_str(),
+        [buckets](benchmark::State& state) {
+          BM_HistogramBuckets(state, buckets);
+        })
+        ->UseManualTime()
+        ->Iterations(1);
+  }
+  for (const char* query : {"q9", "q17"}) {
+    for (size_t k : {100, 1000, 10000}) {
+      std::string name = std::string("ablation_pilot_sample/") + query +
+                         "/k" + std::to_string(k);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [query = std::string(query), k](
+                            benchmark::State& state) {
+            BM_PilotSampleSize(state, query, k);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+  // q8/q9 have single simple predicates (part, region) that decompose-all
+  // additionally pushes down, adding re-optimization points.
+  for (const char* query : {"q8", "q9"}) {
+    struct Config {
+      const char* label;
+      bool pushdown_simple;
+      bool online_stats;
+    };
+    const Config configs[] = {{"default", false, true},
+                              {"decompose-all", true, true},
+                              {"no-online-stats", false, false},
+                              {"minimal", false, false}};
+    for (const Config& config : configs) {
+      std::string name = std::string("ablation_reopt_granularity/") + query +
+                         "/" + config.label;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [query = std::string(query), config](benchmark::State& state) {
+            BM_ReoptGranularity(state, query, config.pushdown_simple,
+                                config.online_stats);
+          })
+          ->UseManualTime()
+          ->Unit(benchmark::kSecond)
+          ->Iterations(1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynopt
+
+int main(int argc, char** argv) {
+  dynopt::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,213 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/ingres_optimizer.h"
+#include "opt/order_baselines.h"
+#include "opt/pilot_run_optimizer.h"
+#include "opt/static_optimizer.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace dynopt {
+namespace bench {
+
+double GeneratorSfForPaperSf(int paper_sf) {
+  switch (paper_sf) {
+    case 10:
+      return 0.5;
+    case 100:
+      return 2.0;
+    case 1000:
+      return 8.0;
+    default:
+      return paper_sf / 100.0;
+  }
+}
+
+namespace {
+
+struct EngineCacheKey {
+  int paper_sf;
+  bool with_indexes;
+  bool operator<(const EngineCacheKey& other) const {
+    return paper_sf != other.paper_sf ? paper_sf < other.paper_sf
+                                      : with_indexes < other.with_indexes;
+  }
+};
+
+std::map<EngineCacheKey, std::unique_ptr<Engine>>& EngineCache() {
+  static auto* cache = new std::map<EngineCacheKey, std::unique_ptr<Engine>>();
+  return *cache;
+}
+
+/// Cache of the dynamic optimizer's discovered plan, used as the
+/// best-order hint (the paper's "user knows the optimal order" setting).
+std::map<std::string, std::shared_ptr<const JoinTree>>& HintCache() {
+  static auto* cache =
+      new std::map<std::string, std::shared_ptr<const JoinTree>>();
+  return *cache;
+}
+
+std::vector<Record>& MutableRecords() {
+  static auto* records = new std::vector<Record>();
+  return *records;
+}
+
+std::mutex g_mutex;
+
+}  // namespace
+
+Engine* GetEngine(int paper_sf, bool with_indexes) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  EngineCacheKey key{paper_sf, with_indexes};
+  auto it = EngineCache().find(key);
+  if (it != EngineCache().end()) return it->second.get();
+
+  auto engine = std::make_unique<Engine>();
+  double sf = GeneratorSfForPaperSf(paper_sf);
+  TpchOptions tpch;
+  tpch.sf = sf;
+  DYNOPT_CHECK(LoadTpch(engine.get(), tpch).ok());
+  TpcdsOptions tpcds;
+  tpcds.sf = sf;
+  DYNOPT_CHECK(LoadTpcds(engine.get(), tpcds).ok());
+  if (with_indexes) {
+    DYNOPT_CHECK(CreateTpchIndexes(engine.get()).ok());
+    DYNOPT_CHECK(CreateTpcdsIndexes(engine.get()).ok());
+  }
+  Engine* raw = engine.get();
+  EngineCache()[key] = std::move(engine);
+  return raw;
+}
+
+Result<QuerySpec> GetQuery(Engine* engine, const std::string& query) {
+  if (query == "q17") return TpcdsQ17(engine);
+  if (query == "q50") return TpcdsQ50(engine, 9, 1999);
+  if (query == "q8") return TpchQ8(engine);
+  if (query == "q9") return TpchQ9(engine);
+  return Status::InvalidArgument("unknown query " + query);
+}
+
+Result<OptimizerRunResult> RunStrategy(Engine* engine, int paper_sf,
+                                       const std::string& optimizer_name,
+                                       const std::string& query,
+                                       bool enable_inlj) {
+  DYNOPT_ASSIGN_OR_RETURN(QuerySpec spec, GetQuery(engine, query));
+  PlannerOptions planner;
+  planner.enable_inlj = enable_inlj;
+
+  const std::string hint_key = query + "/" + std::to_string(paper_sf) + "/" +
+                               (enable_inlj ? "inlj" : "plain");
+  if (optimizer_name == "dynamic") {
+    DynamicOptimizerOptions options;
+    options.planner = planner;
+    DynamicOptimizer optimizer(engine, options);
+    auto result = optimizer.Run(spec);
+    if (result.ok()) {
+      std::lock_guard<std::mutex> lock(g_mutex);
+      HintCache()[hint_key] = result->join_tree;
+    }
+    return result;
+  }
+  if (optimizer_name == "cost-based") {
+    StaticCostBasedOptimizer optimizer(engine, planner);
+    return optimizer.Run(spec);
+  }
+  if (optimizer_name == "worst-order") {
+    WorstOrderOptimizer optimizer(engine, planner);
+    return optimizer.Run(spec);
+  }
+  if (optimizer_name == "pilot-run") {
+    PilotRunOptions options;
+    options.planner = planner;
+    PilotRunOptimizer optimizer(engine, options);
+    return optimizer.Run(spec);
+  }
+  if (optimizer_name == "ingres-like") {
+    IngresLikeOptimizer optimizer(engine, planner);
+    return optimizer.Run(spec);
+  }
+  if (optimizer_name == "best-order") {
+    std::shared_ptr<const JoinTree> hint;
+    {
+      std::lock_guard<std::mutex> lock(g_mutex);
+      auto it = HintCache().find(hint_key);
+      if (it != HintCache().end()) hint = it->second;
+    }
+    if (hint == nullptr) {
+      // The "user" learns the optimal order from a dynamic run first.
+      DynamicOptimizerOptions options;
+      options.planner = planner;
+      DynamicOptimizer dynamic(engine, options);
+      DYNOPT_ASSIGN_OR_RETURN(OptimizerRunResult dyn, dynamic.Run(spec));
+      hint = dyn.join_tree;
+      std::lock_guard<std::mutex> lock(g_mutex);
+      HintCache()[hint_key] = hint;
+    }
+    BestOrderOptimizer optimizer(engine, hint);
+    return optimizer.Run(spec);
+  }
+  return Status::InvalidArgument("unknown optimizer " + optimizer_name);
+}
+
+void AddRecord(Record record) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  MutableRecords().push_back(std::move(record));
+}
+
+const std::vector<Record>& Records() { return MutableRecords(); }
+
+void PrintFigureTable(const std::string& figure) {
+  const auto& records = Records();
+  std::set<int> sfs;
+  std::set<std::string> optimizers;
+  for (const auto& r : records) {
+    if (r.figure != figure) continue;
+    sfs.insert(r.paper_sf);
+    optimizers.insert(r.optimizer);
+  }
+  if (sfs.empty()) return;
+  std::printf("\n=== %s: simulated execution seconds ===\n", figure.c_str());
+  for (int sf : sfs) {
+    std::printf("\n-- scale factor %d --\n%-6s", sf, "query");
+    std::vector<std::string> cols;
+    for (const char* name : kOptimizers) {
+      if (optimizers.count(name)) cols.push_back(name);
+    }
+    for (const auto& c : cols) std::printf(" %12s", c.c_str());
+    std::printf("\n");
+    for (const char* query : kQueries) {
+      std::printf("%-6s", query);
+      for (const auto& opt : cols) {
+        double value = -1;
+        for (const auto& r : records) {
+          if (r.figure == figure && r.paper_sf == sf && r.query == query &&
+              r.optimizer == opt) {
+            value = r.sim_seconds;
+          }
+        }
+        if (value < 0) {
+          std::printf(" %12s", "-");
+        } else {
+          std::printf(" %12.2f", value);
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  // Plans, like the paper's appendix.
+  std::printf("\n-- plans --\n");
+  for (const auto& r : records) {
+    if (r.figure != figure || r.plan.empty()) continue;
+    std::printf("%s sf=%d %s: %s\n", r.query.c_str(), r.paper_sf,
+                r.optimizer.c_str(), r.plan.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace dynopt

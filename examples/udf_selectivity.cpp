@@ -1,0 +1,75 @@
+// UDF blindness demo: shows why the dynamic approach wins on queries with
+// user-defined predicates. A static optimizer must assume a Selinger
+// default selectivity (1/10) for myym(o_orderdate) = 199603; the runtime
+// dynamic optimizer executes the predicate early and learns the true
+// cardinality, unlocking a broadcast the static plan misses (TPC-H Q9,
+// Section 5.1 of the paper).
+//
+//   ./build/examples/udf_selectivity [sf]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/engine.h"
+#include "opt/cardinality.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/static_optimizer.h"
+#include "opt/stats_view.h"
+#include "workloads/tpch.h"
+
+using namespace dynopt;
+
+namespace {
+
+Status Run(double sf) {
+  Engine engine;
+  TpchOptions options;
+  options.sf = sf;
+  DYNOPT_RETURN_IF_ERROR(LoadTpch(&engine, options));
+  DYNOPT_ASSIGN_OR_RETURN(QuerySpec query, TpchQ9(&engine));
+
+  // What the static optimizer believes about the filtered datasets.
+  StatsView view(&query, &engine.stats(), &engine.catalog());
+  CardinalityEstimator estimator(&view);
+  std::printf("static estimates (Selinger defaults for UDFs):\n");
+  for (const char* alias : {"o", "p"}) {
+    std::printf("  %s: %.0f of %.0f rows (sel %.3f)\n", alias,
+                estimator.EstimateFilteredSize(alias), view.RowCount(alias),
+                estimator.EstimatePredicateSelectivity(alias));
+  }
+
+  // Ground truth, measured by the dynamic optimizer's push-down stage.
+  DynamicOptimizer dynamic(&engine);
+  DYNOPT_ASSIGN_OR_RETURN(OptimizerRunResult dyn, dynamic.Run(query));
+  std::printf("\ndynamic push-down measured truth:\n%s",
+              dyn.plan_trace.c_str());
+
+  StaticCostBasedOptimizer cost_based(&engine);
+  DYNOPT_ASSIGN_OR_RETURN(OptimizerRunResult cb, cost_based.Run(query));
+
+  std::printf("\nplans:\n  dynamic    : %s\n  cost-based : %s\n",
+              dyn.join_tree->ToString().c_str(),
+              cb.join_tree->ToString().c_str());
+  std::printf(
+      "simulated seconds:\n  dynamic    : %.3f\n  cost-based : %.3f "
+      "(%.2fx of dynamic)\n",
+      dyn.metrics.simulated_seconds, cb.metrics.simulated_seconds,
+      cb.metrics.simulated_seconds / dyn.metrics.simulated_seconds);
+  std::printf(
+      "\n(the 'JOINb' marks show where knowing the true post-UDF size "
+      "unlocked a broadcast)\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 2.0;
+  Status status = Run(sf);
+  if (!status.ok()) {
+    std::fprintf(stderr, "udf_selectivity failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

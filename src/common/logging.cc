@@ -1,0 +1,48 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace dynopt {
+
+namespace {
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string line = stream_.str();
+  std::fprintf(stderr, "%s\n", line.c_str());
+}
+
+}  // namespace internal
+}  // namespace dynopt

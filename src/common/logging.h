@@ -1,0 +1,54 @@
+#ifndef DYNOPT_COMMON_LOGGING_H_
+#define DYNOPT_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace dynopt {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Defaults to
+/// kWarn so library users are not spammed; benches/examples raise it.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line, emitted on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace dynopt
+
+#define DYNOPT_LOG(level)                                                  \
+  if (::dynopt::LogLevel::level < ::dynopt::GetLogLevel()) {               \
+  } else                                                                   \
+    ::dynopt::internal::LogMessage(::dynopt::LogLevel::level, __FILE__,    \
+                                   __LINE__)                               \
+        .stream()
+
+/// Fatal invariant check; aborts with a message. Used for programmer errors
+/// only (user-facing failures return Status).
+#define DYNOPT_CHECK(cond)                                                  \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // DYNOPT_COMMON_LOGGING_H_

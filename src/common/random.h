@@ -1,0 +1,56 @@
+#ifndef DYNOPT_COMMON_RANDOM_H_
+#define DYNOPT_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynopt {
+
+/// Deterministic xoshiro256** PRNG. Workload generation and sampling must be
+/// reproducible across runs, so all randomness in the library flows through
+/// explicitly seeded instances of this class (never std::rand or
+/// nondeterministic seeds).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli(p).
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using precomputed CDF + binary search.
+/// Used by the workload generators to create the skewed fact-to-fact join
+/// fan-outs that break the optimizer's uniformity assumptions (the condition
+/// the paper's dynamic approach exploits).
+class ZipfDistribution {
+ public:
+  /// `n` distinct items, exponent `s` (s=0 degenerates to uniform).
+  ZipfDistribution(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_RANDOM_H_

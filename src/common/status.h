@@ -1,0 +1,127 @@
+#ifndef DYNOPT_COMMON_STATUS_H_
+#define DYNOPT_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dynopt {
+
+/// Error categories used across the library. Mirrors the coarse categories a
+/// database engine cares about; most call sites only test `ok()`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+  kParseError,
+  kBindError,
+  kExecutionError,
+};
+
+/// Lightweight status object returned by fallible operations. The library
+/// does not use exceptions (per the project style rules); every public
+/// operation that can fail returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BindError(std::string msg) {
+    return Status(StatusCode::kBindError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: bad join key".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Modeled after
+/// `arrow::Result`; accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                          // NOLINT(runtime/explicit)
+      : value_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOkStatus = Status::OK();
+    if (ok()) return kOkStatus;
+    return std::get<Status>(value_);
+  }
+
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::move(std::get<T>(value_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace dynopt
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define DYNOPT_RETURN_IF_ERROR(expr)              \
+  do {                                            \
+    ::dynopt::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+#define DYNOPT_CONCAT_IMPL(x, y) x##y
+#define DYNOPT_CONCAT(x, y) DYNOPT_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagates the error, otherwise
+/// move-assigns the value into `lhs` (which may include a declaration).
+#define DYNOPT_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  auto DYNOPT_CONCAT(_res_, __LINE__) = (rexpr);                      \
+  if (!DYNOPT_CONCAT(_res_, __LINE__).ok())                           \
+    return DYNOPT_CONCAT(_res_, __LINE__).status();                   \
+  lhs = std::move(DYNOPT_CONCAT(_res_, __LINE__)).value()
+
+#endif  // DYNOPT_COMMON_STATUS_H_

@@ -1,0 +1,46 @@
+#ifndef DYNOPT_COMMON_THREAD_POOL_H_
+#define DYNOPT_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace dynopt {
+
+/// Fixed-size worker pool used to execute the per-partition work of a
+/// physical operator in parallel — the simulator's stand-in for the
+/// node-parallel execution of a Hyracks job. Tasks are void closures;
+/// ParallelFor blocks until every index has been processed.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 selects hardware concurrency.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Runs fn(i) for every i in [0, n), distributing across workers, and
+  /// waits for completion. Safe to call concurrently from one thread at a
+  /// time (operators run sequentially; partitions run in parallel).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_THREAD_POOL_H_

@@ -1,0 +1,93 @@
+#ifndef DYNOPT_COMMON_VALUE_H_
+#define DYNOPT_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace dynopt {
+
+/// Scalar type tags for the engine's data model. A deliberately small set:
+/// the workloads in the paper (TPC-H / TPC-DS join queries) only need
+/// integers, floating point, strings and booleans. Dates are stored as
+/// kInt64 days-since-epoch (see workloads/).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Returns a human-readable name, e.g. "INT64".
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically typed scalar. Rows are vectors of `Value`. Values are
+/// ordered and hashable so they can serve as join/group keys; comparisons
+/// across numeric types (int64 vs double) coerce to double, all other
+/// cross-type comparisons order by type tag.
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(int v) : data_(static_cast<int64_t>(v)) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+
+  bool AsBool() const { return std::get<bool>(data_); }
+  int64_t AsInt64() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view used by the statistics sketches: int64/double/bool map to
+  /// their numeric value; strings map to a stable order-ignoring hash-based
+  /// encoding; null maps to NaN. Use only for sketching, not semantics.
+  double NumericKey() const;
+
+  /// True if this value is numeric (kInt64 or kDouble or kBool).
+  bool IsNumeric() const;
+
+  /// Approximate in-memory footprint in bytes, used by the cost model.
+  size_t SizeBytes() const;
+
+  /// Stable 64-bit hash suitable for partitioning and hash joins.
+  uint64_t Hash() const;
+
+  /// Total ordering consistent with operator==; see class comment for the
+  /// cross-type rules. Null sorts before everything.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+/// A tuple of scalars; column order is defined by the owning schema.
+using Row = std::vector<Value>;
+
+/// Approximate footprint of a row (sum of value footprints).
+size_t RowSizeBytes(const Row& row);
+
+/// Hash of a subset of columns (used to route rows to partitions and to
+/// build join hash tables over composite keys).
+uint64_t HashRowKey(const Row& row, const std::vector<int>& key_indices);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_VALUE_H_

@@ -1,0 +1,68 @@
+#ifndef DYNOPT_EXEC_DATASET_H_
+#define DYNOPT_EXEC_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dynopt {
+
+/// A runtime, node-partitioned rowset flowing between physical operators.
+/// Columns carry fully qualified names ("ss.ss_item_sk"); intermediate
+/// results keep the qualified names of their inputs so reconstruction of
+/// the remaining query needs no renaming.
+struct Dataset {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Row>> partitions;
+
+  Dataset() = default;
+  Dataset(std::vector<std::string> cols, size_t num_partitions)
+      : columns(std::move(cols)), partitions(num_partitions) {}
+
+  /// Slot of a qualified column, or -1.
+  int ColumnIndex(const std::string& name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  uint64_t NumRows() const {
+    uint64_t n = 0;
+    for (const auto& p : partitions) n += p.size();
+    return n;
+  }
+
+  uint64_t TotalBytes() const {
+    uint64_t b = 0;
+    for (const auto& p : partitions) {
+      for (const auto& row : p) b += RowSizeBytes(row);
+    }
+    return b;
+  }
+
+  /// Largest single-partition byte size (drives max-over-nodes timing).
+  uint64_t MaxPartitionBytes() const {
+    uint64_t mx = 0;
+    for (const auto& p : partitions) {
+      uint64_t b = 0;
+      for (const auto& row : p) b += RowSizeBytes(row);
+      if (b > mx) mx = b;
+    }
+    return mx;
+  }
+
+  /// All rows concatenated (result delivery / tests).
+  std::vector<Row> GatherRows() const {
+    std::vector<Row> out;
+    out.reserve(NumRows());
+    for (const auto& p : partitions) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_DATASET_H_

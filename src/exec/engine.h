@@ -1,0 +1,60 @@
+#ifndef DYNOPT_EXEC_ENGINE_H_
+#define DYNOPT_EXEC_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exec/cluster.h"
+#include "exec/executor.h"
+#include "plan/udf.h"
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+/// Facade bundling the simulated cluster's long-lived state: the catalog of
+/// loaded datasets, the statistics framework, the UDF registry and the
+/// worker pool. Examples, tests and benchmarks create one Engine, load a
+/// workload into it, then hand it to optimizers.
+class Engine {
+ public:
+  explicit Engine(const ClusterConfig& cluster = ClusterConfig())
+      : cluster_(cluster), pool_(0) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  StatsManager& stats() { return stats_; }
+  UdfRegistry& udfs() { return udfs_; }
+  ThreadPool& pool() { return pool_; }
+  const ClusterConfig& cluster() const { return cluster_; }
+  ClusterConfig& mutable_cluster() { return cluster_; }
+
+  /// A fresh executor bound to this engine's state (executors are cheap,
+  /// stateless objects).
+  JobExecutor MakeExecutor() {
+    return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_);
+  }
+
+  /// Collects load-time ("upfront") statistics on `columns` of `table` and
+  /// registers them with the StatsManager — the simulator's analogue of the
+  /// statistics AsterixDB gathers during LSM ingestion. Column names are
+  /// unqualified here; the stats are stored under unqualified names too and
+  /// qualified by the estimator per query alias.
+  Status CollectBaseStats(const std::string& table,
+                          const std::vector<std::string>& columns,
+                          const StatsOptions& options = StatsOptions());
+
+ private:
+  ClusterConfig cluster_;
+  Catalog catalog_;
+  StatsManager stats_;
+  UdfRegistry udfs_;
+  ThreadPool pool_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_ENGINE_H_

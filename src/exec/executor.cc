@@ -1,0 +1,611 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "storage/schema.h"
+#include "storage/serde.h"
+
+namespace dynopt {
+
+namespace {
+
+/// Key indices of `names` within `data`; error when any is missing.
+Result<std::vector<int>> ResolveColumns(const Dataset& data,
+                                        const std::vector<std::string>& names,
+                                        const char* what) {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    int idx = data.ColumnIndex(name);
+    if (idx < 0) {
+      return Status::ExecutionError(std::string(what) + " column " + name +
+                                    " not found in dataset");
+    }
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+bool AnyKeyNull(const Row& row, const std::vector<int>& keys) {
+  for (int k : keys) {
+    if (row[static_cast<size_t>(k)].is_null()) return true;
+  }
+  return false;
+}
+
+bool KeysEqual(const Row& a, const std::vector<int>& a_keys, const Row& b,
+               const std::vector<int>& b_keys) {
+  for (size_t i = 0; i < a_keys.size(); ++i) {
+    if (a[static_cast<size_t>(a_keys[i])] !=
+        b[static_cast<size_t>(b_keys[i])]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t MaxOver(const std::vector<uint64_t>& per_node) {
+  uint64_t mx = 0;
+  for (uint64_t v : per_node) mx = std::max(mx, v);
+  return mx;
+}
+
+}  // namespace
+
+JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
+                         const UdfRegistry* udfs, const ClusterConfig& cluster,
+                         ThreadPool* pool)
+    : catalog_(catalog),
+      stats_(stats),
+      udfs_(udfs),
+      cluster_(cluster),
+      pool_(pool) {
+  DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
+}
+
+Result<JobResult> JobExecutor::Execute(
+    const PlanNode& root, const std::map<std::string, Value>& params) {
+  JobResult result;
+  result.metrics.num_jobs = 1;
+  DYNOPT_ASSIGN_OR_RETURN(result.data,
+                          ExecNode(root, params, &result.metrics));
+  result.metrics.rows_out = result.data.NumRows();
+  return result;
+}
+
+Result<Dataset> JobExecutor::ExecNode(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return ExecScan(node, metrics);
+    case PlanNode::Kind::kFilter:
+      return ExecFilter(node, params, metrics);
+    case PlanNode::Kind::kProject:
+      return ExecProject(node, params, metrics);
+    case PlanNode::Kind::kJoin:
+      if (node.method == JoinMethod::kIndexNestedLoop) {
+        return ExecIndexNestedLoopJoin(node, params, metrics);
+      }
+      return ExecJoin(node, params, metrics);
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<Dataset> JobExecutor::ExecScan(const PlanNode& node,
+                                      ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          catalog_->GetTable(node.table));
+  const Schema& schema = table->schema();
+  // Qualified output names: base scans prefix with the alias; intermediate
+  // readers keep stored (already-qualified) names.
+  std::vector<std::string> all_columns;
+  all_columns.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    all_columns.push_back(node.is_intermediate
+                              ? schema.field(i).name
+                              : node.alias + "." + schema.field(i).name);
+  }
+  // Projection pushdown: which slots to keep.
+  std::vector<int> keep;
+  std::vector<std::string> out_columns;
+  if (node.scan_columns.empty()) {
+    for (size_t i = 0; i < all_columns.size(); ++i) {
+      keep.push_back(static_cast<int>(i));
+    }
+    out_columns = all_columns;
+  } else {
+    for (const auto& wanted : node.scan_columns) {
+      auto it = std::find(all_columns.begin(), all_columns.end(), wanted);
+      if (it == all_columns.end()) {
+        return Status::ExecutionError("scan column " + wanted +
+                                      " not in table " + node.table);
+      }
+      keep.push_back(static_cast<int>(it - all_columns.begin()));
+      out_columns.push_back(wanted);
+    }
+  }
+
+  const size_t num_parts = table->num_partitions();
+  Dataset out(out_columns, num_parts);
+  std::vector<uint64_t> bytes_in(num_parts, 0);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    const auto& rows = table->partition(p);
+    auto& dest = out.partitions[p];
+    dest.reserve(rows.size());
+    uint64_t bytes = 0;
+    for (const Row& row : rows) {
+      bytes += RowSizeBytes(row);
+      Row projected;
+      projected.reserve(keep.size());
+      for (int k : keep) projected.push_back(row[static_cast<size_t>(k)]);
+      dest.push_back(std::move(projected));
+    }
+    bytes_in[p] = bytes;
+    rows_in[p] = rows.size();
+  });
+
+  uint64_t total_bytes = 0, total_rows = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    total_bytes += bytes_in[p];
+    total_rows += rows_in[p];
+  }
+  metrics->tuples_processed += total_rows;
+  double io_seconds;
+  if (node.is_intermediate) {
+    metrics->bytes_intermediate_read += total_bytes;
+    io_seconds = static_cast<double>(MaxOver(bytes_in)) *
+                 cluster_.disk_read_seconds_per_byte;
+    // Re-reading materialized intermediates is re-optimization overhead.
+    metrics->reopt_seconds += io_seconds;
+  } else {
+    metrics->bytes_scanned += total_bytes;
+    io_seconds = static_cast<double>(MaxOver(bytes_in)) *
+                 cluster_.scan_seconds_per_byte;
+  }
+  metrics->simulated_seconds +=
+      io_seconds + static_cast<double>(MaxOver(rows_in)) *
+                       cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<Dataset> JobExecutor::ExecFilter(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(Dataset input,
+                          ExecNode(*node.children[0], params, metrics));
+  BindContext ctx;
+  ctx.resolve_column = [&input](const std::string& name) {
+    return input.ColumnIndex(name);
+  };
+  ctx.params = &params;
+  ctx.udfs = udfs_;
+  DYNOPT_ASSIGN_OR_RETURN(BoundExprPtr bound, Bind(node.predicate, ctx));
+
+  const size_t num_parts = input.partitions.size();
+  Dataset out(input.columns, num_parts);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& src = input.partitions[p];
+    auto& dest = out.partitions[p];
+    rows_in[p] = src.size();
+    for (Row& row : src) {
+      if (bound->EvalBool(row)) dest.push_back(std::move(row));
+    }
+  });
+  uint64_t total_rows = 0;
+  for (uint64_t r : rows_in) total_rows += r;
+  metrics->tuples_processed += total_rows;
+  metrics->simulated_seconds += static_cast<double>(MaxOver(rows_in)) *
+                                cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<Dataset> JobExecutor::ExecProject(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(Dataset input,
+                          ExecNode(*node.children[0], params, metrics));
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::vector<int> keep,
+      ResolveColumns(input, node.project_columns, "project"));
+  const size_t num_parts = input.partitions.size();
+  Dataset out(node.project_columns, num_parts);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& src = input.partitions[p];
+    auto& dest = out.partitions[p];
+    dest.reserve(src.size());
+    rows_in[p] = src.size();
+    for (const Row& row : src) {
+      Row projected;
+      projected.reserve(keep.size());
+      for (int k : keep) projected.push_back(row[static_cast<size_t>(k)]);
+      dest.push_back(std::move(projected));
+    }
+  });
+  metrics->simulated_seconds += static_cast<double>(MaxOver(rows_in)) *
+                                cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Dataset JobExecutor::Repartition(Dataset&& input,
+                                 const std::vector<int>& key_indices,
+                                 ExecMetrics* metrics) {
+  const size_t n = cluster_.num_nodes;
+  Dataset out(input.columns, n);
+  std::vector<uint64_t> received_bytes(n, 0);
+  std::vector<uint64_t> rows_in(input.partitions.size(), 0);
+  // Route sequentially per source partition (destinations are shared).
+  for (size_t p = 0; p < input.partitions.size(); ++p) {
+    rows_in[p] = input.partitions[p].size();
+    for (Row& row : input.partitions[p]) {
+      size_t dest = static_cast<size_t>(HashRowKey(row, key_indices) % n);
+      if (dest != p || input.partitions.size() != n) {
+        uint64_t bytes = RowSizeBytes(row);
+        metrics->bytes_shuffled += bytes;
+        received_bytes[dest] += bytes;
+      }
+      out.partitions[dest].push_back(std::move(row));
+    }
+    input.partitions[p].clear();
+  }
+  uint64_t total_rows = 0;
+  for (uint64_t r : rows_in) total_rows += r;
+  metrics->tuples_processed += total_rows;
+  metrics->simulated_seconds +=
+      static_cast<double>(MaxOver(received_bytes)) *
+          cluster_.network_seconds_per_byte +
+      static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Dataset JobExecutor::LocalHashJoin(const Dataset& build, const Dataset& probe,
+                                   const std::vector<int>& build_keys,
+                                   const std::vector<int>& probe_keys,
+                                   ExecMetrics* metrics) {
+  DYNOPT_CHECK(build.partitions.size() == probe.partitions.size());
+  const size_t num_parts = build.partitions.size();
+  std::vector<std::string> out_columns = build.columns;
+  out_columns.insert(out_columns.end(), probe.columns.begin(),
+                     probe.columns.end());
+  Dataset out(out_columns, num_parts);
+  std::vector<uint64_t> work(num_parts, 0);
+  std::atomic<uint64_t> total_work{0};
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    const auto& build_rows = build.partitions[p];
+    const auto& probe_rows = probe.partitions[p];
+    auto& dest = out.partitions[p];
+    std::unordered_map<uint64_t, std::vector<size_t>> table;
+    table.reserve(build_rows.size());
+    for (size_t i = 0; i < build_rows.size(); ++i) {
+      if (AnyKeyNull(build_rows[i], build_keys)) continue;
+      table[HashRowKey(build_rows[i], build_keys)].push_back(i);
+    }
+    uint64_t local_work = build_rows.size() + probe_rows.size();
+    for (const Row& probe_row : probe_rows) {
+      if (AnyKeyNull(probe_row, probe_keys)) continue;
+      auto it = table.find(HashRowKey(probe_row, probe_keys));
+      if (it == table.end()) continue;
+      for (size_t build_idx : it->second) {
+        const Row& build_row = build_rows[build_idx];
+        if (!KeysEqual(build_row, build_keys, probe_row, probe_keys)) {
+          continue;
+        }
+        Row joined;
+        joined.reserve(build_row.size() + probe_row.size());
+        joined.insert(joined.end(), build_row.begin(), build_row.end());
+        joined.insert(joined.end(), probe_row.begin(), probe_row.end());
+        dest.push_back(std::move(joined));
+        ++local_work;
+      }
+    }
+    work[p] = local_work;
+    total_work.fetch_add(local_work);
+  });
+  metrics->tuples_processed += total_work.load();
+  metrics->simulated_seconds +=
+      static_cast<double>(MaxOver(work)) * cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<Dataset> JobExecutor::ExecJoin(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(Dataset build,
+                          ExecNode(*node.children[0], params, metrics));
+  DYNOPT_ASSIGN_OR_RETURN(Dataset probe,
+                          ExecNode(*node.children[1], params, metrics));
+  std::vector<std::string> build_names, probe_names;
+  for (const auto& [l, r] : node.keys) {
+    build_names.push_back(l);
+    probe_names.push_back(r);
+  }
+  DYNOPT_ASSIGN_OR_RETURN(std::vector<int> build_keys,
+                          ResolveColumns(build, build_names, "join build"));
+  DYNOPT_ASSIGN_OR_RETURN(std::vector<int> probe_keys,
+                          ResolveColumns(probe, probe_names, "join probe"));
+
+  if (node.method == JoinMethod::kHashShuffle) {
+    Dataset build_parts = Repartition(std::move(build), build_keys, metrics);
+    Dataset probe_parts = Repartition(std::move(probe), probe_keys, metrics);
+    return LocalHashJoin(build_parts, probe_parts, build_keys, probe_keys,
+                         metrics);
+  }
+
+  // Broadcast join: replicate the (small) build side to every partition of
+  // the probe side.
+  DYNOPT_CHECK(node.method == JoinMethod::kBroadcast);
+  std::vector<Row> build_rows = build.GatherRows();
+  uint64_t build_bytes = 0;
+  for (const Row& row : build_rows) build_bytes += RowSizeBytes(row);
+  const size_t n = probe.partitions.size();
+  metrics->bytes_broadcast += build_bytes * n;
+  // Every node receives the full build side; receipt happens in parallel.
+  metrics->simulated_seconds +=
+      static_cast<double>(build_bytes) * cluster_.network_seconds_per_byte;
+  // A build side larger than the per-node join memory overflows to disk:
+  // the dynamic hash join re-partitions the overflow in extra passes. An
+  // optimizer that broadcast a dataset it wrongly believed small pays here.
+  if (build_bytes > cluster_.broadcast_threshold_bytes) {
+    double overflow = static_cast<double>(build_bytes -
+                                          cluster_.broadcast_threshold_bytes);
+    metrics->simulated_seconds +=
+        overflow * cluster_.spill_penalty_passes *
+        (cluster_.disk_write_seconds_per_byte +
+         cluster_.disk_read_seconds_per_byte);
+  }
+
+  Dataset replicated(build.columns, n);
+  for (size_t p = 0; p < n; ++p) replicated.partitions[p] = build_rows;
+  // Note: replication is physical here so per-node joins are real work; the
+  // memory cost is bounded by the planner's broadcast threshold.
+  return LocalHashJoin(replicated, probe, build_keys, probe_keys, metrics);
+}
+
+Result<Dataset> JobExecutor::ExecIndexNestedLoopJoin(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  if (node.keys.size() != 1) {
+    return Status::ExecutionError(
+        "indexed nested loop join supports exactly one key pair");
+  }
+  const PlanNode& inner_scan = *node.children[1];
+  if (inner_scan.kind != PlanNode::Kind::kScan || inner_scan.is_intermediate) {
+    return Status::ExecutionError(
+        "indexed nested loop join requires a base-table scan as inner");
+  }
+  DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> inner,
+                          catalog_->GetTable(inner_scan.table));
+  // The inner key is qualified "alias.column"; strip the alias.
+  const std::string& inner_key_qualified = node.keys[0].second;
+  std::string prefix = inner_scan.alias + ".";
+  if (inner_key_qualified.rfind(prefix, 0) != 0) {
+    return Status::ExecutionError("inner join key " + inner_key_qualified +
+                                  " does not belong to " + inner_scan.alias);
+  }
+  std::string inner_column = inner_key_qualified.substr(prefix.size());
+  const SecondaryIndex* index = inner->GetSecondaryIndex(inner_column);
+  if (index == nullptr) {
+    return Status::ExecutionError("no secondary index on " +
+                                  inner_scan.table + "." + inner_column);
+  }
+
+  DYNOPT_ASSIGN_OR_RETURN(Dataset outer,
+                          ExecNode(*node.children[0], params, metrics));
+  int outer_key = outer.ColumnIndex(node.keys[0].first);
+  if (outer_key < 0) {
+    return Status::ExecutionError("outer join key " + node.keys[0].first +
+                                  " not found");
+  }
+
+  // Inner output columns (with projection pushdown).
+  const Schema& schema = inner->schema();
+  std::vector<std::string> inner_all;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    inner_all.push_back(inner_scan.alias + "." + schema.field(i).name);
+  }
+  std::vector<int> inner_keep;
+  std::vector<std::string> inner_columns;
+  if (inner_scan.scan_columns.empty()) {
+    for (size_t i = 0; i < inner_all.size(); ++i) {
+      inner_keep.push_back(static_cast<int>(i));
+    }
+    inner_columns = inner_all;
+  } else {
+    for (const auto& wanted : inner_scan.scan_columns) {
+      auto it = std::find(inner_all.begin(), inner_all.end(), wanted);
+      if (it == inner_all.end()) {
+        return Status::ExecutionError("scan column " + wanted +
+                                      " not in table " + inner_scan.table);
+      }
+      inner_keep.push_back(static_cast<int>(it - inner_all.begin()));
+      inner_columns.push_back(wanted);
+    }
+  }
+
+  // Broadcast the outer to every node; each arriving row probes the local
+  // index immediately (Section 3, Indexed Nested Loop Join).
+  std::vector<Row> outer_rows = outer.GatherRows();
+  uint64_t outer_bytes = 0;
+  for (const Row& row : outer_rows) outer_bytes += RowSizeBytes(row);
+  const size_t n = inner->num_partitions();
+  metrics->bytes_broadcast += outer_bytes * n;
+  metrics->simulated_seconds +=
+      static_cast<double>(outer_bytes) * cluster_.network_seconds_per_byte;
+
+  std::vector<std::string> out_columns = outer.columns;
+  out_columns.insert(out_columns.end(), inner_columns.begin(),
+                     inner_columns.end());
+  Dataset out(out_columns, n);
+  std::vector<uint64_t> matched_bytes(n, 0);
+  std::vector<uint64_t> lookups(n, 0);
+  pool_->ParallelFor(n, [&](size_t p) {
+    const auto& inner_rows = inner->partition(p);
+    auto& dest = out.partitions[p];
+    uint64_t local_matched_bytes = 0;
+    for (const Row& outer_row : outer_rows) {
+      const Value& key = outer_row[static_cast<size_t>(outer_key)];
+      if (key.is_null()) continue;
+      ++lookups[p];
+      const std::vector<uint32_t>* offsets = index->Lookup(p, key);
+      if (offsets == nullptr) continue;
+      for (uint32_t off : *offsets) {
+        const Row& inner_row = inner_rows[off];
+        local_matched_bytes += RowSizeBytes(inner_row);
+        Row joined;
+        joined.reserve(outer_row.size() + inner_keep.size());
+        joined.insert(joined.end(), outer_row.begin(), outer_row.end());
+        for (int k : inner_keep) {
+          joined.push_back(inner_row[static_cast<size_t>(k)]);
+        }
+        dest.push_back(std::move(joined));
+      }
+    }
+    matched_bytes[p] = local_matched_bytes;
+  });
+  uint64_t total_lookups = 0, total_matched = 0;
+  for (size_t p = 0; p < n; ++p) {
+    total_lookups += lookups[p];
+    total_matched += matched_bytes[p];
+  }
+  metrics->index_lookups += total_lookups;
+  metrics->bytes_scanned += total_matched;  // Only matched pages are read.
+  metrics->simulated_seconds +=
+      static_cast<double>(MaxOver(lookups)) * cluster_.index_lookup_seconds +
+      static_cast<double>(MaxOver(matched_bytes)) *
+          cluster_.disk_read_seconds_per_byte;
+  return out;
+}
+
+Result<SinkResult> JobExecutor::Materialize(
+    Dataset&& data, const std::string& prefix,
+    const std::vector<std::string>& stats_columns, bool collect_stats,
+    ExecMetrics* metrics) {
+  // Build the temp table schema: stored column names are the (already
+  // qualified) dataset column names; types are inferred from data.
+  std::vector<Field> fields;
+  fields.reserve(data.columns.size());
+  for (size_t c = 0; c < data.columns.size(); ++c) {
+    ValueType type = ValueType::kNull;
+    for (const auto& part : data.partitions) {
+      for (const auto& row : part) {
+        if (!row[c].is_null()) {
+          type = row[c].type();
+          break;
+        }
+      }
+      if (type != ValueType::kNull) break;
+    }
+    fields.push_back(Field{data.columns[c], type});
+  }
+  std::string name = catalog_->UniqueTempName(prefix);
+  auto table = std::make_shared<Table>(name, Schema(std::move(fields)),
+                                       data.partitions.size());
+
+  // Online statistics builders, one per partition, merged afterwards — the
+  // paper collects sketches in parallel with writing the sink.
+  std::vector<int> stat_indices;
+  std::vector<std::string> stat_names;
+  for (const auto& col : stats_columns) {
+    int idx = data.ColumnIndex(col);
+    if (idx >= 0) {
+      stat_indices.push_back(idx);
+      stat_names.push_back(col);
+    }
+  }
+  const size_t num_parts = data.partitions.size();
+  std::vector<TableStatsBuilder> builders;
+  builders.reserve(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) {
+    builders.emplace_back(stat_names, stat_indices);
+  }
+  std::vector<uint64_t> part_bytes(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    uint64_t bytes = 0;
+    for (const Row& row : data.partitions[p]) {
+      bytes += RowSizeBytes(row);
+      if (collect_stats) builders[p].AddRow(row);
+    }
+    part_bytes[p] = bytes;
+  });
+  // Sequential append preserves the partition layout.
+  uint64_t total_bytes = 0, total_rows = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    total_bytes += part_bytes[p];
+    total_rows += data.partitions[p].size();
+  }
+  // Optionally round-trip each partition through the on-disk temp-file
+  // format (the paper's intermediates are "stored in a temporary file").
+  if (cluster_.materialize_to_disk) {
+    std::vector<Status> statuses(num_parts);
+    pool_->ParallelFor(num_parts, [&](size_t p) {
+      std::string path = cluster_.spill_directory + "/" + name + ".p" +
+                         std::to_string(p) + ".rows";
+      Status st = WriteRowsFile(path, data.partitions[p]);
+      if (st.ok()) {
+        auto back = ReadRowsFile(path);
+        if (back.ok()) {
+          data.partitions[p] = std::move(back).value();
+        } else {
+          st = back.status();
+        }
+      }
+      std::remove(path.c_str());
+      statuses[p] = st;
+    });
+    for (const Status& st : statuses) {
+      DYNOPT_RETURN_IF_ERROR(st);
+    }
+  }
+
+  // Load partition-faithfully so the producing node's placement (and any
+  // skew) survives materialization.
+  for (size_t p = 0; p < num_parts; ++p) {
+    for (Row& row : data.partitions[p]) {
+      table->AppendRowToPartition(p, std::move(row));
+    }
+    data.partitions[p].clear();
+  }
+
+  DYNOPT_RETURN_IF_ERROR(catalog_->RegisterTable(table));
+
+  SinkResult result;
+  result.table_name = name;
+  if (collect_stats) {
+    TableStatsBuilder merged(stat_names, stat_indices);
+    for (const auto& b : builders) merged.Merge(b);
+    result.stats = merged.Finalize();
+    result.stats.row_count = total_rows;
+    result.stats.total_bytes = total_bytes;
+    if (stats_ != nullptr) stats_->Put(name, result.stats);
+    const double stats_cost =
+        static_cast<double>(total_rows * std::max<size_t>(1, stat_names.size())) *
+        cluster_.stats_seconds_per_value / static_cast<double>(num_parts);
+    metrics->stats_seconds += stats_cost;
+    metrics->simulated_seconds += stats_cost;
+  } else {
+    // Even without sketch collection the framework learns the exact size of
+    // the materialized intermediate (the INGRES-style cardinality-only
+    // feedback).
+    result.stats.row_count = total_rows;
+    result.stats.total_bytes = total_bytes;
+    if (stats_ != nullptr) stats_->Put(name, result.stats);
+  }
+
+  metrics->bytes_materialized += total_bytes;
+  const double write_seconds = static_cast<double>(MaxOver(part_bytes)) *
+                               cluster_.disk_write_seconds_per_byte;
+  metrics->reopt_seconds += write_seconds + cluster_.reopt_fixed_seconds;
+  metrics->simulated_seconds +=
+      write_seconds + cluster_.reopt_fixed_seconds;
+  metrics->num_reopt_points += 1;
+  return result;
+}
+
+}  // namespace dynopt

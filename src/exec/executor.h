@@ -1,0 +1,95 @@
+#ifndef DYNOPT_EXEC_EXECUTOR_H_
+#define DYNOPT_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "exec/cluster.h"
+#include "exec/dataset.h"
+#include "exec/job.h"
+#include "exec/metrics.h"
+#include "plan/udf.h"
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+/// Output of running one job.
+struct JobResult {
+  Dataset data;
+  ExecMetrics metrics;
+};
+
+/// Output of a Sink (materialization at a re-optimization point).
+struct SinkResult {
+  std::string table_name;  ///< Generated temp-table name in the catalog.
+  TableStats stats;        ///< Online statistics (empty when disabled).
+};
+
+/// Executes physical job plans against the simulated cluster: operators run
+/// partition-parallel on a thread pool, and every unit of work (bytes
+/// scanned/shuffled/broadcast/materialized, tuples, index lookups) is
+/// metered and converted to simulated seconds under the ClusterConfig cost
+/// model. Per pipeline stage, simulated time is max-over-nodes.
+class JobExecutor {
+ public:
+  JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
+              const ClusterConfig& cluster, ThreadPool* pool);
+
+  /// Runs one job tree and returns its output dataset plus metrics.
+  Result<JobResult> Execute(const PlanNode& root,
+                            const std::map<std::string, Value>& params);
+
+  /// The Sink operator: writes `data` to a fresh temp table in the catalog,
+  /// optionally collecting online statistics on `stats_columns` (qualified
+  /// names). Charges materialization I/O and the per-reopt fixed cost to
+  /// `metrics->reopt_seconds` and stats collection to
+  /// `metrics->stats_seconds` (both included in simulated_seconds).
+  Result<SinkResult> Materialize(Dataset&& data, const std::string& prefix,
+                                 const std::vector<std::string>& stats_columns,
+                                 bool collect_stats, ExecMetrics* metrics);
+
+  const ClusterConfig& cluster() const { return cluster_; }
+
+ private:
+  Result<Dataset> ExecNode(const PlanNode& node,
+                           const std::map<std::string, Value>& params,
+                           ExecMetrics* metrics);
+  Result<Dataset> ExecScan(const PlanNode& node, ExecMetrics* metrics);
+  Result<Dataset> ExecFilter(const PlanNode& node,
+                             const std::map<std::string, Value>& params,
+                             ExecMetrics* metrics);
+  Result<Dataset> ExecProject(const PlanNode& node,
+                              const std::map<std::string, Value>& params,
+                              ExecMetrics* metrics);
+  Result<Dataset> ExecJoin(const PlanNode& node,
+                           const std::map<std::string, Value>& params,
+                           ExecMetrics* metrics);
+  Result<Dataset> ExecIndexNestedLoopJoin(
+      const PlanNode& node, const std::map<std::string, Value>& params,
+      ExecMetrics* metrics);
+
+  /// Hash-repartitions `input` on `key_indices`, metering network traffic.
+  Dataset Repartition(Dataset&& input, const std::vector<int>& key_indices,
+                      ExecMetrics* metrics);
+
+  /// Local hash join between aligned partitions (equal-length partition
+  /// vectors); emits build-row ++ probe-row.
+  Dataset LocalHashJoin(const Dataset& build, const Dataset& probe,
+                        const std::vector<int>& build_keys,
+                        const std::vector<int>& probe_keys,
+                        ExecMetrics* metrics);
+
+  Catalog* catalog_;
+  StatsManager* stats_;
+  const UdfRegistry* udfs_;
+  ClusterConfig cluster_;
+  ThreadPool* pool_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_EXECUTOR_H_

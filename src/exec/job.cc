@@ -1,0 +1,99 @@
+#include "exec/job.h"
+
+#include <sstream>
+
+namespace dynopt {
+
+const char* JoinMethodName(JoinMethod method) {
+  switch (method) {
+    case JoinMethod::kHashShuffle:
+      return "HASH";
+    case JoinMethod::kBroadcast:
+      return "BROADCAST";
+    case JoinMethod::kIndexNestedLoop:
+      return "INDEX_NL";
+  }
+  return "?";
+}
+
+std::unique_ptr<PlanNode> PlanNode::Scan(std::string table, std::string alias,
+                                         bool is_intermediate,
+                                         std::vector<std::string> columns) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kScan;
+  node->table = std::move(table);
+  node->alias = std::move(alias);
+  node->is_intermediate = is_intermediate;
+  node->scan_columns = std::move(columns);
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Filter(std::unique_ptr<PlanNode> input,
+                                           ExprPtr predicate) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kFilter;
+  node->predicate = std::move(predicate);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Project(std::unique_ptr<PlanNode> input,
+                                            std::vector<std::string> columns) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kProject;
+  node->project_columns = std::move(columns);
+  node->children.push_back(std::move(input));
+  return node;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Join(
+    JoinMethod method, std::unique_ptr<PlanNode> build,
+    std::unique_ptr<PlanNode> probe,
+    std::vector<std::pair<std::string, std::string>> keys) {
+  auto node = std::make_unique<PlanNode>();
+  node->kind = Kind::kJoin;
+  node->method = method;
+  node->keys = std::move(keys);
+  node->children.push_back(std::move(build));
+  node->children.push_back(std::move(probe));
+  return node;
+}
+
+std::string PlanNode::ToString(int indent) const {
+  std::ostringstream os;
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind) {
+    case Kind::kScan:
+      os << pad << (is_intermediate ? "Reader(" : "Scan(") << table;
+      if (!alias.empty() && alias != table) os << " AS " << alias;
+      os << ")";
+      break;
+    case Kind::kFilter:
+      os << pad << "Filter(" << predicate->ToString() << ")";
+      break;
+    case Kind::kProject: {
+      os << pad << "Project(";
+      for (size_t i = 0; i < project_columns.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << project_columns[i];
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kJoin: {
+      os << pad << "Join[" << JoinMethodName(method) << "](";
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (i > 0) os << " AND ";
+        os << keys[i].first << " = " << keys[i].second;
+      }
+      os << ")";
+      break;
+    }
+  }
+  for (const auto& child : children) {
+    os << "\n" << child->ToString(indent + 1);
+  }
+  return os.str();
+}
+
+}  // namespace dynopt

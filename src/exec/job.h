@@ -1,0 +1,79 @@
+#ifndef DYNOPT_EXEC_JOB_H_
+#define DYNOPT_EXEC_JOB_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace dynopt {
+
+/// Physical join algorithm (Section 3 of the paper).
+enum class JoinMethod {
+  /// Re-partition both inputs by key hash, then local dynamic hash join.
+  kHashShuffle,
+  /// Replicate the (small) build input to every partition of the probe
+  /// input; local hash join.
+  kBroadcast,
+  /// Broadcast the (small, filtered) outer input to every partition of a
+  /// base dataset carrying a secondary index on the join key; each arriving
+  /// row probes the local index.
+  kIndexNestedLoop,
+};
+
+const char* JoinMethodName(JoinMethod method);
+
+/// A node of a physical job plan — the simulator's analogue of a Hyracks
+/// job (Figure 4). Jobs are small trees: scans/filters/projects feeding
+/// joins, with the root's output either materialized (Sink, at a
+/// re-optimization point) or returned (DistributeResult).
+struct PlanNode {
+  enum class Kind { kScan, kFilter, kProject, kJoin };
+
+  Kind kind;
+
+  // kScan -------------------------------------------------------------
+  std::string table;  ///< Catalog name.
+  std::string alias;  ///< Qualification prefix; empty for intermediates,
+                      ///< whose stored column names are already qualified.
+  bool is_intermediate = false;  ///< Reader of a materialized temp table.
+  /// Qualified names to keep (projection pushdown); empty keeps all.
+  std::vector<std::string> scan_columns;
+
+  // kFilter -------------------------------------------------------------
+  ExprPtr predicate;
+
+  // kProject ------------------------------------------------------------
+  std::vector<std::string> project_columns;  ///< Qualified names to keep.
+
+  // kJoin ---------------------------------------------------------------
+  JoinMethod method = JoinMethod::kHashShuffle;
+  /// keys[i].first comes from children[0] (build/outer side), .second from
+  /// children[1] (probe/inner side).
+  std::vector<std::pair<std::string, std::string>> keys;
+
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // --- Constructors ------------------------------------------------------
+  static std::unique_ptr<PlanNode> Scan(std::string table, std::string alias,
+                                        bool is_intermediate = false,
+                                        std::vector<std::string> columns = {});
+  static std::unique_ptr<PlanNode> Filter(std::unique_ptr<PlanNode> input,
+                                          ExprPtr predicate);
+  static std::unique_ptr<PlanNode> Project(std::unique_ptr<PlanNode> input,
+                                           std::vector<std::string> columns);
+  static std::unique_ptr<PlanNode> Join(
+      JoinMethod method, std::unique_ptr<PlanNode> build,
+      std::unique_ptr<PlanNode> probe,
+      std::vector<std::pair<std::string, std::string>> keys);
+
+  /// Multi-line plan rendering (join tree with methods), for traces and
+  /// the EXPERIMENTS appendix — the analogue of the paper's plan figures.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_JOB_H_

@@ -1,0 +1,36 @@
+#include "exec/metrics.h"
+
+#include <sstream>
+
+namespace dynopt {
+
+void ExecMetrics::Add(const ExecMetrics& other) {
+  rows_out = other.rows_out;  // Rows-out reflects the latest operator.
+  tuples_processed += other.tuples_processed;
+  bytes_scanned += other.bytes_scanned;
+  bytes_shuffled += other.bytes_shuffled;
+  bytes_broadcast += other.bytes_broadcast;
+  bytes_materialized += other.bytes_materialized;
+  bytes_intermediate_read += other.bytes_intermediate_read;
+  index_lookups += other.index_lookups;
+  num_jobs += other.num_jobs;
+  num_reopt_points += other.num_reopt_points;
+  simulated_seconds += other.simulated_seconds;
+  reopt_seconds += other.reopt_seconds;
+  stats_seconds += other.stats_seconds;
+}
+
+std::string ExecMetrics::ToString() const {
+  std::ostringstream os;
+  os << "rows_out=" << rows_out << " tuples=" << tuples_processed
+     << " scanned=" << bytes_scanned << "B shuffled=" << bytes_shuffled
+     << "B broadcast=" << bytes_broadcast
+     << "B materialized=" << bytes_materialized
+     << "B reread=" << bytes_intermediate_read
+     << "B idx_lookups=" << index_lookups << " jobs=" << num_jobs
+     << " reopts=" << num_reopt_points << " sim_s=" << simulated_seconds
+     << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds << ")";
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,40 @@
+#ifndef DYNOPT_EXEC_METRICS_H_
+#define DYNOPT_EXEC_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace dynopt {
+
+/// Work metered while executing jobs, plus the simulated wall-clock those
+/// units translate to under the cluster's cost model. The three *_seconds
+/// components decompose total simulated time the way Figure 6 of the paper
+/// does: plain execution vs. re-optimization I/O (materializing and
+/// re-reading intermediates) vs. online statistics collection.
+struct ExecMetrics {
+  uint64_t rows_out = 0;
+  uint64_t tuples_processed = 0;
+  uint64_t bytes_scanned = 0;
+  uint64_t bytes_shuffled = 0;
+  uint64_t bytes_broadcast = 0;
+  uint64_t bytes_materialized = 0;
+  uint64_t bytes_intermediate_read = 0;
+  uint64_t index_lookups = 0;
+  int num_jobs = 0;
+  int num_reopt_points = 0;
+
+  /// Total simulated execution time (includes the two components below).
+  double simulated_seconds = 0;
+  /// Portion attributable to re-optimization (sink/reader I/O + fixed
+  /// per-reopt coordination cost).
+  double reopt_seconds = 0;
+  /// Portion attributable to online statistics collection.
+  double stats_seconds = 0;
+
+  void Add(const ExecMetrics& other);
+  std::string ToString() const;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_METRICS_H_

@@ -1,0 +1,79 @@
+#ifndef DYNOPT_OPT_CARDINALITY_H_
+#define DYNOPT_OPT_CARDINALITY_H_
+
+#include <string>
+
+#include "opt/stats_view.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Knobs selecting which optimizer persona the estimator plays.
+struct EstimationOptions {
+  /// Use equi-height histograms for simple fixed-value predicates (paper
+  /// Section 5.1: single local predicates are estimated, not executed).
+  bool use_histograms = true;
+  /// Selinger defaults for predicates the optimizer is blind to (UDFs,
+  /// parameters): 1/10 for equalities, 1/3 for ranges [28].
+  double default_eq_selectivity = 0.1;
+  double default_range_selectivity = 1.0 / 3.0;
+  /// INGRES mode: only dataset cardinalities are known; distinct counts
+  /// and histograms are ignored.
+  bool cardinality_only = false;
+};
+
+/// Join and filter cardinality estimation.
+///
+/// The join formula is the paper's formula (1) (from Selinger [28]):
+///     |A join_k B| = S(A) * S(B) / max(U(A.k), U(B.k))
+/// extended to composite keys by multiplying the max-ndv terms (capped by
+/// the input sizes). S(x) is the post-predicate size: when a dataset's
+/// predicates were already executed (dynamic optimization), S comes from
+/// the materialized intermediate's fresh stats; otherwise it is estimated
+/// from base-table sketches under the independence assumption.
+class CardinalityEstimator {
+ public:
+  CardinalityEstimator(const StatsView* view,
+                       const EstimationOptions& options = EstimationOptions())
+      : view_(view), options_(options) {}
+
+  /// Estimated selectivity (in [0,1]) of the conjunction of all local
+  /// predicates attached to `alias` — the product of per-conjunct
+  /// selectivities (independence assumption), each estimated from the
+  /// histogram when simple or defaulted when complex.
+  double EstimatePredicateSelectivity(const std::string& alias) const;
+
+  /// Estimated rows of `alias` after its local predicates.
+  double EstimateFilteredSize(const std::string& alias) const;
+
+  /// Estimated bytes of `alias` after its local predicates (selectivity
+  /// scaled byte size; what the broadcast rule compares to the threshold).
+  double EstimateFilteredBytes(const std::string& alias) const;
+
+  /// Formula (1): estimated result rows of `edge` between the two
+  /// (post-predicate) inputs. Optional overrides allow the caller to plug
+  /// in sizes of already-estimated sub-plans (DP enumeration); negative
+  /// override means "estimate from stats".
+  double EstimateJoinCardinality(const JoinEdge& edge,
+                                 double left_size_override = -1.0,
+                                 double right_size_override = -1.0) const;
+
+  /// Distinct-count of join key columns on `alias`'s side of `edge`
+  /// (product over composite key, each capped by the filtered size).
+  double EstimateKeyNdv(const JoinEdge& edge, const std::string& alias,
+                        double size_cap) const;
+
+  const EstimationOptions& options() const { return options_; }
+  const StatsView& view() const { return *view_; }
+
+ private:
+  double ConjunctSelectivity(const std::string& alias,
+                             const ExprPtr& conjunct) const;
+
+  const StatsView* view_;
+  EstimationOptions options_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_CARDINALITY_H_

@@ -1,0 +1,53 @@
+#include "opt/cost_model.h"
+
+namespace dynopt {
+
+double EstimateScanCost(double bytes, double rows,
+                        const ClusterConfig& cluster, bool is_intermediate) {
+  const double n = static_cast<double>(cluster.num_nodes);
+  const double per_byte = is_intermediate ? cluster.disk_read_seconds_per_byte
+                                          : cluster.scan_seconds_per_byte;
+  return (bytes / n) * per_byte + (rows / n) * cluster.cpu_seconds_per_tuple;
+}
+
+double EstimateJoinExecCost(JoinMethod method, const JoinCostInputs& in,
+                            const ClusterConfig& cluster,
+                            double probe_scan_bytes) {
+  const double n = static_cast<double>(cluster.num_nodes);
+  const double cpu = cluster.cpu_seconds_per_tuple;
+  switch (method) {
+    case JoinMethod::kHashShuffle: {
+      // Both sides re-partitioned; a node receives ~1/n of each side.
+      double net = ((in.build_bytes + in.probe_bytes) / n) *
+                   cluster.network_seconds_per_byte;
+      double work =
+          ((in.build_rows + in.probe_rows + in.out_rows) / n) * cpu;
+      return net + work;
+    }
+    case JoinMethod::kBroadcast: {
+      // Every node receives the whole build side and builds a full hash
+      // table over it; the probe side never moves.
+      double net = in.build_bytes * cluster.network_seconds_per_byte;
+      double work =
+          in.build_rows * cpu + ((in.probe_rows + in.out_rows) / n) * cpu;
+      return net + work;
+    }
+    case JoinMethod::kIndexNestedLoop: {
+      // The outer (build) side is broadcast; every node probes its local
+      // index once per outer row; only matched inner bytes are read —
+      // and the inner side's scan cost is avoided entirely, so subtract
+      // the scan the probe side would otherwise pay.
+      double net = in.build_bytes * cluster.network_seconds_per_byte;
+      double lookups = in.build_rows * cluster.index_lookup_seconds;
+      double matched_read =
+          (in.out_bytes / n) * cluster.disk_read_seconds_per_byte;
+      double saved_scan = (probe_scan_bytes / n) * cluster.scan_seconds_per_byte +
+                          (in.probe_rows / n) * cpu;
+      return net + lookups + matched_read + (in.out_rows / n) * cpu -
+             saved_scan;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,40 @@
+#ifndef DYNOPT_OPT_COST_MODEL_H_
+#define DYNOPT_OPT_COST_MODEL_H_
+
+#include "exec/cluster.h"
+#include "exec/job.h"
+
+namespace dynopt {
+
+/// Plan-time estimates of one join's inputs/output, in rows and bytes
+/// (post local predicates).
+struct JoinCostInputs {
+  double build_rows = 0;   ///< Small / outer side.
+  double build_bytes = 0;
+  double probe_rows = 0;   ///< Large / inner side.
+  double probe_bytes = 0;
+  double out_rows = 0;
+  double out_bytes = 0;
+};
+
+/// Estimated simulated-seconds cost of executing one join with `method`,
+/// mirroring the executor's charging rules (JobExecutor): shuffles charge
+/// per-node received network bytes, broadcasts charge the full build size
+/// at every node, the indexed NLJ charges per-row index lookups but reads
+/// only matched inner bytes — and *skips the inner scan entirely*, which is
+/// what makes it attractive for selective probes.
+///
+/// `probe_scan_bytes` is the cost the inner side's scan would incur (the
+/// INLJ alternative saves it); pass probe_bytes when the inner is a plain
+/// base-table scan.
+double EstimateJoinExecCost(JoinMethod method, const JoinCostInputs& in,
+                            const ClusterConfig& cluster,
+                            double probe_scan_bytes);
+
+/// Estimated cost of scanning `bytes`/`rows` spread over the cluster.
+double EstimateScanCost(double bytes, double rows, const ClusterConfig& cluster,
+                        bool is_intermediate);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_COST_MODEL_H_

@@ -1,0 +1,294 @@
+#include "opt/dynamic_optimizer.h"
+
+#include <chrono>
+#include <set>
+#include <sstream>
+
+#include "opt/finalize.h"
+#include "opt/plan_builder.h"
+#include "opt/reconstruction.h"
+#include "opt/static_optimizer.h"
+#include "plan/analysis.h"
+
+namespace dynopt {
+
+namespace {
+
+/// Columns the materialized output of `edge` must carry: projections and
+/// keys of every *other* join edge provided by either joined side.
+std::vector<std::string> RequiredOutputColumns(const QuerySpec& spec,
+                                               const JoinEdge& edge) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  auto add = [&](const std::string& name) {
+    if (seen.insert(name).second) out.push_back(name);
+  };
+  const TableRef* left = spec.FindRef(edge.left_alias);
+  const TableRef* right = spec.FindRef(edge.right_alias);
+  for (const auto& proj : spec.projections) {
+    if (left->Provides(proj) || right->Provides(proj)) add(proj);
+  }
+  for (const auto& other : spec.joins) {
+    bool is_executed = (other.left_alias == edge.left_alias &&
+                        other.right_alias == edge.right_alias) ||
+                       (other.left_alias == edge.right_alias &&
+                        other.right_alias == edge.left_alias);
+    if (is_executed) continue;
+    for (const std::string& alias : {edge.left_alias, edge.right_alias}) {
+      if (!other.Involves(alias)) continue;
+      for (const auto& key : other.KeysOf(alias)) add(key);
+    }
+  }
+  // Degenerate case: nothing downstream needs this result's columns (can
+  // only happen for pathological projection-less queries); keep the join
+  // keys so the dataset is non-empty schema-wise.
+  if (out.empty()) {
+    for (const auto& [l, r] : edge.keys) {
+      add(l);
+      add(r);
+    }
+  }
+  return out;
+}
+
+/// Key columns of future joins among `available` — the "attributes that
+/// participate on subsequent join stages" the paper collects online
+/// statistics for.
+std::vector<std::string> FutureJoinKeyColumns(
+    const QuerySpec& spec, const JoinEdge& executed,
+    const std::vector<std::string>& available) {
+  std::set<std::string> keys;
+  for (const auto& other : spec.joins) {
+    bool is_executed = (other.left_alias == executed.left_alias &&
+                        other.right_alias == executed.right_alias) ||
+                       (other.left_alias == executed.right_alias &&
+                        other.right_alias == executed.left_alias);
+    if (is_executed) continue;
+    for (const auto& [l, r] : other.keys) {
+      keys.insert(l);
+      keys.insert(r);
+    }
+  }
+  std::vector<std::string> out;
+  for (const auto& col : available) {
+    if (keys.count(col) > 0) out.push_back(col);
+  }
+  return out;
+}
+
+/// Replaces each leaf of `tree` by its recorded subtree over original
+/// aliases (used to report the effective join order).
+std::shared_ptr<const JoinTree> ExpandTree(
+    const std::shared_ptr<const JoinTree>& tree,
+    const std::map<std::string, std::shared_ptr<const JoinTree>>& subtrees) {
+  if (tree->IsLeaf()) {
+    auto it = subtrees.find(tree->alias);
+    return it != subtrees.end() ? it->second : tree;
+  }
+  return JoinTree::Join(ExpandTree(tree->left, subtrees),
+                        ExpandTree(tree->right, subtrees), tree->method);
+}
+
+}  // namespace
+
+DynamicOptimizer::DynamicOptimizer(Engine* engine,
+                                   const DynamicOptimizerOptions& options)
+    : engine_(engine), options_(options) {}
+
+Result<OptimizerRunResult> DynamicOptimizer::Run(const QuerySpec& query) {
+  DynamicCheckpoint state;
+  state.spec = query;
+  state.spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(state.spec.Validate());
+  for (const auto& ref : state.spec.tables) {
+    state.subtrees[ref.alias] = JoinTree::Leaf(ref.alias);
+  }
+  return RunFromState(std::move(state));
+}
+
+Result<OptimizerRunResult> DynamicOptimizer::Resume(
+    DynamicCheckpoint checkpoint) {
+  // The checkpoint data are the materialized temp tables; verify they are
+  // still alive before continuing.
+  for (const auto& name : checkpoint.temp_tables) {
+    if (!engine_->catalog().HasTable(name)) {
+      return Status::NotFound("checkpoint temp table " + name +
+                              " no longer exists; cannot resume");
+    }
+  }
+  return RunFromState(std::move(checkpoint));
+}
+
+Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
+    DynamicCheckpoint state) {
+  const auto start = std::chrono::steady_clock::now();
+  last_checkpoint_.reset();
+  JobExecutor executor = engine_->MakeExecutor();
+  std::ostringstream trace;
+  trace << state.trace;
+
+  // Cuts a checkpoint after a completed stage; returns true when the run
+  // must abort here (failure injection).
+  auto checkpoint_and_maybe_fail = [&]() {
+    ++state.completed_stages;
+    state.trace = trace.str();
+    if (options_.inject_failure_after_stages >= 0 &&
+        state.completed_stages >= options_.inject_failure_after_stages) {
+      last_checkpoint_ = state;
+      return true;
+    }
+    return false;
+  };
+
+  // ---- Stage 1: predicate push-down (Algorithm 1 lines 6-9) -------------
+  if (options_.pushdown_predicates && !state.pushdown_done) {
+    std::vector<std::string> aliases;
+    for (const auto& ref : state.spec.tables) aliases.push_back(ref.alias);
+    for (size_t i = state.pushdown_next_index; i < aliases.size(); ++i) {
+      state.pushdown_next_index = i;
+      const std::string& alias = aliases[i];
+      std::vector<ExprPtr> preds = state.spec.PredicatesFor(alias);
+      if (preds.empty()) continue;
+      PredicateShape shape = AnalyzePredicates(preds);
+      if (!shape.RequiresPushDown() && !options_.pushdown_simple_predicates) {
+        continue;  // Single simple predicate: estimated via histogram.
+      }
+      DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> leaf,
+                              BuildLeafPlan(state.spec, alias));
+      std::vector<std::string> needed =
+          RequiredColumns(state.spec, alias, false);
+      auto plan = PlanNode::Project(std::move(leaf), needed);
+      DYNOPT_ASSIGN_OR_RETURN(JobResult job,
+                              executor.Execute(*plan, state.spec.params));
+      state.metrics.Add(job.metrics);
+      DYNOPT_ASSIGN_OR_RETURN(
+          SinkResult sink,
+          executor.Materialize(std::move(job.data), "pushdown", needed,
+                               options_.collect_online_stats,
+                               &state.metrics));
+      state.temp_tables.push_back(sink.table_name);
+      trace << "[pushdown] " << alias << " -> " << sink.table_name << " ("
+            << sink.stats.row_count << " rows)\n";
+      state.spec = ReplaceWithFiltered(state.spec, alias, sink.table_name,
+                                       std::move(needed));
+      state.pushdown_next_index = i + 1;
+      if (checkpoint_and_maybe_fail()) {
+        return Status::ExecutionError(
+            "injected failure after push-down stage");
+      }
+    }
+    state.pushdown_done = true;
+  }
+
+  auto finish = [&](OptimizerRunResult result) -> OptimizerRunResult {
+    if (options_.drop_temp_tables) {
+      for (const auto& name : state.temp_tables) {
+        (void)engine_->catalog().DropTable(name);
+        engine_->stats().Remove(name);
+      }
+    }
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    return result;
+  };
+
+  // ---- Figure-6 ablation: push-down only, then one static job -----------
+  if (options_.stop_after_pushdown) {
+    StatsView pd_view(&state.spec, &engine_->stats(), &engine_->catalog());
+    DYNOPT_ASSIGN_OR_RETURN(
+        std::shared_ptr<const JoinTree> tree,
+        StaticCostBasedOptimizer::PlanWithDp(
+            state.spec, pd_view, engine_->cluster(), options_.planner));
+    DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                            BuildPhysicalPlan(state.spec, *tree, true));
+    DYNOPT_ASSIGN_OR_RETURN(JobResult job,
+                            executor.Execute(*plan, state.spec.params));
+    OptimizerRunResult result;
+    result.metrics = state.metrics;
+    result.metrics.Add(job.metrics);
+    trace << "[pushdown-only] static plan: " << tree->ToString() << "\n";
+    result.columns = job.data.columns;
+    result.rows = job.data.GatherRows();
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyPostProcessing(state.spec, engine_->cluster(), &result));
+    result.join_tree = ExpandTree(tree, state.subtrees);
+    result.plan_trace = trace.str();
+    return finish(std::move(result));
+  }
+
+  // ---- Stage 2: re-optimization loop (Algorithm 1 lines 11-15) ----------
+  while (state.spec.joins.size() > 2) {
+    StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
+    Planner planner(&view, engine_->cluster(), options_.planner);
+    DYNOPT_ASSIGN_OR_RETURN(PlannedJoin planned, planner.PickNextJoin());
+
+    const std::string& build = planned.build_alias;
+    const std::string& probe = planned.edge.Other(build);
+    auto step_tree = JoinTree::Join(JoinTree::Leaf(build),
+                                    JoinTree::Leaf(probe), planned.method);
+    DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> join_plan,
+                            BuildPhysicalPlan(state.spec, *step_tree, false));
+    std::vector<std::string> out_columns =
+        RequiredOutputColumns(state.spec, planned.edge);
+    auto plan = PlanNode::Project(std::move(join_plan), out_columns);
+
+    DYNOPT_ASSIGN_OR_RETURN(JobResult job,
+                            executor.Execute(*plan, state.spec.params));
+    state.metrics.Add(job.metrics);
+
+    // Online statistics: only on attributes of subsequent join stages, and
+    // skipped in the very last loop iteration (no further re-optimization
+    // will consume them — Section 5.3).
+    bool last_iteration = state.spec.joins.size() == 3;
+    std::vector<std::string> stats_columns =
+        FutureJoinKeyColumns(state.spec, planned.edge, out_columns);
+    bool collect = options_.collect_online_stats && !last_iteration &&
+                   !stats_columns.empty();
+    DYNOPT_ASSIGN_OR_RETURN(
+        SinkResult sink,
+        executor.Materialize(std::move(job.data), "join", stats_columns,
+                             collect, &state.metrics));
+    state.temp_tables.push_back(sink.table_name);
+
+    std::string new_alias = "__j" + std::to_string(state.join_counter++);
+    trace << "[join] " << planned.ToString() << " -> " << sink.table_name
+          << " (" << sink.stats.row_count << " rows, est "
+          << planned.estimated_cardinality << ")\n";
+    state.subtrees[new_alias] = JoinTree::Join(
+        state.subtrees.at(build), state.subtrees.at(probe), planned.method);
+    state.subtrees.erase(build);
+    state.subtrees.erase(probe);
+    state.spec = ReconstructAfterJoin(state.spec, planned.edge,
+                                      sink.table_name, new_alias,
+                                      std::move(out_columns));
+    if (checkpoint_and_maybe_fail()) {
+      return Status::ExecutionError("injected failure after join stage");
+    }
+  }
+
+  // ---- Stage 3: final job (Algorithm 1 lines 17-18) ---------------------
+  StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
+  Planner planner(&view, engine_->cluster(), options_.planner);
+  DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<const JoinTree> final_tree,
+                          planner.PlanRemaining());
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> final_plan,
+                          BuildPhysicalPlan(state.spec, *final_tree, true));
+  DYNOPT_ASSIGN_OR_RETURN(JobResult job,
+                          executor.Execute(*final_plan, state.spec.params));
+  OptimizerRunResult result;
+  result.metrics = state.metrics;
+  result.metrics.Add(job.metrics);
+  trace << "[final] " << final_tree->ToString() << "\n";
+
+  result.columns = job.data.columns;
+  result.rows = job.data.GatherRows();
+  DYNOPT_RETURN_IF_ERROR(
+      ApplyPostProcessing(state.spec, engine_->cluster(), &result));
+  result.join_tree = ExpandTree(final_tree, state.subtrees);
+  result.plan_trace = trace.str();
+  return finish(std::move(result));
+}
+
+}  // namespace dynopt

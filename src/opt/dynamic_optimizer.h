@@ -1,0 +1,106 @@
+#ifndef DYNOPT_OPT_DYNAMIC_OPTIMIZER_H_
+#define DYNOPT_OPT_DYNAMIC_OPTIMIZER_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exec/engine.h"
+#include "opt/join_tree.h"
+#include "opt/optimizer.h"
+#include "opt/planner.h"
+
+namespace dynopt {
+
+/// Knobs for the runtime dynamic optimizer. The booleans exist so the
+/// Figure-6 overhead experiments can ablate individual stages.
+struct DynamicOptimizerOptions {
+  PlannerOptions planner;
+  /// Execute-early for multi/complex predicate sets (Algorithm 1 lines
+  /// 6-9); when false, predicates are only estimated.
+  bool pushdown_predicates = true;
+  /// Collect sketches on materialized intermediates; when false only exact
+  /// row counts are fed back.
+  bool collect_online_stats = true;
+  /// Drop materialized temp tables when the query finishes.
+  bool drop_temp_tables = true;
+  /// Also push down single simple predicates instead of estimating them
+  /// from the histogram — the INGRES-style full decomposition.
+  bool pushdown_simple_predicates = false;
+  /// Figure-6 (right) ablation: run only the predicate push-down stage,
+  /// then plan the remaining query statically (DP over the refined
+  /// statistics) and execute it as one job with no further
+  /// re-optimization points.
+  bool stop_after_pushdown = false;
+  /// Failure-injection hook for the fault-tolerance tests: abort the run
+  /// (with an ExecutionError and a recoverable checkpoint) after this many
+  /// completed stages. Negative disables injection.
+  int inject_failure_after_stages = -1;
+};
+
+/// Serializable progress of a dynamic-optimization run — the
+/// fault-tolerance mechanism the paper's Section 8 proposes: since every
+/// re-optimization point already materializes its intermediate result,
+/// those temp tables double as checkpoints. This records which stages
+/// completed, the rewritten remaining query and the accumulated metrics;
+/// Resume() picks up a failed long-running query from here instead of
+/// starting over.
+struct DynamicCheckpoint {
+  QuerySpec spec;  ///< Remaining query, rewritten around intermediates.
+  std::map<std::string, std::shared_ptr<const JoinTree>> subtrees;
+  std::vector<std::string> temp_tables;  ///< Live checkpoint data.
+  int join_counter = 0;
+  /// Index into the original alias order up to which push-down completed.
+  size_t pushdown_next_index = 0;
+  bool pushdown_done = false;
+  int completed_stages = 0;
+  ExecMetrics metrics;  ///< Work already paid for (not redone on resume).
+  std::string trace;
+};
+
+/// The paper's contribution (Algorithm 1): INGRES-style runtime dynamic
+/// optimization adapted to a shared-nothing engine.
+///
+///   1. Every dataset with multiple or complex (UDF/parameterized) local
+///      predicates is executed first as a single-variable job; the filtered
+///      result is materialized with fresh statistics.
+///   2. While more than two joins remain: the Planner picks the single join
+///      with the least estimated result cardinality (+ best algorithm),
+///      that join runs as its own job, its result is materialized with
+///      online statistics, and the remaining query is reconstructed around
+///      the intermediate.
+///   3. The final (at most two) joins are ordered with the accumulated
+///      statistics and executed as one job whose output is returned.
+class DynamicOptimizer : public Optimizer {
+ public:
+  explicit DynamicOptimizer(
+      Engine* engine,
+      const DynamicOptimizerOptions& options = DynamicOptimizerOptions());
+
+  std::string name() const override { return "dynamic"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override;
+
+  /// Continues a run that failed mid-query from its last checkpoint; the
+  /// checkpoint's temp tables must still exist in the catalog. Completed
+  /// stages are not re-executed (their metrics carry over).
+  Result<OptimizerRunResult> Resume(DynamicCheckpoint checkpoint);
+
+  /// Checkpoint cut when the most recent Run/Resume failed mid-query;
+  /// nullptr when the last run succeeded (or never ran).
+  const DynamicCheckpoint* last_checkpoint() const {
+    return last_checkpoint_.has_value() ? &*last_checkpoint_ : nullptr;
+  }
+
+ private:
+  Result<OptimizerRunResult> RunFromState(DynamicCheckpoint state);
+
+  Engine* engine_;
+  DynamicOptimizerOptions options_;
+  std::optional<DynamicCheckpoint> last_checkpoint_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_DYNAMIC_OPTIMIZER_H_

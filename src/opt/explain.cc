@@ -1,0 +1,134 @@
+#include "opt/explain.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "opt/cardinality.h"
+#include "opt/plan_builder.h"
+#include "opt/static_optimizer.h"
+#include "opt/stats_view.h"
+
+namespace dynopt {
+
+namespace {
+
+std::string HumanBytes(double bytes) {
+  const char* const units[] = {"B", "KB", "MB", "GB"};
+  int unit = 0;
+  while (bytes >= 1024.0 && unit < 3) {
+    bytes /= 1024.0;
+    ++unit;
+  }
+  std::ostringstream os;
+  os.precision(bytes < 10 ? 2 : 1);
+  os << std::fixed << bytes << units[unit];
+  return os.str();
+}
+
+/// Estimated (rows, bytes) of a subtree: leaves from the estimator's
+/// filtered sizes, joins via formula (1) applied bottom-up.
+struct SubtreeEstimate {
+  double rows = 0;
+  double bytes = 0;
+};
+
+SubtreeEstimate Annotate(const QuerySpec& spec,
+                         const CardinalityEstimator& estimator,
+                         const JoinTree& tree, int indent,
+                         std::ostringstream* out) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  if (tree.IsLeaf()) {
+    SubtreeEstimate est;
+    est.rows = estimator.EstimateFilteredSize(tree.alias);
+    est.bytes = estimator.EstimateFilteredBytes(tree.alias);
+    const TableRef* ref = spec.FindRef(tree.alias);
+    bool filtered = ref != nullptr &&
+                    (ref->filtered || !spec.PredicatesFor(tree.alias).empty());
+    *out << pad << "Scan " << tree.alias;
+    if (ref != nullptr && ref->alias != ref->table) {
+      *out << " [" << ref->table << "]";
+    }
+    if (filtered) *out << " (filtered)";
+    *out << " est_rows=" << std::llround(est.rows)
+         << " est_bytes=" << HumanBytes(est.bytes) << "\n";
+    return est;
+  }
+
+  // Header first, children after: reserve the header line via a separate
+  // stream so estimates (computed bottom-up) can be printed top-down.
+  std::ostringstream left_out, right_out;
+  SubtreeEstimate left =
+      Annotate(spec, estimator, *tree.left, indent + 1, &left_out);
+  SubtreeEstimate right =
+      Annotate(spec, estimator, *tree.right, indent + 1, &right_out);
+
+  // Result estimate: pseudo-edge over the crossing keys, sizes overridden
+  // by the child estimates.
+  SubtreeEstimate est;
+  auto keys = KeysBetween(spec, tree.left->Aliases(), tree.right->Aliases());
+  if (keys.ok()) {
+    // Build a transient edge anchored at any pair of member aliases.
+    JoinEdge edge;
+    edge.left_alias = *tree.left->Aliases().begin();
+    edge.right_alias = *tree.right->Aliases().begin();
+    edge.keys = keys.value();
+    est.rows = estimator.EstimateJoinCardinality(edge, left.rows, right.rows);
+  } else {
+    est.rows = left.rows * right.rows;
+  }
+  double left_width = left.rows > 0 ? left.bytes / left.rows : 64.0;
+  double right_width = right.rows > 0 ? right.bytes / right.rows : 64.0;
+  est.bytes = est.rows * (left_width + right_width);
+
+  *out << pad << "Join[" << JoinMethodName(tree.method) << "]";
+  if (keys.ok()) {
+    *out << " on ";
+    for (size_t i = 0; i < keys->size(); ++i) {
+      if (i > 0) *out << " AND ";
+      *out << (*keys)[i].first << "=" << (*keys)[i].second;
+    }
+  }
+  *out << " est_rows=" << std::llround(est.rows)
+       << " est_bytes=" << HumanBytes(est.bytes) << "\n"
+       << left_out.str() << right_out.str();
+  return est;
+}
+
+}  // namespace
+
+Result<std::string> ExplainTree(Engine* engine, const QuerySpec& spec,
+                                const JoinTree& tree) {
+  StatsView view(&spec, &engine->stats(), &engine->catalog());
+  CardinalityEstimator estimator(&view);
+  std::ostringstream out;
+  Annotate(spec, estimator, tree, 0, &out);
+  if (spec.HasPostProcessing()) {
+    if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+      out << "then GROUP BY (" << spec.group_by.size() << " keys, "
+          << spec.aggregates.size() << " aggregates)\n";
+    }
+    if (!spec.order_by.empty()) {
+      out << "then ORDER BY (" << spec.order_by.size() << " keys)\n";
+    }
+    if (spec.limit >= 0) out << "then LIMIT " << spec.limit << "\n";
+  }
+  return out.str();
+}
+
+Result<std::string> ExplainStatic(Engine* engine, const QuerySpec& query) {
+  QuerySpec spec = query;
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  if (spec.tables.size() == 1) {
+    return ExplainTree(engine, spec, *JoinTree::Leaf(spec.tables[0].alias));
+  }
+  StatsView view(&spec, &engine->stats(), &engine->catalog());
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::shared_ptr<const JoinTree> tree,
+      StaticCostBasedOptimizer::PlanWithDp(spec, view, engine->cluster(),
+                                           PlannerOptions()));
+  return ExplainTree(engine, spec, *tree);
+}
+
+}  // namespace dynopt

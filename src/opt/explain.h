@@ -1,0 +1,37 @@
+#ifndef DYNOPT_OPT_EXPLAIN_H_
+#define DYNOPT_OPT_EXPLAIN_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/join_tree.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// EXPLAIN for the static strategies: plans `spec` with the DP cost-based
+/// optimizer (without executing anything) and renders the join tree with
+/// the estimator's per-subtree cardinality/byte estimates — the
+/// plan-inspection surface a user of the engine would reach for before
+/// running an expensive query.
+///
+/// Example output:
+///
+///   Join[BROADCAST] est_rows=480 est_bytes=38.4KB
+///     Scan d1 (filtered) est_rows=30
+///     Scan ss est_rows=28800
+///
+/// The dynamic optimizer cannot be explained without executing (its plan
+/// *is* discovered at runtime); use OptimizerRunResult::plan_trace for the
+/// after-the-fact narrative instead.
+Result<std::string> ExplainStatic(Engine* engine, const QuerySpec& query);
+
+/// Renders an already-decided join tree with estimates from the current
+/// statistics (used to pretty-print recorded dynamic plans too).
+Result<std::string> ExplainTree(Engine* engine, const QuerySpec& spec,
+                                const JoinTree& tree);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_EXPLAIN_H_

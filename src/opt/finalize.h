@@ -1,0 +1,28 @@
+#ifndef DYNOPT_OPT_FINALIZE_H_
+#define DYNOPT_OPT_FINALIZE_H_
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "opt/optimizer.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Applies the query's post-join processing — GROUP BY aggregation, ORDER
+/// BY and LIMIT — to an optimizer result whose rows are the final join
+/// output projected to `spec.projections`. Per Section 6.4 of the paper,
+/// these operators "are evaluated after all the joins and selections have
+/// been completed and traditional optimization has been applied"; every
+/// optimization strategy therefore runs the same finalization.
+///
+/// The simulated cost of the distributed aggregation (local partial
+/// aggregation, shuffle of partials by group key, final merge and sort) is
+/// metered into `result->metrics`. Ordering is made deterministic by
+/// tie-breaking on all remaining output columns, so results are comparable
+/// across strategies. No-op when the query has no post-processing.
+Status ApplyPostProcessing(const QuerySpec& spec, const ClusterConfig& cluster,
+                           OptimizerRunResult* result);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_FINALIZE_H_

@@ -1,0 +1,46 @@
+#ifndef DYNOPT_OPT_OPTIMIZER_H_
+#define DYNOPT_OPT_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "exec/metrics.h"
+#include "opt/join_tree.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Result of optimizing + executing one query end to end.
+struct OptimizerRunResult {
+  std::vector<std::string> columns;  ///< Qualified projection names.
+  std::vector<Row> rows;             ///< Gathered final result.
+  ExecMetrics metrics;               ///< Totals incl. simulated seconds.
+  double wall_seconds = 0;           ///< Real elapsed time.
+  /// Effective join order/methods (the paper's plan figures); null for
+  /// single-table queries.
+  std::shared_ptr<const JoinTree> join_tree;
+  /// Human-readable stage-by-stage narrative.
+  std::string plan_trace;
+};
+
+/// Common interface of the six optimization strategies compared in the
+/// paper's evaluation. Run() owns the full lifecycle: plan (possibly
+/// interleaved with execution for the dynamic strategies), execute, clean
+/// up temp datasets, and report metrics.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  virtual Result<OptimizerRunResult> Run(const QuerySpec& query) = 0;
+};
+
+/// Sorts rows lexicographically — canonical form for comparing result sets
+/// across optimizers in tests.
+void SortRows(std::vector<Row>* rows);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_OPTIMIZER_H_

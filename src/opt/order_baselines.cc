@@ -1,0 +1,107 @@
+#include "opt/order_baselines.h"
+
+#include <algorithm>
+#include <set>
+
+#include "opt/cardinality.h"
+#include "opt/static_execution.h"
+#include "opt/stats_view.h"
+
+namespace dynopt {
+
+WorstOrderOptimizer::WorstOrderOptimizer(Engine* engine,
+                                         const PlannerOptions& options)
+    : engine_(engine), options_(options) {}
+
+Result<OptimizerRunResult> WorstOrderOptimizer::Run(const QuerySpec& query) {
+  QuerySpec spec = query;
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  if (spec.tables.size() < 2) {
+    return Status::InvalidArgument("worst-order needs at least one join");
+  }
+  StatsView view(&spec, &engine_->stats(), &engine_->catalog());
+  CardinalityEstimator estimator(&view, options_.estimation);
+
+  // Greedy chain: start from the edge with the largest estimated result,
+  // then repeatedly attach the neighbor that maximizes the next join's
+  // estimated result. All joins are plain (shuffle) hash joins.
+  const JoinEdge* seed = nullptr;
+  double seed_card = -1.0;
+  for (const auto& edge : spec.joins) {
+    double card = estimator.EstimateJoinCardinality(edge);
+    if (card > seed_card) {
+      seed_card = card;
+      seed = &edge;
+    }
+  }
+  if (seed == nullptr) {
+    return Status::InvalidArgument("no join edges");
+  }
+  std::set<std::string> in_chain{seed->left_alias, seed->right_alias};
+  std::shared_ptr<const JoinTree> tree =
+      JoinTree::Join(JoinTree::Leaf(seed->left_alias),
+                     JoinTree::Leaf(seed->right_alias),
+                     JoinMethod::kHashShuffle);
+  double chain_rows = seed_card;
+
+  while (in_chain.size() < spec.tables.size()) {
+    const JoinEdge* best_edge = nullptr;
+    std::string best_next;
+    double best_card = -1.0;
+    for (const auto& edge : spec.joins) {
+      bool l_in = in_chain.count(edge.left_alias) > 0;
+      bool r_in = in_chain.count(edge.right_alias) > 0;
+      if (l_in == r_in) continue;  // Internal or disconnected edge.
+      const std::string& next = l_in ? edge.right_alias : edge.left_alias;
+      double card = l_in ? estimator.EstimateJoinCardinality(
+                               edge, chain_rows,
+                               estimator.EstimateFilteredSize(next))
+                         : estimator.EstimateJoinCardinality(
+                               edge, estimator.EstimateFilteredSize(next),
+                               chain_rows);
+      if (card > best_card) {
+        best_card = card;
+        best_edge = &edge;
+        best_next = next;
+      }
+    }
+    if (best_edge == nullptr) {
+      return Status::InvalidArgument("join graph disconnected");
+    }
+    tree = JoinTree::Join(tree, JoinTree::Leaf(best_next),
+                          JoinMethod::kHashShuffle);
+    in_chain.insert(best_next);
+    chain_rows = best_card;
+  }
+  std::string trace = "[worst-order] plan: " + tree->ToString() + "\n";
+  return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
+                                std::move(trace));
+}
+
+BestOrderOptimizer::BestOrderOptimizer(Engine* engine,
+                                       std::shared_ptr<const JoinTree> hint)
+    : engine_(engine), hint_(std::move(hint)) {}
+
+Result<OptimizerRunResult> BestOrderOptimizer::Run(const QuerySpec& query) {
+  QuerySpec spec = query;
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  if (hint_ == nullptr) {
+    return Status::InvalidArgument(
+        "best-order requires a join-tree hint (run the dynamic optimizer "
+        "first and pass its join_tree)");
+  }
+  // Sanity: the hint must cover exactly the query's aliases.
+  std::set<std::string> hint_aliases = hint_->Aliases();
+  std::set<std::string> query_aliases;
+  for (const auto& ref : spec.tables) query_aliases.insert(ref.alias);
+  if (hint_aliases != query_aliases) {
+    return Status::InvalidArgument(
+        "best-order hint aliases do not match the query");
+  }
+  std::string trace = "[best-order] plan: " + hint_->ToString() + "\n";
+  return ExecuteTreeAsSingleJob(engine_, spec, hint_, std::move(trace));
+}
+
+}  // namespace dynopt

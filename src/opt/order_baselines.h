@@ -1,0 +1,51 @@
+#ifndef DYNOPT_OPT_ORDER_BASELINES_H_
+#define DYNOPT_OPT_ORDER_BASELINES_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/optimizer.h"
+#include "opt/planner.h"
+
+namespace dynopt {
+
+/// The paper's *worst-order* baseline: "a right-deep tree plan that
+/// schedules the joins in decreasing order of join result sizes", hash
+/// joins only (what AsterixDB's default rule-based optimizer does for an
+/// adversarial FROM-clause order). Join result sizes are estimated with the
+/// full statistics, i.e. the worst order is chosen knowingly — this is the
+/// lower bound of the comparison.
+class WorstOrderOptimizer : public Optimizer {
+ public:
+  explicit WorstOrderOptimizer(Engine* engine,
+                               const PlannerOptions& options = PlannerOptions());
+
+  std::string name() const override { return "worst-order"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override;
+
+ private:
+  Engine* engine_;
+  PlannerOptions options_;
+};
+
+/// The paper's *best-order* baseline: the user writes the FROM clause in
+/// the optimal order the dynamic approach would discover and adds broadcast
+/// (or INL) hints, so AsterixDB executes the optimal plan as one pipelined
+/// job without any re-optimization overhead. Construct it with the join
+/// tree recorded by a prior DynamicOptimizer run.
+class BestOrderOptimizer : public Optimizer {
+ public:
+  BestOrderOptimizer(Engine* engine, std::shared_ptr<const JoinTree> hint);
+
+  std::string name() const override { return "best-order"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override;
+
+ private:
+  Engine* engine_;
+  std::shared_ptr<const JoinTree> hint_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_ORDER_BASELINES_H_

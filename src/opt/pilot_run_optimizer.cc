@@ -1,0 +1,298 @@
+#include "opt/pilot_run_optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <sstream>
+
+#include "opt/finalize.h"
+#include "opt/plan_builder.h"
+#include "opt/reconstruction.h"
+#include "opt/static_execution.h"
+#include "opt/static_optimizer.h"
+#include "opt/stats_view.h"
+
+namespace dynopt {
+
+namespace {
+
+/// Locates a join node whose children are both leaves (every finite binary
+/// tree has one); this is the join the initial plan executes first.
+const JoinTree* FindFirstJoin(const JoinTree& tree) {
+  if (tree.IsLeaf()) return nullptr;
+  if (tree.left->IsLeaf() && tree.right->IsLeaf()) return &tree;
+  if (const JoinTree* in_left = FindFirstJoin(*tree.left)) return in_left;
+  return FindFirstJoin(*tree.right);
+}
+
+std::shared_ptr<const JoinTree> ReplaceSubtree(
+    const std::shared_ptr<const JoinTree>& tree, const std::string& alias,
+    const std::shared_ptr<const JoinTree>& replacement) {
+  if (tree->IsLeaf()) {
+    return tree->alias == alias ? replacement : tree;
+  }
+  return JoinTree::Join(ReplaceSubtree(tree->left, alias, replacement),
+                        ReplaceSubtree(tree->right, alias, replacement),
+                        tree->method);
+}
+
+}  // namespace
+
+PilotRunOptimizer::PilotRunOptimizer(Engine* engine,
+                                     const PilotRunOptions& options)
+    : engine_(engine), options_(options) {}
+
+Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
+  const auto start = std::chrono::steady_clock::now();
+  QuerySpec spec = query;
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+
+  OptimizerRunResult result;
+  std::ostringstream trace;
+  const ClusterConfig& cluster = engine_->cluster();
+
+  // ---- Stage 1: pilot runs over samples of every base dataset -----------
+  std::map<std::string, TableStats> overrides;
+  for (const auto& ref : spec.tables) {
+    if (ref.is_intermediate) continue;
+    DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                            engine_->catalog().GetTable(ref.table));
+    // Columns to sample: join keys + projections of this alias, with stats
+    // stored under unqualified names (base-table convention).
+    std::vector<std::string> qualified =
+        RequiredColumns(spec, ref.alias, false);
+    std::vector<std::string> names;
+    std::vector<int> indices;
+    const std::string prefix = ref.alias + ".";
+    for (const auto& q : qualified) {
+      std::string unqualified =
+          q.rfind(prefix, 0) == 0 ? q.substr(prefix.size()) : q;
+      int idx = table->schema().FieldIndex(unqualified);
+      if (idx >= 0) {
+        names.push_back(unqualified);
+        indices.push_back(idx);
+      }
+    }
+    // Bind this alias's local predicates against raw table rows.
+    BoundExprPtr bound;
+    ExprPtr predicate = CombineConjuncts(spec.PredicatesFor(ref.alias));
+    if (predicate != nullptr) {
+      BindContext ctx;
+      ctx.resolve_column = [&](const std::string& name) {
+        if (name.rfind(prefix, 0) == 0) {
+          return table->schema().FieldIndex(name.substr(prefix.size()));
+        }
+        return table->schema().FieldIndex(name);
+      };
+      ctx.params = &spec.params;
+      ctx.udfs = &engine_->udfs();
+      DYNOPT_ASSIGN_OR_RETURN(bound, Bind(predicate, ctx));
+    }
+
+    TableStatsBuilder builder(names, indices, options_.stats_options);
+    uint64_t scanned = 0, matched = 0, scanned_bytes = 0;
+    for (size_t p = 0; p < table->num_partitions() &&
+                       matched < options_.sample_limit;
+         ++p) {
+      for (const Row& row : table->partition(p)) {
+        ++scanned;
+        scanned_bytes += RowSizeBytes(row);
+        if (bound == nullptr || bound->EvalBool(row)) {
+          ++matched;
+          builder.AddRow(row);
+          if (matched >= options_.sample_limit) break;
+        }
+      }
+    }
+    // Charge the pilot-run work (it runs cluster-parallel).
+    result.metrics.bytes_scanned += scanned_bytes;
+    result.metrics.tuples_processed += scanned;
+    result.metrics.simulated_seconds +=
+        (static_cast<double>(scanned_bytes) /
+         static_cast<double>(cluster.num_nodes)) *
+            cluster.scan_seconds_per_byte +
+        (static_cast<double>(scanned) /
+         static_cast<double>(cluster.num_nodes)) *
+            cluster.cpu_seconds_per_tuple;
+
+    // Scale the sample to the full dataset.
+    const double total_rows = static_cast<double>(table->NumRows());
+    const double selectivity =
+        scanned > 0 ? static_cast<double>(matched) / static_cast<double>(scanned)
+                    : 1.0;
+    const double est_rows = std::max(1.0, selectivity * total_rows);
+    const double avg_width =
+        table->NumRows() > 0
+            ? static_cast<double>(table->TotalBytes()) /
+                  static_cast<double>(table->NumRows())
+            : 64.0;
+    TableStats stats = builder.Finalize();
+    const double scale =
+        scanned > 0 ? total_rows / static_cast<double>(scanned) : 1.0;
+    for (auto& [name, col] : stats.columns) {
+      // Linear ndv scale-up: the known weakness on skewed non-pk/fk keys.
+      col.ndv = std::min(est_rows, col.ndv * scale * selectivity);
+      col.ndv = std::max(col.ndv, 1.0);
+      col.count = static_cast<uint64_t>(est_rows);
+    }
+    stats.row_count = static_cast<uint64_t>(est_rows);
+    stats.total_bytes = static_cast<uint64_t>(est_rows * avg_width);
+    overrides[ref.alias] = std::move(stats);
+    trace << "[pilot-run] " << ref.alias << ": scanned " << scanned
+          << ", matched " << matched << ", est_rows " << est_rows << "\n";
+  }
+
+  // The overrides already reflect local predicates; drop them from the
+  // planning copy so selectivities are not applied twice, but keep them for
+  // execution.
+  QuerySpec planning_spec = spec;
+  planning_spec.predicates.clear();
+  for (auto& ref : planning_spec.tables) {
+    if (overrides.count(ref.alias) > 0 &&
+        !spec.PredicatesFor(ref.alias).empty()) {
+      ref.filtered = true;
+    }
+  }
+
+  // ---- Stage 2: complete initial plan from pilot statistics -------------
+  StatsView view(&planning_spec, &engine_->stats(), &engine_->catalog());
+  view.SetAliasOverrides(&overrides);
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::shared_ptr<const JoinTree> initial_tree,
+      StaticCostBasedOptimizer::PlanWithDp(planning_spec, view,
+                                           cluster, options_.planner));
+  trace << "[pilot-run] initial plan: " << initial_tree->ToString() << "\n";
+
+  if (spec.joins.size() <= 1) {
+    auto final =
+        ExecuteTreeAsSingleJob(engine_, spec, initial_tree, trace.str());
+    if (final.ok()) {
+      final.value().metrics.Add(result.metrics);
+      final.value().wall_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+    }
+    return final;
+  }
+
+  // ---- Stage 3: execute the first join, re-optimization point -----------
+  JobExecutor executor = engine_->MakeExecutor();
+  const JoinTree* first = FindFirstJoin(*initial_tree);
+  if (first == nullptr) {
+    return Status::Internal("initial plan has no innermost join");
+  }
+  const std::string build = first->left->alias;
+  const std::string probe = first->right->alias;
+  auto step_tree =
+      JoinTree::Join(JoinTree::Leaf(build), JoinTree::Leaf(probe),
+                     first->method);
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> join_plan,
+                          BuildPhysicalPlan(spec, *step_tree, false));
+  // The executed edge between build/probe.
+  JoinEdge executed;
+  bool edge_found = false;
+  for (const auto& edge : spec.joins) {
+    if (edge.Involves(build) && edge.Involves(probe)) {
+      executed = edge;
+      edge_found = true;
+      break;
+    }
+  }
+  if (!edge_found) {
+    return Status::Internal("initial plan joins unconnected datasets");
+  }
+  // Columns the rest of the query needs from this intermediate.
+  std::vector<std::string> out_columns;
+  {
+    std::set<std::string> seen;
+    for (const auto& proj : spec.projections) {
+      const TableRef* l = spec.FindRef(build);
+      const TableRef* r = spec.FindRef(probe);
+      if ((l->Provides(proj) || r->Provides(proj)) && seen.insert(proj).second) {
+        out_columns.push_back(proj);
+      }
+    }
+    for (const auto& edge : spec.joins) {
+      bool is_executed = edge.Involves(build) && edge.Involves(probe);
+      if (is_executed) continue;
+      for (const std::string& alias : {build, probe}) {
+        if (!edge.Involves(alias)) continue;
+        for (const auto& key : edge.KeysOf(alias)) {
+          if (seen.insert(key).second) out_columns.push_back(key);
+        }
+      }
+    }
+  }
+  auto projected = PlanNode::Project(std::move(join_plan), out_columns);
+  DYNOPT_ASSIGN_OR_RETURN(JobResult job,
+                          executor.Execute(*projected, spec.params));
+  result.metrics.Add(job.metrics);
+  DYNOPT_ASSIGN_OR_RETURN(
+      SinkResult sink,
+      executor.Materialize(std::move(job.data), "pilot", out_columns, true,
+                           &result.metrics));
+  trace << "[pilot-run] executed " << executed.ToString() << " -> "
+        << sink.table_name << " (" << sink.stats.row_count << " rows)\n";
+
+  const std::string new_alias = "__p0";
+  overrides.erase(build);
+  overrides.erase(probe);
+  QuerySpec remaining =
+      ReconstructAfterJoin(spec, executed, sink.table_name, new_alias,
+                           out_columns);
+
+  // ---- Stage 4: re-optimize the remaining plan with fresh statistics ----
+  // Planning copy: predicates of overridden aliases are already folded into
+  // the pilot statistics, so drop them to avoid double-counting.
+  QuerySpec remaining_planning = remaining;
+  remaining_planning.predicates.erase(
+      std::remove_if(remaining_planning.predicates.begin(),
+                     remaining_planning.predicates.end(),
+                     [&](const LocalPredicate& p) {
+                       return overrides.count(p.alias) > 0;
+                     }),
+      remaining_planning.predicates.end());
+  for (auto& ref : remaining_planning.tables) {
+    if (overrides.count(ref.alias) > 0 &&
+        !remaining.PredicatesFor(ref.alias).empty()) {
+      ref.filtered = true;
+    }
+  }
+  StatsView view2(&remaining_planning, &engine_->stats(),
+                  &engine_->catalog());
+  view2.SetAliasOverrides(&overrides);
+  std::shared_ptr<const JoinTree> rest_tree;
+  if (remaining.joins.empty()) {
+    rest_tree = JoinTree::Leaf(new_alias);
+  } else {
+    DYNOPT_ASSIGN_OR_RETURN(
+        rest_tree,
+        StaticCostBasedOptimizer::PlanWithDp(remaining_planning, view2,
+                                             cluster, options_.planner));
+  }
+  trace << "[pilot-run] adjusted plan: " << rest_tree->ToString() << "\n";
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> rest_plan,
+                          BuildPhysicalPlan(remaining, *rest_tree, true));
+  DYNOPT_ASSIGN_OR_RETURN(JobResult rest_job,
+                          executor.Execute(*rest_plan, remaining.params));
+  result.metrics.Add(rest_job.metrics);
+
+  result.columns = rest_job.data.columns;
+  result.rows = rest_job.data.GatherRows();
+  DYNOPT_RETURN_IF_ERROR(
+      ApplyPostProcessing(spec, cluster, &result));
+  result.join_tree = ReplaceSubtree(rest_tree, new_alias, step_tree);
+  result.plan_trace = trace.str();
+
+  (void)engine_->catalog().DropTable(sink.table_name);
+  engine_->stats().Remove(sink.table_name);
+
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace dynopt

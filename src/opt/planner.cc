@@ -1,0 +1,230 @@
+#include "opt/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+#include "opt/cost_model.h"
+
+namespace dynopt {
+
+std::string PlannedJoin::ToString() const {
+  std::ostringstream os;
+  os << edge.ToString() << " [" << JoinMethodName(method)
+     << ", build=" << build_alias << ", est_rows=" << estimated_cardinality
+     << "]";
+  return os.str();
+}
+
+Planner::Planner(const StatsView* view, const ClusterConfig& cluster,
+                 const PlannerOptions& options)
+    : view_(view),
+      cluster_(cluster),
+      options_(options),
+      estimator_(view, options.estimation) {}
+
+bool Planner::InljApplicable(const JoinEdge& edge,
+                             const std::string& outer_alias,
+                             const std::string& inner_alias) const {
+  if (!options_.enable_inlj) return false;
+  if (edge.keys.size() != 1) return false;
+  const QuerySpec& spec = view_->spec();
+  const TableRef* inner = spec.FindRef(inner_alias);
+  if (inner == nullptr || inner->is_intermediate) return false;
+  // An index lookup replaces the inner pipeline; local predicates on the
+  // inner would be lost, so a filtered inner disqualifies INLJ.
+  if (inner->filtered || !spec.PredicatesFor(inner_alias).empty()) {
+    return false;
+  }
+  // The broadcast side must be filtered (paper Section 6.1.2), otherwise a
+  // plain broadcast that scans the inner once is preferred.
+  if (!outer_alias.empty()) {
+    const TableRef* outer = spec.FindRef(outer_alias);
+    if (outer == nullptr || !(outer->filtered || outer->is_intermediate)) {
+      return false;
+    }
+  }
+  // The inner must have a secondary index on (the unqualified form of) its
+  // join key column.
+  std::string key = edge.KeysOf(inner_alias)[0];
+  const std::string prefix = inner_alias + ".";
+  if (key.rfind(prefix, 0) == 0) key = key.substr(prefix.size());
+  if (view_->catalog() == nullptr) return false;
+  auto table = view_->catalog()->GetTable(inner->table);
+  if (!table.ok()) return false;
+  return table.value()->HasSecondaryIndex(key);
+}
+
+PlannedJoin Planner::DecorateWithMethod(const JoinEdge& edge, double card,
+                                        double left_rows, double left_bytes,
+                                        double right_rows,
+                                        double right_bytes) const {
+  PlannedJoin planned;
+  planned.edge = edge;
+  planned.estimated_cardinality = card;
+  const double left_width = left_rows > 0 ? left_bytes / left_rows : 64.0;
+  const double right_width = right_rows > 0 ? right_bytes / right_rows : 64.0;
+  planned.estimated_bytes = card * (left_width + right_width);
+
+  const bool left_small = left_bytes <= right_bytes;
+  const std::string& small_alias =
+      left_small ? edge.left_alias : edge.right_alias;
+  const std::string& large_alias =
+      left_small ? edge.right_alias : edge.left_alias;
+  const double small_rows = left_small ? left_rows : right_rows;
+  const double small_bytes = left_small ? left_bytes : right_bytes;
+  const double large_rows = left_small ? right_rows : left_rows;
+  const double large_bytes = left_small ? right_bytes : left_bytes;
+
+  JoinCostInputs in;
+  in.build_rows = small_rows;
+  in.build_bytes = small_bytes;
+  in.probe_rows = large_rows;
+  in.probe_bytes = large_bytes;
+  in.out_rows = card;
+  in.out_bytes = planned.estimated_bytes;
+
+  // Hash join is the default (Section 3); the build side is the smaller
+  // input either way.
+  planned.method = JoinMethod::kHashShuffle;
+  planned.build_alias = small_alias;
+  double best_cost =
+      EstimateJoinExecCost(JoinMethod::kHashShuffle, in, cluster_, 0.0);
+  DYNOPT_LOG(kDebug) << "decorate " << edge.ToString() << " card=" << card
+                     << " l=(" << left_rows << "," << left_bytes << ") r=("
+                     << right_rows << "," << right_bytes
+                     << ") hash=" << best_cost;
+
+  if (options_.enable_broadcast &&
+      small_bytes <= static_cast<double>(cluster_.broadcast_threshold_bytes)) {
+    double cost =
+        EstimateJoinExecCost(JoinMethod::kBroadcast, in, cluster_, 0.0);
+    if (cost < best_cost) {
+      best_cost = cost;
+      planned.method = JoinMethod::kBroadcast;
+      planned.build_alias = small_alias;
+    }
+    if (InljApplicable(edge, small_alias, large_alias)) {
+      // Probing the index skips the inner scan; credit that saving.
+      double cost_inlj = EstimateJoinExecCost(JoinMethod::kIndexNestedLoop,
+                                              in, cluster_, large_bytes);
+      if (cost_inlj < best_cost) {
+        best_cost = cost_inlj;
+        planned.method = JoinMethod::kIndexNestedLoop;
+        planned.build_alias = small_alias;
+      }
+    }
+  }
+  return planned;
+}
+
+Result<PlannedJoin> Planner::PickNextJoin() const {
+  const QuerySpec& spec = view_->spec();
+  if (spec.joins.empty()) {
+    return Status::InvalidArgument("no joins left to plan");
+  }
+  bool found = false;
+  PlannedJoin best;
+  for (const auto& edge : spec.joins) {
+    double card = estimator_.EstimateJoinCardinality(edge);
+    if (!found || card < best.estimated_cardinality) {
+      best = DecorateWithMethod(
+          edge, card, estimator_.EstimateFilteredSize(edge.left_alias),
+          estimator_.EstimateFilteredBytes(edge.left_alias),
+          estimator_.EstimateFilteredSize(edge.right_alias),
+          estimator_.EstimateFilteredBytes(edge.right_alias));
+      found = true;
+    }
+  }
+  return best;
+}
+
+Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining() const {
+  const QuerySpec& spec = view_->spec();
+  if (spec.joins.size() > 2) {
+    return Status::InvalidArgument(
+        "PlanRemaining expects at most two remaining joins");
+  }
+  if (spec.joins.empty()) {
+    if (spec.tables.size() != 1) {
+      return Status::InvalidArgument("join-less query with multiple tables");
+    }
+    return JoinTree::Leaf(spec.tables[0].alias);
+  }
+
+  DYNOPT_ASSIGN_OR_RETURN(PlannedJoin first, PickNextJoin());
+  const std::string& build = first.build_alias;
+  const std::string& probe = first.edge.Other(build);
+  auto inner_tree = JoinTree::Join(JoinTree::Leaf(build),
+                                   JoinTree::Leaf(probe), first.method);
+
+  if (spec.joins.size() == 1) return inner_tree;
+
+  // Two joins / three datasets: attach the remaining dataset on top,
+  // ordered by result cardinality (the smaller join goes innermost, which
+  // PickNextJoin already guarantees).
+  const JoinEdge* outer_edge = nullptr;
+  for (const auto& edge : spec.joins) {
+    if (edge.left_alias == first.edge.left_alias &&
+        edge.right_alias == first.edge.right_alias) {
+      continue;
+    }
+    outer_edge = &edge;
+    break;
+  }
+  if (outer_edge == nullptr) {
+    return Status::Internal("could not locate the second remaining join");
+  }
+  // Which side of the outer edge is the third dataset?
+  const std::string& third = first.edge.Involves(outer_edge->left_alias)
+                                 ? outer_edge->right_alias
+                                 : outer_edge->left_alias;
+  const std::string& inner_side = outer_edge->Other(third);
+
+  // Size estimates: the joined pair behaves as `first`'s output.
+  double third_rows = estimator_.EstimateFilteredSize(third);
+  double third_bytes = estimator_.EstimateFilteredBytes(third);
+  double pair_rows = first.estimated_cardinality;
+  double pair_bytes = first.estimated_bytes;
+  double card;
+  if (outer_edge->left_alias == inner_side) {
+    card = estimator_.EstimateJoinCardinality(*outer_edge, pair_rows,
+                                              third_rows);
+  } else {
+    card = estimator_.EstimateJoinCardinality(*outer_edge, third_rows,
+                                              pair_rows);
+  }
+  PlannedJoin outer;
+  if (outer_edge->left_alias == inner_side) {
+    outer = DecorateWithMethod(*outer_edge, card, pair_rows, pair_bytes,
+                               third_rows, third_bytes);
+  } else {
+    outer = DecorateWithMethod(*outer_edge, card, third_rows, third_bytes,
+                               pair_rows, pair_bytes);
+  }
+
+  // Build side of the outer join: the smaller input (per DecorateWithMethod
+  // `build_alias`); when the pair side is the build, the subtree goes left.
+  std::shared_ptr<const JoinTree> third_leaf = JoinTree::Leaf(third);
+  bool pair_is_build = outer.build_alias == inner_side;
+  if (outer.method == JoinMethod::kIndexNestedLoop) {
+    // The indexed inner must be the leaf (base dataset); the subtree is
+    // necessarily the broadcast outer.
+    if (outer.build_alias != inner_side) {
+      // The planner chose to broadcast the third dataset into an index on
+      // the pair — impossible since the pair is an intermediate; fall back
+      // to broadcast.
+      outer.method = JoinMethod::kBroadcast;
+      pair_is_build = false;
+    } else {
+      pair_is_build = true;
+    }
+  }
+  if (pair_is_build) {
+    return JoinTree::Join(inner_tree, third_leaf, outer.method);
+  }
+  return JoinTree::Join(third_leaf, inner_tree, outer.method);
+}
+
+}  // namespace dynopt

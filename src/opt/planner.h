@@ -1,0 +1,78 @@
+#ifndef DYNOPT_OPT_PLANNER_H_
+#define DYNOPT_OPT_PLANNER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "exec/cluster.h"
+#include "opt/cardinality.h"
+#include "opt/join_tree.h"
+#include "plan/query_spec.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+/// Planner knobs shared by the optimizers.
+struct PlannerOptions {
+  bool enable_broadcast = true;
+  /// Consider the indexed nested loop join (Figure 8 experiments).
+  bool enable_inlj = false;
+  EstimationOptions estimation;
+};
+
+/// One planned join step: the chosen edge, its estimated result size and
+/// the physical method, with the build (broadcast/outer) side identified.
+struct PlannedJoin {
+  JoinEdge edge;
+  double estimated_cardinality = 0;
+  double estimated_bytes = 0;
+  JoinMethod method = JoinMethod::kHashShuffle;
+  /// Alias of the side used as hash build / broadcast / INLJ outer.
+  std::string build_alias;
+
+  std::string ToString() const;
+};
+
+/// The paper's Planner stage (Section 5.2 / Algorithm 1 lines 25-33): finds
+/// the join with the least estimated result cardinality under the current
+/// statistics, picks the best algorithm for it, and — when only two joins
+/// remain — orders the final two joins.
+class Planner {
+ public:
+  Planner(const StatsView* view, const ClusterConfig& cluster,
+          const PlannerOptions& options);
+
+  /// The cheapest next join among the query's remaining edges.
+  Result<PlannedJoin> PickNextJoin() const;
+
+  /// Called when at most two joins remain: produces the complete join tree
+  /// for the rest of the query (min-cardinality join innermost).
+  Result<std::shared_ptr<const JoinTree>> PlanRemaining() const;
+
+  /// Applies the join-algorithm rules (Section 6.1.2) to one edge given
+  /// the estimated sizes of its two inputs. `left/right_bytes` are
+  /// post-predicate estimates; `left/right_rows` likewise.
+  PlannedJoin DecorateWithMethod(const JoinEdge& edge, double card,
+                                 double left_rows, double left_bytes,
+                                 double right_rows, double right_bytes) const;
+
+  const CardinalityEstimator& estimator() const { return estimator_; }
+
+ private:
+  /// True when the INLJ preconditions hold for probing `inner_alias` with
+  /// a broadcast of the other side: single-column key, inner is a base
+  /// dataset with a secondary index on that key and no local predicates,
+  /// and the broadcast side is filtered.
+  bool InljApplicable(const JoinEdge& edge, const std::string& outer_alias,
+                      const std::string& inner_alias) const;
+
+  const StatsView* view_;
+  ClusterConfig cluster_;
+  PlannerOptions options_;
+  CardinalityEstimator estimator_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_PLANNER_H_

@@ -1,0 +1,32 @@
+#include "opt/static_execution.h"
+
+#include <chrono>
+
+#include "opt/finalize.h"
+#include "opt/plan_builder.h"
+
+namespace dynopt {
+
+Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
+    Engine* engine, const QuerySpec& spec,
+    std::shared_ptr<const JoinTree> tree, std::string plan_trace) {
+  const auto start = std::chrono::steady_clock::now();
+  JobExecutor executor = engine->MakeExecutor();
+  OptimizerRunResult result;
+  DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                          BuildPhysicalPlan(spec, *tree, true));
+  DYNOPT_ASSIGN_OR_RETURN(JobResult job, executor.Execute(*plan, spec.params));
+  result.metrics.Add(job.metrics);
+  result.columns = job.data.columns;
+  result.rows = job.data.GatherRows();
+  DYNOPT_RETURN_IF_ERROR(
+      ApplyPostProcessing(spec, engine->cluster(), &result));
+  result.join_tree = std::move(tree);
+  result.plan_trace = std::move(plan_trace);
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,24 @@
+#ifndef DYNOPT_OPT_STATIC_EXECUTION_H_
+#define DYNOPT_OPT_STATIC_EXECUTION_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/join_tree.h"
+#include "opt/optimizer.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Executes a fully decided join tree as one pipelined job (no
+/// re-optimization points, no materialization) — the execution mode of all
+/// static strategies (cost-based, best-order, worst-order and the tail of
+/// pilot-run).
+Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
+    Engine* engine, const QuerySpec& spec,
+    std::shared_ptr<const JoinTree> tree, std::string plan_trace);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_STATIC_EXECUTION_H_

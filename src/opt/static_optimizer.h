@@ -1,0 +1,41 @@
+#ifndef DYNOPT_OPT_STATIC_OPTIMIZER_H_
+#define DYNOPT_OPT_STATIC_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/optimizer.h"
+#include "opt/planner.h"
+
+namespace dynopt {
+
+/// Traditional System-R style static cost-based optimization, the paper's
+/// main baseline: using only load-time statistics on the base datasets, it
+/// enumerates join orders with dynamic programming (bushy trees allowed),
+/// estimates filter selectivities under the independence assumption (with
+/// Selinger defaults for UDFs/parameters — the blindness the dynamic
+/// approach removes), costs each plan under the cluster cost model, and
+/// executes the single winning plan with no re-optimization.
+class StaticCostBasedOptimizer : public Optimizer {
+ public:
+  explicit StaticCostBasedOptimizer(
+      Engine* engine, const PlannerOptions& options = PlannerOptions());
+
+  std::string name() const override { return "cost-based"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override;
+
+  /// Plans without executing (exposed for tests and pilot-run reuse).
+  /// Produces the minimum-cost join tree for `spec` under `view`'s stats.
+  static Result<std::shared_ptr<const JoinTree>> PlanWithDp(
+      const QuerySpec& spec, const StatsView& view,
+      const ClusterConfig& cluster, const PlannerOptions& options);
+
+ private:
+  Engine* engine_;
+  PlannerOptions options_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_STATIC_OPTIMIZER_H_

@@ -1,0 +1,71 @@
+#include "opt/stats_view.h"
+
+namespace dynopt {
+
+const TableStats* StatsView::TableStatsFor(const std::string& alias) const {
+  if (alias_overrides_ != nullptr) {
+    auto it = alias_overrides_->find(alias);
+    if (it != alias_overrides_->end()) return &it->second;
+  }
+  const TableRef* ref = spec_->FindRef(alias);
+  if (ref == nullptr || stats_ == nullptr) return nullptr;
+  return stats_->Get(ref->table);
+}
+
+double StatsView::RowCount(const std::string& alias) const {
+  if (const TableStats* ts = TableStatsFor(alias)) {
+    return static_cast<double>(ts->row_count);
+  }
+  const TableRef* ref = spec_->FindRef(alias);
+  if (ref != nullptr && catalog_ != nullptr) {
+    auto table = catalog_->GetTable(ref->table);
+    if (table.ok()) return static_cast<double>(table.value()->NumRows());
+  }
+  return 0.0;
+}
+
+double StatsView::TotalBytes(const std::string& alias) const {
+  if (const TableStats* ts = TableStatsFor(alias)) {
+    if (ts->total_bytes > 0) return static_cast<double>(ts->total_bytes);
+  }
+  const TableRef* ref = spec_->FindRef(alias);
+  if (ref != nullptr && catalog_ != nullptr) {
+    auto table = catalog_->GetTable(ref->table);
+    if (table.ok()) return static_cast<double>(table.value()->TotalBytes());
+  }
+  return 0.0;
+}
+
+const ColumnStatsSnapshot* StatsView::Column(const std::string& alias,
+                                             const std::string& name) const {
+  const TableStats* ts = TableStatsFor(alias);
+  if (ts == nullptr) return nullptr;
+  const TableRef* ref = spec_->FindRef(alias);
+  if (ref == nullptr) return nullptr;
+  if (ref->is_intermediate) {
+    // Intermediates store stats under the qualified name.
+    if (const ColumnStatsSnapshot* col = ts->Column(name)) return col;
+    // Fall back to the originating base table's load-time sketches (column
+    // names of intermediates keep their original "alias.column" form): the
+    // paper's "statistics obtained up to that point" still include the
+    // ingestion-time statistics.
+    size_t dot = name.find('.');
+    if (dot != std::string::npos && stats_ != nullptr) {
+      auto it = spec_->base_tables.find(name.substr(0, dot));
+      if (it != spec_->base_tables.end()) {
+        if (const TableStats* base = stats_->Get(it->second)) {
+          return base->Column(name.substr(dot + 1));
+        }
+      }
+    }
+    return nullptr;
+  }
+  // Base tables store stats under the unqualified column name.
+  const std::string prefix = alias + ".";
+  if (name.rfind(prefix, 0) == 0) {
+    return ts->Column(name.substr(prefix.size()));
+  }
+  return ts->Column(name);
+}
+
+}  // namespace dynopt

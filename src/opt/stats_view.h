@@ -1,0 +1,59 @@
+#ifndef DYNOPT_OPT_STATS_VIEW_H_
+#define DYNOPT_OPT_STATS_VIEW_H_
+
+#include <map>
+#include <string>
+
+#include "plan/query_spec.h"
+#include "stats/table_stats.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+/// Uniform, query-scoped view over the statistics framework: maps a query
+/// alias (base table or materialized intermediate) and a qualified column
+/// name to the right TableStats entry. Base tables store column stats under
+/// unqualified names; intermediates store them under the qualified names
+/// they carry.
+class StatsView {
+ public:
+  StatsView(const QuerySpec* spec, const StatsManager* stats,
+            const Catalog* catalog)
+      : spec_(spec), stats_(stats), catalog_(catalog) {}
+
+  /// Installs per-alias statistics that take precedence over the
+  /// StatsManager — how pilot-run feeds its sample-derived estimates to the
+  /// planner (distinct aliases of the same base table can carry different
+  /// sampled stats). Column stats in overrides use unqualified names.
+  void SetAliasOverrides(const std::map<std::string, TableStats>* overrides) {
+    alias_overrides_ = overrides;
+  }
+
+  /// Row count of the dataset behind `alias` (before local predicates),
+  /// from stats when available, falling back to catalog truth. Returns 0
+  /// for unknown aliases.
+  double RowCount(const std::string& alias) const;
+
+  /// Byte size of the dataset behind `alias`.
+  double TotalBytes(const std::string& alias) const;
+
+  /// Column statistics for qualified column `name` on `alias`; nullptr when
+  /// not collected.
+  const ColumnStatsSnapshot* Column(const std::string& alias,
+                                    const std::string& name) const;
+
+  const QuerySpec& spec() const { return *spec_; }
+  const Catalog* catalog() const { return catalog_; }
+
+ private:
+  const TableStats* TableStatsFor(const std::string& alias) const;
+
+  const QuerySpec* spec_;
+  const StatsManager* stats_;
+  const Catalog* catalog_;
+  const std::map<std::string, TableStats>* alias_overrides_ = nullptr;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_STATS_VIEW_H_

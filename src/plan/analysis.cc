@@ -1,0 +1,131 @@
+#include "plan/analysis.h"
+
+namespace dynopt {
+
+namespace {
+
+void ScanForComplexity(const ExprPtr& expr, PredicateShape* shape) {
+  switch (expr->kind()) {
+    case ExprKind::kUdfCall:
+      shape->has_udf = true;
+      break;
+    case ExprKind::kParam:
+      shape->has_param = true;
+      break;
+    default:
+      break;
+  }
+  switch (expr->kind()) {
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*expr);
+      ScanForComplexity(cmp.left(), shape);
+      ScanForComplexity(cmp.right(), shape);
+      break;
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(*expr);
+      ScanForComplexity(between.input(), shape);
+      ScanForComplexity(between.lo(), shape);
+      ScanForComplexity(between.hi(), shape);
+      break;
+    }
+    case ExprKind::kAnd: {
+      for (const auto& c : static_cast<const AndExpr&>(*expr).children()) {
+        ScanForComplexity(c, shape);
+      }
+      break;
+    }
+    case ExprKind::kOr: {
+      for (const auto& c : static_cast<const OrExpr&>(*expr).children()) {
+        ScanForComplexity(c, shape);
+      }
+      break;
+    }
+    case ExprKind::kNot:
+      ScanForComplexity(static_cast<const NotExpr&>(*expr).child(), shape);
+      break;
+    case ExprKind::kUdfCall: {
+      for (const auto& a : static_cast<const UdfCallExpr&>(*expr).args()) {
+        ScanForComplexity(a, shape);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+PredicateShape AnalyzePredicates(const std::vector<ExprPtr>& predicates) {
+  PredicateShape shape;
+  for (const auto& pred : predicates) {
+    for (const auto& conjunct : SplitConjuncts(pred)) {
+      ++shape.num_conjuncts;
+      ScanForComplexity(conjunct, &shape);
+    }
+  }
+  return shape;
+}
+
+std::optional<SimpleCondition> ExtractSimpleCondition(
+    const ExprPtr& conjunct) {
+  if (conjunct->kind() == ExprKind::kComparison) {
+    const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+    const Expr* column_side = nullptr;
+    const Expr* literal_side = nullptr;
+    CompareOp op = cmp.op();
+    if (cmp.left()->kind() == ExprKind::kColumnRef &&
+        cmp.right()->kind() == ExprKind::kLiteral) {
+      column_side = cmp.left().get();
+      literal_side = cmp.right().get();
+    } else if (cmp.right()->kind() == ExprKind::kColumnRef &&
+               cmp.left()->kind() == ExprKind::kLiteral) {
+      column_side = cmp.right().get();
+      literal_side = cmp.left().get();
+      // Flip the operator: 5 < x  ==  x > 5.
+      switch (op) {
+        case CompareOp::kLt:
+          op = CompareOp::kGt;
+          break;
+        case CompareOp::kLe:
+          op = CompareOp::kGe;
+          break;
+        case CompareOp::kGt:
+          op = CompareOp::kLt;
+          break;
+        case CompareOp::kGe:
+          op = CompareOp::kLe;
+          break;
+        default:
+          break;
+      }
+    } else {
+      return std::nullopt;
+    }
+    SimpleCondition cond;
+    cond.column =
+        static_cast<const ColumnRefExpr*>(column_side)->Qualified();
+    cond.op = op;
+    cond.value = static_cast<const LiteralExpr*>(literal_side)->value();
+    return cond;
+  }
+  if (conjunct->kind() == ExprKind::kBetween) {
+    const auto& between = static_cast<const BetweenExpr&>(*conjunct);
+    if (between.input()->kind() != ExprKind::kColumnRef ||
+        between.lo()->kind() != ExprKind::kLiteral ||
+        between.hi()->kind() != ExprKind::kLiteral) {
+      return std::nullopt;
+    }
+    SimpleCondition cond;
+    cond.column =
+        static_cast<const ColumnRefExpr&>(*between.input()).Qualified();
+    cond.is_between = true;
+    cond.lo = static_cast<const LiteralExpr&>(*between.lo()).value();
+    cond.hi = static_cast<const LiteralExpr&>(*between.hi()).value();
+    return cond;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dynopt

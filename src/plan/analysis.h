@@ -1,0 +1,49 @@
+#ifndef DYNOPT_PLAN_ANALYSIS_H_
+#define DYNOPT_PLAN_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace dynopt {
+
+/// Classification of a dataset's local predicate set, driving the paper's
+/// push-down rule (Algorithm 1 lines 6–9): predicates are executed early
+/// when there is more than one of them, or at least one complex one (UDF or
+/// parameterized value).
+struct PredicateShape {
+  int num_conjuncts = 0;
+  bool has_udf = false;
+  bool has_param = false;
+
+  /// True when the paper's dynamic optimizer must push down and execute
+  /// the predicates instead of estimating them.
+  bool RequiresPushDown() const {
+    return num_conjuncts > 1 || has_udf || has_param;
+  }
+};
+
+/// Analyzes the conjunction of `predicates`.
+PredicateShape AnalyzePredicates(const std::vector<ExprPtr>& predicates);
+
+/// A single sargable condition `column op constant` (or BETWEEN two
+/// constants), extractable from one conjunct; used for histogram-based
+/// selectivity estimation of simple fixed-value predicates.
+struct SimpleCondition {
+  std::string column;  ///< Qualified column name.
+  bool is_between = false;
+  CompareOp op = CompareOp::kEq;  ///< When !is_between.
+  Value value;                    ///< When !is_between.
+  Value lo;                       ///< When is_between.
+  Value hi;                       ///< When is_between.
+};
+
+/// Attempts to view `conjunct` as a simple condition. Returns nullopt for
+/// anything involving UDFs, parameters, OR, or non-literal comparands.
+std::optional<SimpleCondition> ExtractSimpleCondition(const ExprPtr& conjunct);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_PLAN_ANALYSIS_H_

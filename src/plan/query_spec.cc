@@ -1,0 +1,250 @@
+#include "plan/query_spec.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace dynopt {
+
+const char* AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "COUNT";
+    case AggFn::kSum:
+      return "SUM";
+    case AggFn::kMin:
+      return "MIN";
+    case AggFn::kMax:
+      return "MAX";
+    case AggFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+bool TableRef::Provides(const std::string& name) const {
+  if (is_intermediate) {
+    return std::find(provided_columns.begin(), provided_columns.end(),
+                     name) != provided_columns.end();
+  }
+  // Base ref provides every column qualified with its alias.
+  return name.size() > alias.size() + 1 &&
+         name.compare(0, alias.size(), alias) == 0 &&
+         name[alias.size()] == '.';
+}
+
+std::vector<std::string> JoinEdge::KeysOf(const std::string& alias) const {
+  std::vector<std::string> out;
+  out.reserve(keys.size());
+  for (const auto& [l, r] : keys) {
+    out.push_back(alias == left_alias ? l : r);
+  }
+  return out;
+}
+
+std::string JoinEdge::ToString() const {
+  std::ostringstream os;
+  os << left_alias << " JOIN " << right_alias << " ON ";
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) os << " AND ";
+    os << keys[i].first << " = " << keys[i].second;
+  }
+  return os.str();
+}
+
+const TableRef* QuerySpec::FindRef(const std::string& alias) const {
+  for (const auto& ref : tables) {
+    if (ref.alias == alias) return &ref;
+  }
+  return nullptr;
+}
+
+TableRef* QuerySpec::FindRef(const std::string& alias) {
+  for (auto& ref : tables) {
+    if (ref.alias == alias) return &ref;
+  }
+  return nullptr;
+}
+
+std::vector<ExprPtr> QuerySpec::PredicatesFor(const std::string& alias) const {
+  std::vector<ExprPtr> out;
+  for (const auto& pred : predicates) {
+    if (pred.alias == alias) out.push_back(pred.expr);
+  }
+  return out;
+}
+
+std::string QuerySpec::ProviderOf(const std::string& name) const {
+  for (const auto& ref : tables) {
+    if (ref.Provides(name)) return ref.alias;
+  }
+  return "";
+}
+
+void QuerySpec::NormalizeJoins() {
+  for (const auto& ref : tables) {
+    if (!ref.is_intermediate) base_tables[ref.alias] = ref.table;
+  }
+  std::vector<JoinEdge> merged;
+  for (const auto& edge : joins) {
+    JoinEdge canonical = edge;
+    // Canonical orientation: lexicographically smaller alias on the left.
+    if (canonical.right_alias < canonical.left_alias) {
+      std::swap(canonical.left_alias, canonical.right_alias);
+      for (auto& [l, r] : canonical.keys) std::swap(l, r);
+    }
+    bool found = false;
+    for (auto& existing : merged) {
+      if (existing.left_alias == canonical.left_alias &&
+          existing.right_alias == canonical.right_alias) {
+        existing.keys.insert(existing.keys.end(), canonical.keys.begin(),
+                             canonical.keys.end());
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(canonical));
+  }
+  joins = std::move(merged);
+}
+
+std::vector<std::string> QuerySpec::OutputColumns() const {
+  if (aggregates.empty()) return projections;
+  std::vector<std::string> out = group_by;
+  for (const auto& agg : aggregates) out.push_back(agg.output_name);
+  return out;
+}
+
+Status QuerySpec::Validate() const {
+  std::set<std::string> aliases;
+  for (const auto& ref : tables) {
+    if (ref.alias.empty()) {
+      return Status::InvalidArgument("FROM entry with empty alias");
+    }
+    if (!aliases.insert(ref.alias).second) {
+      return Status::InvalidArgument("duplicate alias " + ref.alias);
+    }
+  }
+  for (const auto& pred : predicates) {
+    if (aliases.count(pred.alias) == 0) {
+      return Status::InvalidArgument("predicate on unknown alias " +
+                                     pred.alias);
+    }
+    if (!pred.expr) {
+      return Status::InvalidArgument("null predicate on " + pred.alias);
+    }
+  }
+  for (const auto& edge : joins) {
+    if (aliases.count(edge.left_alias) == 0 ||
+        aliases.count(edge.right_alias) == 0) {
+      return Status::InvalidArgument("join between unknown aliases: " +
+                                     edge.ToString());
+    }
+    if (edge.left_alias == edge.right_alias) {
+      return Status::InvalidArgument("self-join edge on one alias: " +
+                                     edge.ToString());
+    }
+    if (edge.keys.empty()) {
+      return Status::InvalidArgument("join edge without keys: " +
+                                     edge.ToString());
+    }
+    const TableRef* left = FindRef(edge.left_alias);
+    const TableRef* right = FindRef(edge.right_alias);
+    for (const auto& [l, r] : edge.keys) {
+      if (!left->Provides(l)) {
+        return Status::InvalidArgument("join key " + l + " not provided by " +
+                                       edge.left_alias);
+      }
+      if (!right->Provides(r)) {
+        return Status::InvalidArgument("join key " + r + " not provided by " +
+                                       edge.right_alias);
+      }
+    }
+  }
+  for (const auto& proj : projections) {
+    if (ProviderOf(proj).empty()) {
+      return Status::InvalidArgument("projection " + proj +
+                                     " not provided by any FROM entry");
+    }
+  }
+  // Post-processing references: group-by columns and aggregate inputs must
+  // be part of the carried projections; order keys must name outputs.
+  auto in_projections = [this](const std::string& name) {
+    return std::find(projections.begin(), projections.end(), name) !=
+           projections.end();
+  };
+  for (const auto& col : group_by) {
+    if (!in_projections(col)) {
+      return Status::InvalidArgument("GROUP BY column " + col +
+                                     " not in the carried projections");
+    }
+  }
+  for (const auto& agg : aggregates) {
+    if (!in_projections(agg.input)) {
+      return Status::InvalidArgument("aggregate input " + agg.input +
+                                     " not in the carried projections");
+    }
+    if (agg.output_name.empty()) {
+      return Status::InvalidArgument("aggregate without output name");
+    }
+  }
+  std::vector<std::string> outputs = OutputColumns();
+  for (const auto& key : order_by) {
+    if (std::find(outputs.begin(), outputs.end(), key.column) ==
+        outputs.end()) {
+      return Status::InvalidArgument("ORDER BY column " + key.column +
+                                     " is not an output column");
+    }
+  }
+  // Join-graph connectivity (queries with cross products are out of scope,
+  // as in the paper).
+  if (tables.size() > 1) {
+    std::set<std::string> reached;
+    std::vector<std::string> frontier{tables[0].alias};
+    reached.insert(tables[0].alias);
+    while (!frontier.empty()) {
+      std::string cur = frontier.back();
+      frontier.pop_back();
+      for (const auto& edge : joins) {
+        if (!edge.Involves(cur)) continue;
+        const std::string& other = edge.Other(cur);
+        if (reached.insert(other).second) frontier.push_back(other);
+      }
+    }
+    if (reached.size() != tables.size()) {
+      return Status::InvalidArgument(
+          "join graph is disconnected (cross products unsupported)");
+    }
+  }
+  return Status::OK();
+}
+
+std::string QuerySpec::ToString() const {
+  std::ostringstream os;
+  os << "SELECT ";
+  for (size_t i = 0; i < projections.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << projections[i];
+  }
+  os << "\nFROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << tables[i].table << " AS " << tables[i].alias;
+    if (tables[i].is_intermediate) os << " /*intermediate*/";
+  }
+  bool first = true;
+  for (const auto& pred : predicates) {
+    os << (first ? "\nWHERE " : "\n  AND ") << pred.expr->ToString();
+    first = false;
+  }
+  for (const auto& edge : joins) {
+    for (const auto& [l, r] : edge.keys) {
+      os << (first ? "\nWHERE " : "\n  AND ") << l << " = " << r;
+      first = false;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,136 @@
+#ifndef DYNOPT_PLAN_QUERY_SPEC_H_
+#define DYNOPT_PLAN_QUERY_SPEC_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "plan/expr.h"
+
+namespace dynopt {
+
+/// One entry of the FROM clause: either a base dataset under a query alias,
+/// or — after a re-optimization point has materialized a join result — an
+/// intermediate dataset. Intermediates keep the original qualified column
+/// names of their inputs ("ss.ss_item_sk", ...), recorded in
+/// `provided_columns`, so the rest of the query needs no renaming when it
+/// is reconstructed around them (Section 5.4 of the paper).
+struct TableRef {
+  std::string table;  ///< Catalog name (base table or materialized temp).
+  std::string alias;  ///< Unique within the query.
+  bool is_intermediate = false;
+  /// True when this dataset is (or was, before push-down) restricted by
+  /// local predicates — one of the paper's preconditions for choosing the
+  /// indexed nested loop join on a pk/fk join.
+  bool filtered = false;
+  std::vector<std::string> provided_columns;  ///< Only for intermediates.
+
+  /// True when this ref supplies the qualified column `name`.
+  bool Provides(const std::string& name) const;
+};
+
+/// A selection predicate local to a single dataset.
+struct LocalPredicate {
+  std::string alias;
+  ExprPtr expr;
+};
+
+/// Aggregate functions supported in the SELECT list.
+enum class AggFn { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggFnName(AggFn fn);
+
+/// One aggregate of the SELECT list, e.g. SUM(ss.ss_quantity).
+struct AggregateSpec {
+  AggFn fn = AggFn::kCount;
+  std::string input;        ///< Qualified input column.
+  std::string output_name;  ///< Name in the result schema.
+};
+
+/// One ORDER BY key, referencing an output column (a GROUP BY column or an
+/// aggregate's output name).
+struct OrderKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// An equi-join between two FROM entries, possibly on a composite key
+/// (Q17/Q50 join store_sales with store_returns on three columns).
+/// `keys[i].first` is provided by `left_alias`, `.second` by `right_alias`.
+struct JoinEdge {
+  std::string left_alias;
+  std::string right_alias;
+  std::vector<std::pair<std::string, std::string>> keys;
+
+  bool Involves(const std::string& alias) const {
+    return alias == left_alias || alias == right_alias;
+  }
+  const std::string& Other(const std::string& alias) const {
+    return alias == left_alias ? right_alias : left_alias;
+  }
+  /// Key columns on `alias`'s side.
+  std::vector<std::string> KeysOf(const std::string& alias) const;
+
+  std::string ToString() const;
+};
+
+/// The logical select-project-join query the optimizers operate on: the
+/// output of the SQL binder, and the object the dynamic optimizer rewrites
+/// at every re-optimization point.
+struct QuerySpec {
+  std::vector<TableRef> tables;
+  std::vector<LocalPredicate> predicates;
+  std::vector<JoinEdge> joins;
+  std::vector<std::string> projections;  ///< Qualified column names.
+  std::map<std::string, Value> params;   ///< Parameter bindings.
+
+  // Post-join processing (evaluated after all joins and selections with
+  // traditional optimization, per Section 6.4 of the paper).
+  std::vector<std::string> group_by;     ///< Qualified input columns.
+  std::vector<AggregateSpec> aggregates;
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;  ///< Negative = no limit.
+
+  /// True when any group-by / aggregate / order-by / limit is present.
+  bool HasPostProcessing() const {
+    return !group_by.empty() || !aggregates.empty() || !order_by.empty() ||
+           limit >= 0;
+  }
+
+  /// Names of the final result columns: projections when no aggregation,
+  /// otherwise group-by columns followed by aggregate output names.
+  std::vector<std::string> OutputColumns() const;
+  /// Original alias -> base table, surviving reconstruction, so statistics
+  /// of intermediate columns (which keep their original qualified names)
+  /// can fall back to load-time base-table sketches when online collection
+  /// was skipped. Maintained by NormalizeJoins().
+  std::map<std::string, std::string> base_tables;
+
+  /// nullptr when no FROM entry has this alias.
+  const TableRef* FindRef(const std::string& alias) const;
+  TableRef* FindRef(const std::string& alias);
+
+  /// All local predicate expressions attached to `alias`.
+  std::vector<ExprPtr> PredicatesFor(const std::string& alias) const;
+
+  /// Alias of the FROM entry providing qualified column `name`; empty when
+  /// unknown.
+  std::string ProviderOf(const std::string& name) const;
+
+  /// Merges duplicate join edges between the same alias pair into one
+  /// composite-key edge (canonical form expected by the planner).
+  void NormalizeJoins();
+
+  /// Structural checks: unique aliases, resolvable join keys/projections,
+  /// connected join graph. Returns the first violation found.
+  Status Validate() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_PLAN_QUERY_SPEC_H_

@@ -1,0 +1,24 @@
+#include "plan/udf.h"
+
+namespace dynopt {
+
+Status UdfRegistry::Register(const std::string& name, UdfFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fns_.count(name) > 0) {
+    return Status::AlreadyExists("UDF " + name + " already registered");
+  }
+  fns_[name] = std::move(fn);
+  return Status::OK();
+}
+
+const UdfFn* UdfRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+bool UdfRegistry::Has(const std::string& name) const {
+  return Lookup(name) != nullptr;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,39 @@
+#ifndef DYNOPT_PLAN_UDF_H_
+#define DYNOPT_PLAN_UDF_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dynopt {
+
+/// A user-defined scalar function. The engine evaluates these truthfully at
+/// runtime while optimizers (other than the dynamic one, which executes
+/// predicates early) must fall back to default selectivities — exactly the
+/// asymmetry the paper's experiments exploit.
+using UdfFn = std::function<Value(const std::vector<Value>&)>;
+
+/// Named UDF registry. Workloads register `myyear`, `mysub`, `myrand`, etc.
+/// before running queries.
+class UdfRegistry {
+ public:
+  UdfRegistry() = default;
+
+  Status Register(const std::string& name, UdfFn fn);
+  /// nullptr when the UDF is unknown.
+  const UdfFn* Lookup(const std::string& name) const;
+  bool Has(const std::string& name) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, UdfFn> fns_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_PLAN_UDF_H_

@@ -1,0 +1,270 @@
+#include "sql/binder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "storage/schema.h"
+
+namespace dynopt {
+
+namespace {
+
+/// Alias -> schema lookup for the statement's FROM entries.
+class Scope {
+ public:
+  Status Add(const std::string& alias, const Schema* schema) {
+    if (!entries_.emplace(alias, schema).second) {
+      return Status::BindError("duplicate alias " + alias);
+    }
+    return Status::OK();
+  }
+
+  /// Resolves (alias, column): empty alias searches all entries and must be
+  /// unambiguous. Returns the owning alias.
+  Result<std::string> Resolve(const std::string& alias,
+                              const std::string& column) const {
+    if (!alias.empty()) {
+      auto it = entries_.find(alias);
+      if (it == entries_.end()) {
+        return Status::BindError("unknown alias " + alias);
+      }
+      if (!it->second->HasField(column)) {
+        return Status::BindError("column " + column + " not in " + alias);
+      }
+      return alias;
+    }
+    std::string found;
+    for (const auto& [a, schema] : entries_) {
+      if (schema->HasField(column)) {
+        if (!found.empty()) {
+          return Status::BindError("ambiguous column " + column +
+                                   " (in both " + found + " and " + a + ")");
+        }
+        found = a;
+      }
+    }
+    if (found.empty()) {
+      return Status::BindError("column " + column +
+                               " not found in any FROM entry");
+    }
+    return found;
+  }
+
+ private:
+  std::map<std::string, const Schema*> entries_;
+};
+
+/// Rewrites an expression so every column reference carries its resolved
+/// alias, and records referenced parameter names.
+Result<ExprPtr> Qualify(const ExprPtr& expr, const Scope& scope,
+                        std::set<std::string>* param_names) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*expr);
+      DYNOPT_ASSIGN_OR_RETURN(std::string alias,
+                              scope.Resolve(col.alias(), col.column()));
+      if (alias == col.alias()) return expr;
+      return Col(alias, col.column());
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kParam:
+      param_names->insert(static_cast<const ParamExpr&>(*expr).name());
+      return expr;
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*expr);
+      DYNOPT_ASSIGN_OR_RETURN(ExprPtr l, Qualify(cmp.left(), scope, param_names));
+      DYNOPT_ASSIGN_OR_RETURN(ExprPtr r,
+                              Qualify(cmp.right(), scope, param_names));
+      return Cmp(cmp.op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(*expr);
+      DYNOPT_ASSIGN_OR_RETURN(ExprPtr in,
+                              Qualify(between.input(), scope, param_names));
+      DYNOPT_ASSIGN_OR_RETURN(ExprPtr lo,
+                              Qualify(between.lo(), scope, param_names));
+      DYNOPT_ASSIGN_OR_RETURN(ExprPtr hi,
+                              Qualify(between.hi(), scope, param_names));
+      return Between(std::move(in), std::move(lo), std::move(hi));
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const auto& children =
+          expr->kind() == ExprKind::kAnd
+              ? static_cast<const AndExpr&>(*expr).children()
+              : static_cast<const OrExpr&>(*expr).children();
+      std::vector<ExprPtr> out;
+      out.reserve(children.size());
+      for (const auto& child : children) {
+        DYNOPT_ASSIGN_OR_RETURN(ExprPtr q, Qualify(child, scope, param_names));
+        out.push_back(std::move(q));
+      }
+      return expr->kind() == ExprKind::kAnd ? And(std::move(out))
+                                            : Or(std::move(out));
+    }
+    case ExprKind::kNot: {
+      DYNOPT_ASSIGN_OR_RETURN(
+          ExprPtr child,
+          Qualify(static_cast<const NotExpr&>(*expr).child(), scope,
+                  param_names));
+      return Not(std::move(child));
+    }
+    case ExprKind::kUdfCall: {
+      const auto& udf = static_cast<const UdfCallExpr&>(*expr);
+      std::vector<ExprPtr> args;
+      args.reserve(udf.args().size());
+      for (const auto& arg : udf.args()) {
+        DYNOPT_ASSIGN_OR_RETURN(ExprPtr q, Qualify(arg, scope, param_names));
+        args.push_back(std::move(q));
+      }
+      return Udf(udf.name(), std::move(args));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Result<QuerySpec> BindSelect(const SelectStatement& stmt,
+                             const Catalog& catalog,
+                             std::map<std::string, Value> params) {
+  QuerySpec spec;
+  Scope scope;
+  // Keep the schemas alive for the duration of binding.
+  std::vector<std::shared_ptr<Table>> tables;
+  for (const auto& item : stmt.from) {
+    DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                            catalog.GetTable(item.table));
+    DYNOPT_RETURN_IF_ERROR(scope.Add(item.alias, &table->schema()));
+    tables.push_back(table);
+    TableRef ref;
+    ref.table = item.table;
+    ref.alias = item.alias;
+    spec.tables.push_back(std::move(ref));
+  }
+
+  std::set<std::string> param_names;
+  auto add_projection = [&spec](const std::string& name) {
+    if (std::find(spec.projections.begin(), spec.projections.end(), name) ==
+        spec.projections.end()) {
+      spec.projections.push_back(name);
+    }
+  };
+
+  // GROUP BY columns come first in the output schema.
+  for (const auto& col : stmt.group_by) {
+    DYNOPT_ASSIGN_OR_RETURN(ExprPtr qualified,
+                            Qualify(col, scope, &param_names));
+    std::string name =
+        static_cast<const ColumnRefExpr&>(*qualified).Qualified();
+    add_projection(name);
+    spec.group_by.push_back(std::move(name));
+  }
+
+  bool has_aggregates = false;
+  for (const auto& item : stmt.select_list) {
+    if (item.is_aggregate) has_aggregates = true;
+  }
+  for (const auto& item : stmt.select_list) {
+    DYNOPT_ASSIGN_OR_RETURN(ExprPtr qualified,
+                            Qualify(item.column, scope, &param_names));
+    std::string name =
+        static_cast<const ColumnRefExpr&>(*qualified).Qualified();
+    if (item.is_aggregate) {
+      AggregateSpec agg;
+      if (item.agg_fn == "COUNT") {
+        agg.fn = AggFn::kCount;
+      } else if (item.agg_fn == "SUM") {
+        agg.fn = AggFn::kSum;
+      } else if (item.agg_fn == "MIN") {
+        agg.fn = AggFn::kMin;
+      } else if (item.agg_fn == "MAX") {
+        agg.fn = AggFn::kMax;
+      } else {
+        agg.fn = AggFn::kAvg;
+      }
+      agg.input = name;
+      agg.output_name = item.agg_fn + "(" + name + ")";
+      add_projection(name);
+      spec.aggregates.push_back(std::move(agg));
+    } else {
+      if (has_aggregates || !stmt.group_by.empty()) {
+        // Plain columns must be grouped.
+        if (std::find(spec.group_by.begin(), spec.group_by.end(), name) ==
+            spec.group_by.end()) {
+          return Status::BindError("column " + name +
+                                   " must appear in GROUP BY");
+        }
+      }
+      add_projection(name);
+    }
+  }
+
+  for (const auto& item : stmt.order_by) {
+    DYNOPT_ASSIGN_OR_RETURN(ExprPtr qualified,
+                            Qualify(item.column, scope, &param_names));
+    OrderKey key;
+    key.column = static_cast<const ColumnRefExpr&>(*qualified).Qualified();
+    key.descending = item.descending;
+    spec.order_by.push_back(std::move(key));
+  }
+  spec.limit = stmt.limit;
+
+  if (stmt.where != nullptr) {
+    DYNOPT_ASSIGN_OR_RETURN(ExprPtr where,
+                            Qualify(stmt.where, scope, &param_names));
+    for (const auto& conjunct : SplitConjuncts(where)) {
+      // column = column across two aliases => equi-join edge.
+      if (conjunct->kind() == ExprKind::kComparison) {
+        const auto& cmp = static_cast<const ComparisonExpr&>(*conjunct);
+        if (cmp.op() == CompareOp::kEq &&
+            cmp.left()->kind() == ExprKind::kColumnRef &&
+            cmp.right()->kind() == ExprKind::kColumnRef) {
+          const auto& l = static_cast<const ColumnRefExpr&>(*cmp.left());
+          const auto& r = static_cast<const ColumnRefExpr&>(*cmp.right());
+          if (l.alias() != r.alias()) {
+            JoinEdge edge;
+            edge.left_alias = l.alias();
+            edge.right_alias = r.alias();
+            edge.keys.emplace_back(l.Qualified(), r.Qualified());
+            spec.joins.push_back(std::move(edge));
+            continue;
+          }
+        }
+      }
+      // Everything else is a local predicate of exactly one dataset.
+      std::vector<const ColumnRefExpr*> cols;
+      conjunct->CollectColumns(&cols);
+      std::set<std::string> aliases;
+      for (const ColumnRefExpr* col : cols) aliases.insert(col->alias());
+      if (aliases.size() != 1) {
+        return Status::BindError(
+            "predicate must reference exactly one dataset (non-equi multi-"
+            "dataset predicates unsupported): " +
+            conjunct->ToString());
+      }
+      spec.predicates.push_back(LocalPredicate{*aliases.begin(), conjunct});
+    }
+  }
+
+  // Parameter values: every referenced parameter must be supplied.
+  for (const auto& name : param_names) {
+    if (params.count(name) == 0) {
+      return Status::BindError("missing value for parameter $" + name);
+    }
+  }
+  spec.params = std::move(params);
+
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
+Result<QuerySpec> ParseAndBind(const std::string& sql, const Catalog& catalog,
+                               std::map<std::string, Value> params) {
+  DYNOPT_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelect(sql));
+  return BindSelect(stmt, catalog, std::move(params));
+}
+
+}  // namespace dynopt

@@ -1,0 +1,31 @@
+#ifndef DYNOPT_SQL_BINDER_H_
+#define DYNOPT_SQL_BINDER_H_
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "plan/query_spec.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+/// Resolves a parsed SELECT against the catalog into a validated QuerySpec:
+/// tables checked, unqualified columns disambiguated, WHERE conjuncts
+/// classified into equi-join edges (column = column across aliases) vs
+/// local selection predicates (everything else, attached to their single
+/// dataset). `params` supplies values for $parameters referenced by the
+/// query (their presence is validated, their values stay opaque to the
+/// optimizer).
+Result<QuerySpec> BindSelect(const SelectStatement& stmt,
+                             const Catalog& catalog,
+                             std::map<std::string, Value> params = {});
+
+/// Parse + bind in one step.
+Result<QuerySpec> ParseAndBind(const std::string& sql, const Catalog& catalog,
+                               std::map<std::string, Value> params = {});
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_SQL_BINDER_H_

@@ -1,0 +1,161 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace dynopt {
+
+namespace {
+
+const char* const kKeywords[] = {
+    "SELECT", "FROM", "WHERE", "AND",   "OR",  "NOT", "BETWEEN",
+    "AS",     "TRUE", "FALSE", "NULL",  "GROUP", "BY", "ORDER",
+    "LIMIT",  "ASC",  "DESC",  "COUNT", "SUM", "MIN", "MAX", "AVG"};
+
+bool IsKeyword(const std::string& upper) {
+  for (const char* kw : kKeywords) {
+    if (upper == kw) return true;
+  }
+  return false;
+}
+
+std::string ToUpper(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) c = static_cast<char>(std::toupper(c));
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      std::string word = sql.substr(start, i - start);
+      std::string upper = ToUpper(word);
+      if (IsKeyword(upper)) {
+        tokens.push_back({TokenType::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenType::kIdentifier, word, start});
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      if (i < n && sql[i] == '.' && i + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[i + 1]))) {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(sql[i]))) ++i;
+      }
+      tokens.push_back({is_double ? TokenType::kDoubleLiteral
+                                  : TokenType::kIntLiteral,
+                        sql.substr(start, i - start), start});
+      continue;
+    }
+    switch (c) {
+      case '\'': {
+        ++i;
+        std::string text;
+        while (i < n && sql[i] != '\'') text += sql[i++];
+        if (i >= n) {
+          return Status::ParseError("unterminated string literal at offset " +
+                                    std::to_string(start));
+        }
+        ++i;  // Closing quote.
+        tokens.push_back({TokenType::kStringLiteral, text, start});
+        break;
+      }
+      case '$': {
+        ++i;
+        std::string name;
+        while (i < n && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                         sql[i] == '_')) {
+          name += sql[i++];
+        }
+        if (name.empty()) {
+          return Status::ParseError("empty parameter name at offset " +
+                                    std::to_string(start));
+        }
+        tokens.push_back({TokenType::kParam, name, start});
+        break;
+      }
+      case ',':
+        tokens.push_back({TokenType::kComma, ",", start});
+        ++i;
+        break;
+      case '.':
+        tokens.push_back({TokenType::kDot, ".", start});
+        ++i;
+        break;
+      case '(':
+        tokens.push_back({TokenType::kLParen, "(", start});
+        ++i;
+        break;
+      case ')':
+        tokens.push_back({TokenType::kRParen, ")", start});
+        ++i;
+        break;
+      case '*':
+        tokens.push_back({TokenType::kStar, "*", start});
+        ++i;
+        break;
+      case ';':
+        ++i;  // Statement terminator is optional and ignored.
+        break;
+      case '=':
+        tokens.push_back({TokenType::kEq, "=", start});
+        ++i;
+        break;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kNe, "!=", start});
+          i += 2;
+        } else {
+          return Status::ParseError("unexpected '!' at offset " +
+                                    std::to_string(start));
+        }
+        break;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kLe, "<=", start});
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '>') {
+          tokens.push_back({TokenType::kNe, "<>", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kLt, "<", start});
+          ++i;
+        }
+        break;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          tokens.push_back({TokenType::kGe, ">=", start});
+          i += 2;
+        } else {
+          tokens.push_back({TokenType::kGt, ">", start});
+          ++i;
+        }
+        break;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace dynopt

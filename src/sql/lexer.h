@@ -1,0 +1,47 @@
+#ifndef DYNOPT_SQL_LEXER_H_
+#define DYNOPT_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynopt {
+
+enum class TokenType {
+  kIdentifier,
+  kKeyword,
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,
+  kParam,      ///< $name
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kEq,         ///< =
+  kNe,         ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kStar,
+  kEnd,
+};
+
+/// One lexical token; keywords are uppercased in `text`.
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;
+  size_t position = 0;  ///< Byte offset in the input, for error messages.
+};
+
+/// Tokenizes the select-project-join SQL dialect used by the workloads.
+/// Keywords recognized: SELECT FROM WHERE AND OR NOT BETWEEN AS TRUE FALSE
+/// NULL GROUP BY ORDER LIMIT ASC DESC COUNT SUM MIN MAX AVG. Identifiers
+/// are case-preserved; keywords are case-insensitive.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_SQL_LEXER_H_

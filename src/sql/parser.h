@@ -1,0 +1,52 @@
+#ifndef DYNOPT_SQL_PARSER_H_
+#define DYNOPT_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/expr.h"
+
+namespace dynopt {
+
+/// Parsed SELECT statement (pre-binding). Expressions reuse the plan layer's
+/// Expr tree; column references may still be unqualified (empty alias) —
+/// the binder resolves them against the catalog.
+struct SelectStatement {
+  struct FromItem {
+    std::string table;
+    std::string alias;  ///< Defaults to the table name.
+  };
+
+  /// One SELECT-list entry: a plain column or an aggregate over one.
+  struct SelectItem {
+    bool is_aggregate = false;
+    std::string agg_fn;  ///< COUNT/SUM/MIN/MAX/AVG when is_aggregate.
+    ExprPtr column;      ///< Always a ColumnRefExpr.
+  };
+
+  struct OrderItem {
+    ExprPtr column;  ///< ColumnRefExpr (an output column).
+    bool descending = false;
+  };
+
+  std::vector<SelectItem> select_list;
+  std::vector<FromItem> from;
+  ExprPtr where;  ///< May be null (no WHERE clause).
+  std::vector<ExprPtr> group_by;  ///< ColumnRefExpr entries.
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;  ///< Negative = absent.
+};
+
+/// Parses the dialect the paper's queries need:
+///   SELECT [agg(]col[)][, ...] FROM table [AS] alias[, ...]
+///   [WHERE conjunct AND ...] [GROUP BY col, ...]
+///   [ORDER BY col [ASC|DESC], ...] [LIMIT n]
+/// Conjuncts: comparisons (= != <> < <= > >=), BETWEEN ... AND ...,
+/// [NOT] udf(args), OR groups in parentheses, string/number/param ($name)
+/// literals. Aggregates: COUNT SUM MIN MAX AVG.
+Result<SelectStatement> ParseSelect(const std::string& sql);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_SQL_PARSER_H_

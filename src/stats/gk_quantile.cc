@@ -1,0 +1,141 @@
+#include "stats/gk_quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dynopt {
+
+GkQuantileSketch::GkQuantileSketch(double epsilon) : epsilon_(epsilon) {
+  DYNOPT_CHECK(epsilon > 0 && epsilon < 0.5);
+}
+
+void GkQuantileSketch::Insert(double value) {
+  // Find insertion position (first tuple with v >= value).
+  auto it = std::lower_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](const Tuple& t, double v) { return t.v < v; });
+  uint64_t delta = 0;
+  if (it != tuples_.begin() && it != tuples_.end()) {
+    // Interior insert: delta = floor(2 * eps * n).
+    delta = static_cast<uint64_t>(std::floor(2.0 * epsilon_ *
+                                             static_cast<double>(count_)));
+  }
+  tuples_.insert(it, Tuple{value, 1, delta});
+  ++count_;
+  if (++inserts_since_compress_ >=
+      static_cast<uint64_t>(1.0 / (2.0 * epsilon_))) {
+    Compress();
+    inserts_since_compress_ = 0;
+  }
+}
+
+void GkQuantileSketch::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Tuple> out;
+  out.reserve(tuples_.size());
+  out.push_back(tuples_[0]);
+  // Greedily merge tuple i into its successor when the band condition
+  // g_i + g_{i+1} + delta_{i+1} <= 2*eps*n holds. We keep the first and
+  // last tuples intact so min/max quantiles stay exact.
+  for (size_t i = 1; i < tuples_.size(); ++i) {
+    Tuple cur = tuples_[i];
+    Tuple& prev = out.back();
+    bool prev_is_first = (out.size() == 1);
+    bool cur_is_last = (i + 1 == tuples_.size());
+    if (!prev_is_first && !cur_is_last &&
+        static_cast<double>(prev.g + cur.g + cur.delta) <= threshold) {
+      cur.g += prev.g;
+      out.back() = cur;
+    } else {
+      out.push_back(cur);
+    }
+  }
+  tuples_ = std::move(out);
+}
+
+void GkQuantileSketch::Merge(const GkQuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    tuples_ = other.tuples_;
+    count_ = other.count_;
+    return;
+  }
+  // Standard GK merge: interleave the two sorted tuple sequences. The
+  // resulting summary answers queries with error eps_a + eps_b; we then
+  // compress under the (larger) combined count.
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size() + other.tuples_.size());
+  size_t i = 0, j = 0;
+  while (i < tuples_.size() && j < other.tuples_.size()) {
+    if (tuples_[i].v <= other.tuples_[j].v) {
+      merged.push_back(tuples_[i++]);
+    } else {
+      merged.push_back(other.tuples_[j++]);
+    }
+  }
+  while (i < tuples_.size()) merged.push_back(tuples_[i++]);
+  while (j < other.tuples_.size()) merged.push_back(other.tuples_[j++]);
+  tuples_ = std::move(merged);
+  count_ += other.count_;
+  Compress();
+}
+
+double GkQuantileSketch::Quantile(double phi) const {
+  DYNOPT_CHECK(count_ > 0);
+  phi = std::clamp(phi, 0.0, 1.0);
+  const double target =
+      phi * static_cast<double>(count_ - 1) + 1.0;  // 1-based rank.
+  const double slack = epsilon_ * static_cast<double>(count_);
+  uint64_t rmin = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    rmin += tuples_[i].g;
+    const double rmax = static_cast<double>(rmin + tuples_[i].delta);
+    if (rmax >= target - slack &&
+        static_cast<double>(rmin) >= target - slack) {
+      return tuples_[i].v;
+    }
+    if (rmax >= target + slack) return tuples_[i].v;
+  }
+  return tuples_.back().v;
+}
+
+double GkQuantileSketch::EstimateRankFraction(double v) const {
+  if (count_ == 0) return 0.0;
+  if (v < tuples_.front().v) return 0.0;
+  if (v >= tuples_.back().v) return 1.0;
+  uint64_t rmin = 0;
+  double prev_v = tuples_.front().v;
+  uint64_t prev_rank = 0;
+  for (const Tuple& t : tuples_) {
+    rmin += t.g;
+    const uint64_t mid_rank = rmin + t.delta / 2;
+    if (t.v > v) {
+      // Linear interpolation between the previous tuple and this one.
+      double span = t.v - prev_v;
+      double frac = span > 0 ? (v - prev_v) / span : 0.0;
+      double rank = static_cast<double>(prev_rank) +
+                    frac * static_cast<double>(mid_rank - prev_rank);
+      return std::clamp(rank / static_cast<double>(count_), 0.0, 1.0);
+    }
+    prev_v = t.v;
+    prev_rank = mid_rank;
+  }
+  return 1.0;
+}
+
+std::vector<double> GkQuantileSketch::ExtractBoundaries(
+    int num_buckets) const {
+  std::vector<double> boundaries;
+  if (count_ == 0 || num_buckets <= 0) return boundaries;
+  boundaries.reserve(static_cast<size_t>(num_buckets) + 1);
+  for (int b = 0; b <= num_buckets; ++b) {
+    boundaries.push_back(Quantile(static_cast<double>(b) /
+                                  static_cast<double>(num_buckets)));
+  }
+  return boundaries;
+}
+
+}  // namespace dynopt

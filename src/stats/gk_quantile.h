@@ -1,0 +1,65 @@
+#ifndef DYNOPT_STATS_GK_QUANTILE_H_
+#define DYNOPT_STATS_GK_QUANTILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dynopt {
+
+/// Greenwald–Khanna epsilon-approximate quantile summary.
+///
+/// This is the sketch the paper (Section 4) uses to extract the bucket
+/// borders of equi-height histograms: "Following the Greenwald-Khanna
+/// algorithm, we extract quantiles which represent the right border of a
+/// bucket in an equi-height histogram."
+///
+/// Guarantees: after inserting n values, Quantile(phi) returns a value whose
+/// rank is within eps*n of ceil(phi*n). Summaries for different partitions
+/// of a dataset can be merged (error degrades to the sum of the component
+/// epsilons, which is the standard GK merging bound).
+class GkQuantileSketch {
+ public:
+  explicit GkQuantileSketch(double epsilon = 0.005);
+
+  /// Inserts one observation.
+  void Insert(double value);
+
+  /// Merges another summary into this one (partition-level collection).
+  void Merge(const GkQuantileSketch& other);
+
+  /// Returns an eps-approximate phi-quantile, phi in [0, 1]. Requires
+  /// count() > 0.
+  double Quantile(double phi) const;
+
+  /// Estimated fraction of inserted values that are <= v (an approximate
+  /// CDF evaluation). Returns a value in [0, 1]; 0 if empty.
+  double EstimateRankFraction(double v) const;
+
+  /// Extracts `num_buckets + 1` boundaries of an equi-height histogram
+  /// (the 0/num_buckets ... num_buckets/num_buckets quantiles).
+  std::vector<double> ExtractBoundaries(int num_buckets) const;
+
+  uint64_t count() const { return count_; }
+  double epsilon() const { return epsilon_; }
+  size_t NumTuples() const { return tuples_.size(); }
+
+ private:
+  /// GK summary tuple: value v covers g ranks; delta bounds rank slack.
+  struct Tuple {
+    double v;
+    uint64_t g;
+    uint64_t delta;
+  };
+
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;  // Sorted by v.
+  uint64_t inserts_since_compress_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STATS_GK_QUANTILE_H_

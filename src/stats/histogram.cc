@@ -1,0 +1,58 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace dynopt {
+
+EquiHeightHistogram EquiHeightHistogram::FromSketch(
+    const GkQuantileSketch& sketch, int num_buckets) {
+  EquiHeightHistogram h;
+  if (sketch.count() == 0) return h;
+  h.boundaries_ = sketch.ExtractBoundaries(num_buckets);
+  h.count_ = sketch.count();
+  return h;
+}
+
+double EquiHeightHistogram::EstimateLessOrEqualFraction(double v) const {
+  if (empty()) return 0.5;
+  if (v < boundaries_.front()) return 0.0;
+  if (v >= boundaries_.back()) return 1.0;
+  // Locate the bucket [boundaries_[i], boundaries_[i+1]) containing v.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  size_t bucket = static_cast<size_t>(it - boundaries_.begin());
+  if (bucket == 0) return 0.0;
+  --bucket;  // Bucket index whose left edge is <= v.
+  const double b = static_cast<double>(num_buckets());
+  double lo = boundaries_[bucket];
+  double hi = boundaries_[bucket + 1];
+  double within = hi > lo ? (v - lo) / (hi - lo) : 1.0;
+  within = std::clamp(within, 0.0, 1.0);
+  return (static_cast<double>(bucket) + within) / b;
+}
+
+double EquiHeightHistogram::EstimateRangeFraction(double lo, double hi) const {
+  if (empty()) return 1.0 / 3.0;  // Selinger default for range predicates.
+  if (hi < lo) return 0.0;
+  double upper = EstimateLessOrEqualFraction(hi);
+  double lower = std::isinf(lo) && lo < 0
+                     ? 0.0
+                     : EstimateLessOrEqualFraction(
+                           std::nextafter(lo, -std::numeric_limits<double>::infinity()));
+  return std::clamp(upper - lower, 0.0, 1.0);
+}
+
+std::string EquiHeightHistogram::ToString() const {
+  std::ostringstream os;
+  os << "hist(buckets=" << num_buckets() << ", count=" << count_ << ", [";
+  for (size_t i = 0; i < boundaries_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << boundaries_[i];
+  }
+  os << "])";
+  return os.str();
+}
+
+}  // namespace dynopt

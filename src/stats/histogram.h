@@ -1,0 +1,48 @@
+#ifndef DYNOPT_STATS_HISTOGRAM_H_
+#define DYNOPT_STATS_HISTOGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "stats/gk_quantile.h"
+
+namespace dynopt {
+
+/// Equi-height histogram over a column's numeric key space, built from the
+/// quantile boundaries of a Greenwald–Khanna sketch (Section 4 of the
+/// paper). Every bucket holds ~count/num_buckets values, so selectivity of
+/// a range predicate is (#buckets covered + partial-bucket interpolation) /
+/// num_buckets.
+class EquiHeightHistogram {
+ public:
+  EquiHeightHistogram() = default;
+
+  /// Builds a histogram with `num_buckets` buckets from a populated sketch.
+  static EquiHeightHistogram FromSketch(const GkQuantileSketch& sketch,
+                                        int num_buckets);
+
+  bool empty() const { return boundaries_.size() < 2; }
+  uint64_t count() const { return count_; }
+  int num_buckets() const {
+    return empty() ? 0 : static_cast<int>(boundaries_.size()) - 1;
+  }
+  const std::vector<double>& boundaries() const { return boundaries_; }
+
+  /// Estimated fraction of values <= v. Empty histogram returns 0.5 (an
+  /// uninformative prior).
+  double EstimateLessOrEqualFraction(double v) const;
+
+  /// Estimated fraction of values in the range bounded by lo/hi (either may
+  /// be +-inf for an open side).
+  double EstimateRangeFraction(double lo, double hi) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<double> boundaries_;  // num_buckets + 1 ascending values.
+  uint64_t count_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STATS_HISTOGRAM_H_

@@ -1,0 +1,66 @@
+#include "stats/hyperloglog.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace dynopt {
+
+HyperLogLog::HyperLogLog(int precision) : precision_(precision) {
+  DYNOPT_CHECK(precision >= 4 && precision <= 18);
+  registers_.assign(static_cast<size_t>(1) << precision, 0);
+}
+
+void HyperLogLog::Add(uint64_t hash) {
+  ++num_adds_;
+  const uint64_t index = hash >> (64 - precision_);
+  const uint64_t remaining = hash << precision_;
+  // Rank = position of leftmost 1-bit in the remaining bits (1-based);
+  // all-zero remainder gets the maximum rank.
+  int rank;
+  if (remaining == 0) {
+    rank = 64 - precision_ + 1;
+  } else {
+    rank = __builtin_clzll(remaining) + 1;
+  }
+  auto& reg = registers_[index];
+  if (rank > reg) reg = static_cast<uint8_t>(rank);
+}
+
+double HyperLogLog::Estimate() const {
+  const double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() == 16) {
+    alpha = 0.673;
+  } else if (registers_.size() == 32) {
+    alpha = 0.697;
+  } else if (registers_.size() == 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t reg : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(reg));
+    if (reg == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  // Linear counting for the small-cardinality regime.
+  if (estimate <= 2.5 * m && zeros > 0) {
+    estimate = m * std::log(m / static_cast<double>(zeros));
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  DYNOPT_CHECK(precision_ == other.precision_);
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    if (other.registers_[i] > registers_[i]) {
+      registers_[i] = other.registers_[i];
+    }
+  }
+  num_adds_ += other.num_adds_;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+namespace dynopt {
+
+Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string& name = table->name();
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists("table " + name + " already registered");
+  }
+  tables_[name] = std::move(table);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table " + name + " not in catalog");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::string Catalog::UniqueTempName(const std::string& prefix) {
+  return "__tmp_" + prefix + "_" +
+         std::to_string(temp_counter_.fetch_add(1));
+}
+
+bool Catalog::IsTempName(const std::string& name) {
+  return name.rfind("__tmp_", 0) == 0;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace dynopt

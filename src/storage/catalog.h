@@ -1,0 +1,45 @@
+#ifndef DYNOPT_STORAGE_CATALOG_H_
+#define DYNOPT_STORAGE_CATALOG_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace dynopt {
+
+/// Name -> table registry for base datasets and the temporary datasets the
+/// dynamic optimizer materializes at each re-optimization point. Temp
+/// tables get unique generated names ("__tmp_<prefix>_<n>") so concurrent
+/// queries never collide, and are dropped when a query finishes.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Status RegisterTable(std::shared_ptr<Table> table);
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+  Status DropTable(const std::string& name);
+
+  /// Generates a fresh name for an intermediate-result table.
+  std::string UniqueTempName(const std::string& prefix);
+
+  /// True for names produced by UniqueTempName.
+  static bool IsTempName(const std::string& name);
+
+  std::vector<std::string> TableNames() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::atomic<uint64_t> temp_counter_{0};
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_CATALOG_H_

@@ -1,0 +1,25 @@
+#include "storage/schema.h"
+
+#include <sstream>
+
+namespace dynopt {
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << " " << ValueTypeName(fields_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace dynopt

@@ -1,0 +1,44 @@
+#ifndef DYNOPT_STORAGE_SCHEMA_H_
+#define DYNOPT_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace dynopt {
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of named, typed columns. Column names inside a base table
+/// are unqualified ("l_orderkey"); runtime datasets qualify them with the
+/// query alias ("l.l_orderkey") to keep join provenance unambiguous.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  /// Index of the column with the given name, or -1 when absent.
+  int FieldIndex(const std::string& name) const;
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_SCHEMA_H_

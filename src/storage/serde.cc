@@ -1,0 +1,200 @@
+#include "storage/serde.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dynopt {
+
+namespace {
+
+constexpr uint8_t kTagNull = 0;
+constexpr uint8_t kTagBoolFalse = 1;
+constexpr uint8_t kTagBoolTrue = 2;
+constexpr uint8_t kTagInt64 = 3;
+constexpr uint8_t kTagDouble = 4;
+constexpr uint8_t kTagString = 5;
+
+void AppendFixed64(uint64_t v, std::string* out) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  out->append(buf, 8);
+}
+
+Result<uint64_t> ReadFixed64(const std::string& buffer, size_t* offset) {
+  if (*offset + 8 > buffer.size()) {
+    return Status::OutOfRange("serde: truncated fixed64");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(
+             static_cast<unsigned char>(buffer[*offset + i]))
+         << (8 * i);
+  }
+  *offset += 8;
+  return v;
+}
+
+void AppendVarint(uint64_t v, std::string* out) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+Result<uint64_t> ReadVarint(const std::string& buffer, size_t* offset) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (*offset >= buffer.size()) {
+      return Status::OutOfRange("serde: truncated varint");
+    }
+    uint8_t byte = static_cast<unsigned char>(buffer[(*offset)++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) break;
+    shift += 7;
+    if (shift > 63) return Status::OutOfRange("serde: varint overflow");
+  }
+  return v;
+}
+
+}  // namespace
+
+void EncodeValue(const Value& v, std::string* out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out->push_back(static_cast<char>(kTagNull));
+      break;
+    case ValueType::kBool:
+      out->push_back(
+          static_cast<char>(v.AsBool() ? kTagBoolTrue : kTagBoolFalse));
+      break;
+    case ValueType::kInt64:
+      out->push_back(static_cast<char>(kTagInt64));
+      AppendFixed64(static_cast<uint64_t>(v.AsInt64()), out);
+      break;
+    case ValueType::kDouble: {
+      out->push_back(static_cast<char>(kTagDouble));
+      uint64_t bits;
+      double d = v.AsDouble();
+      std::memcpy(&bits, &d, sizeof(d));
+      AppendFixed64(bits, out);
+      break;
+    }
+    case ValueType::kString: {
+      out->push_back(static_cast<char>(kTagString));
+      const std::string& s = v.AsString();
+      AppendVarint(s.size(), out);
+      out->append(s);
+      break;
+    }
+  }
+}
+
+Result<Value> DecodeValue(const std::string& buffer, size_t* offset) {
+  if (*offset >= buffer.size()) {
+    return Status::OutOfRange("serde: truncated value tag");
+  }
+  uint8_t tag = static_cast<unsigned char>(buffer[(*offset)++]);
+  switch (tag) {
+    case kTagNull:
+      return Value::Null();
+    case kTagBoolFalse:
+      return Value(false);
+    case kTagBoolTrue:
+      return Value(true);
+    case kTagInt64: {
+      DYNOPT_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64(buffer, offset));
+      return Value(static_cast<int64_t>(bits));
+    }
+    case kTagDouble: {
+      DYNOPT_ASSIGN_OR_RETURN(uint64_t bits, ReadFixed64(buffer, offset));
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return Value(d);
+    }
+    case kTagString: {
+      DYNOPT_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(buffer, offset));
+      if (*offset + len > buffer.size()) {
+        return Status::OutOfRange("serde: truncated string payload");
+      }
+      Value v(buffer.substr(*offset, len));
+      *offset += len;
+      return v;
+    }
+    default:
+      return Status::OutOfRange("serde: unknown value tag " +
+                                std::to_string(tag));
+  }
+}
+
+void EncodeRow(const Row& row, std::string* out) {
+  AppendVarint(row.size(), out);
+  for (const Value& v : row) EncodeValue(v, out);
+}
+
+Result<Row> DecodeRow(const std::string& buffer, size_t* offset) {
+  DYNOPT_ASSIGN_OR_RETURN(uint64_t count, ReadVarint(buffer, offset));
+  Row row;
+  row.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DYNOPT_ASSIGN_OR_RETURN(Value v, DecodeValue(buffer, offset));
+    row.push_back(std::move(v));
+  }
+  return row;
+}
+
+std::string EncodeRows(const std::vector<Row>& rows) {
+  std::string out;
+  AppendVarint(rows.size(), &out);
+  for (const Row& row : rows) EncodeRow(row, &out);
+  return out;
+}
+
+Result<std::vector<Row>> DecodeRows(const std::string& buffer) {
+  size_t offset = 0;
+  DYNOPT_ASSIGN_OR_RETURN(uint64_t count, ReadVarint(buffer, &offset));
+  std::vector<Row> rows;
+  rows.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DYNOPT_ASSIGN_OR_RETURN(Row row, DecodeRow(buffer, &offset));
+    rows.push_back(std::move(row));
+  }
+  if (offset != buffer.size()) {
+    return Status::OutOfRange("serde: trailing bytes after rows");
+  }
+  return rows;
+}
+
+Status WriteRowsFile(const std::string& path, const std::vector<Row>& rows) {
+  std::string buffer = EncodeRows(rows);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open " + path + " for writing");
+  }
+  size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != buffer.size() || close_rc != 0) {
+    return Status::ExecutionError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> ReadRowsFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + " for reading");
+  }
+  std::string buffer;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    buffer.append(chunk, n);
+  }
+  std::fclose(f);
+  return DecodeRows(buffer);
+}
+
+}  // namespace dynopt

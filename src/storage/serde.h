@@ -1,0 +1,48 @@
+#ifndef DYNOPT_STORAGE_SERDE_H_
+#define DYNOPT_STORAGE_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dynopt {
+
+/// Binary row serialization for materialized intermediate results. The
+/// paper's system stores each re-optimization point's output "in a
+/// temporary file"; this is the on-disk format: a 1-byte type tag per
+/// value, little-endian fixed-width payloads, length-prefixed strings,
+/// rows prefixed by their value count.
+///
+/// The format is self-describing per value (schemas of intermediates are
+/// inferred from data on read-back) and append-friendly.
+
+/// Appends the encoding of `v` to `out`.
+void EncodeValue(const Value& v, std::string* out);
+
+/// Decodes one value starting at `*offset`; advances the offset.
+Result<Value> DecodeValue(const std::string& buffer, size_t* offset);
+
+/// Appends the encoding of `row` to `out`.
+void EncodeRow(const Row& row, std::string* out);
+
+/// Decodes one row starting at `*offset`; advances the offset.
+Result<Row> DecodeRow(const std::string& buffer, size_t* offset);
+
+/// Serializes all rows into one buffer (count-prefixed).
+std::string EncodeRows(const std::vector<Row>& rows);
+
+/// Inverse of EncodeRows.
+Result<std::vector<Row>> DecodeRows(const std::string& buffer);
+
+/// Writes `rows` to `path` (EncodeRows format), overwriting.
+Status WriteRowsFile(const std::string& path, const std::vector<Row>& rows);
+
+/// Reads a file written by WriteRowsFile.
+Result<std::vector<Row>> ReadRowsFile(const std::string& path);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_STORAGE_SERDE_H_

@@ -1,0 +1,113 @@
+#include "storage/table.h"
+
+#include "common/logging.h"
+
+namespace dynopt {
+
+SecondaryIndex::SecondaryIndex(std::string column, int column_index,
+                               size_t num_partitions)
+    : column_(std::move(column)),
+      column_index_(column_index),
+      partitions_(num_partitions) {}
+
+void SecondaryIndex::Insert(const Value& key, size_t partition,
+                            uint32_t row_offset) {
+  partitions_[partition][key].push_back(row_offset);
+  ++num_entries_;
+}
+
+const std::vector<uint32_t>* SecondaryIndex::Lookup(size_t partition,
+                                                    const Value& key) const {
+  const auto& map = partitions_[partition];
+  auto it = map.find(key);
+  return it == map.end() ? nullptr : &it->second;
+}
+
+Table::Table(std::string name, Schema schema, size_t num_partitions)
+    : name_(std::move(name)),
+      schema_(std::move(schema)),
+      partitions_(num_partitions) {
+  DYNOPT_CHECK(num_partitions > 0);
+}
+
+Status Table::SetPartitionKey(const std::vector<std::string>& columns) {
+  if (num_rows_ > 0) {
+    return Status::InvalidArgument(
+        "partition key must be set before loading rows into " + name_);
+  }
+  std::vector<int> indices;
+  for (const auto& col : columns) {
+    int idx = schema_.FieldIndex(col);
+    if (idx < 0) {
+      return Status::NotFound("partition key column " + col +
+                              " not in schema of " + name_);
+    }
+    indices.push_back(idx);
+  }
+  partition_key_ = columns;
+  partition_key_indices_ = std::move(indices);
+  return Status::OK();
+}
+
+void Table::AppendRow(Row row) {
+  DYNOPT_CHECK(row.size() == schema_.num_fields());
+  size_t target;
+  if (!partition_key_indices_.empty()) {
+    target = static_cast<size_t>(HashRowKey(row, partition_key_indices_) %
+                                 partitions_.size());
+  } else {
+    target = static_cast<size_t>(round_robin_next_++ % partitions_.size());
+  }
+  total_bytes_ += RowSizeBytes(row);
+  ++num_rows_;
+  partitions_[target].push_back(std::move(row));
+}
+
+void Table::AppendRowToPartition(size_t partition, Row row) {
+  DYNOPT_CHECK(partition < partitions_.size());
+  DYNOPT_CHECK(row.size() == schema_.num_fields());
+  total_bytes_ += RowSizeBytes(row);
+  ++num_rows_;
+  partitions_[partition].push_back(std::move(row));
+}
+
+Status Table::CreateSecondaryIndex(const std::string& column) {
+  int idx = schema_.FieldIndex(column);
+  if (idx < 0) {
+    return Status::NotFound("index column " + column + " not in schema of " +
+                            name_);
+  }
+  if (indexes_.count(column) > 0) {
+    return Status::AlreadyExists("index on " + name_ + "." + column);
+  }
+  auto index =
+      std::make_unique<SecondaryIndex>(column, idx, partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const auto& rows = partitions_[p];
+    for (size_t r = 0; r < rows.size(); ++r) {
+      index->Insert(rows[r][static_cast<size_t>(idx)], p,
+                    static_cast<uint32_t>(r));
+    }
+  }
+  indexes_[column] = std::move(index);
+  return Status::OK();
+}
+
+bool Table::HasSecondaryIndex(const std::string& column) const {
+  return indexes_.count(column) > 0;
+}
+
+const SecondaryIndex* Table::GetSecondaryIndex(
+    const std::string& column) const {
+  auto it = indexes_.find(column);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Table::IndexedColumns() const {
+  std::vector<std::string> cols;
+  cols.reserve(indexes_.size());
+  for (const auto& [col, _] : indexes_) cols.push_back(col);
+  return cols;
+}
+
+}  // namespace dynopt

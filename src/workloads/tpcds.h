@@ -1,0 +1,60 @@
+#ifndef DYNOPT_WORKLOADS_TPCDS_H_
+#define DYNOPT_WORKLOADS_TPCDS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Generator knobs for the TPC-DS-like subset (the six tables Q17/Q50
+/// touch). `sf` scales fact-table row counts linearly; dimensions stay
+/// (mostly) fixed like in the official schema.
+struct TpcdsOptions {
+  double sf = 1.0;
+  uint64_t seed = 7;
+  bool collect_base_stats = true;
+  /// Zipf exponent of customer activity in store_sales — the skew that
+  /// makes sampled/naive estimates of the fact-to-fact joins unreliable.
+  double customer_skew = 1.1;
+};
+
+struct TpcdsCardinalities {
+  uint64_t date_dim = 1800;  ///< 5 years of (360-day) days, 1998-2002.
+  uint64_t store = 0;
+  uint64_t item = 0;
+  uint64_t customers = 0;  ///< Customer id domain (no customer table needed).
+  uint64_t store_sales = 0;
+  uint64_t store_returns = 0;  ///< ~10% of sales.
+  uint64_t catalog_sales = 0;
+};
+TpcdsCardinalities ComputeTpcdsCardinalities(double sf);
+
+/// Creates and loads date_dim, store, item, store_sales, store_returns and
+/// catalog_sales. The generator plants the paper-relevant structure:
+///  - store_returns rows reference real (item, ticket, customer) triples of
+///    store_sales (the three-column fact-to-fact join of Q17/Q50);
+///  - catalog_sales partially reuses returned (customer, item) pairs so the
+///    non-key sr-cs join of Q17 has skewed, correlated fan-out;
+///  - customer activity is Zipf-skewed.
+Status LoadTpcds(Engine* engine, const TpcdsOptions& options);
+
+/// Secondary indexes for Figure 8: the date FKs of the three fact tables
+/// (ss_sold_date_sk, sr_returned_date_sk, cs_sold_date_sk).
+Status CreateTpcdsIndexes(Engine* engine);
+
+/// SQL text of the paper's queries (Appendix, Figure 9). Q50's dimension
+/// filter uses parameters $moy/$year ("parameterized values").
+std::string TpcdsQ17Sql();
+std::string TpcdsQ50Sql();
+
+Result<QuerySpec> TpcdsQ17(Engine* engine);
+/// moy in [8,10], year in [1998,2000] per the paper's myrand ranges.
+Result<QuerySpec> TpcdsQ50(Engine* engine, int64_t moy, int64_t year);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOADS_TPCDS_H_

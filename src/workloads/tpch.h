@@ -1,0 +1,63 @@
+#ifndef DYNOPT_WORKLOADS_TPCH_H_
+#define DYNOPT_WORKLOADS_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Generator knobs for the TPC-H-like workload. `sf` scales row counts
+/// linearly while preserving the official TPC-H ratios between tables
+/// (1 unit ~= 1/100 of official SF 1, so experiments stay laptop-sized;
+/// the paper's SF 10/100/1000 map to sf 1/4/16 in the bench harness).
+struct TpchOptions {
+  double sf = 1.0;
+  uint64_t seed = 42;
+  /// Collect load-time base statistics (the LSM-ingestion stats of the
+  /// paper) after loading.
+  bool collect_base_stats = true;
+};
+
+/// Row-count schedule derived from `sf` (exposed for tests).
+struct TpchCardinalities {
+  uint64_t region = 5;
+  uint64_t nation = 25;
+  uint64_t supplier = 0;
+  uint64_t customer = 0;
+  uint64_t part = 0;
+  uint64_t partsupp = 0;
+  uint64_t orders = 0;
+  uint64_t lineitem = 0;
+};
+TpchCardinalities ComputeTpchCardinalities(double sf);
+
+/// Creates and loads the eight TPC-H tables into the engine's catalog,
+/// registers the workload UDFs (myyear, mysub) and collects base
+/// statistics. Dates are yyyymmdd int64. The generator plants the
+/// correlations the paper's modified queries exploit:
+///  - o_orderstatus is correlated with o_orderdate (status 'F' for old
+///    orders), so Q8's two orders predicates break the independence
+///    assumption;
+///  - (l_partkey, l_suppkey) pairs respect the partsupp relationship, so
+///    Q9's two-column partsupp join is a true composite-key join.
+Status LoadTpch(Engine* engine, const TpchOptions& options);
+
+/// Secondary indexes for the Figure-8 INLJ experiments: lineitem(l_partkey)
+/// and lineitem(l_suppkey).
+Status CreateTpchIndexes(Engine* engine);
+
+/// SQL text of the paper's modified queries (Appendix, Figure 10).
+std::string TpchQ8Sql();
+std::string TpchQ9Sql();
+
+/// Parse + bind the queries against the engine's catalog.
+Result<QuerySpec> TpchQ8(Engine* engine);
+Result<QuerySpec> TpchQ9(Engine* engine);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_WORKLOADS_TPCH_H_

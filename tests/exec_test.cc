@@ -1,0 +1,402 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "exec/executor.h"
+#include "opt/optimizer.h"
+
+namespace dynopt {
+namespace {
+
+/// Reference nested-loop join over gathered rows, for oracle comparison.
+std::vector<Row> NaiveJoin(const std::vector<Row>& left,
+                           const std::vector<Row>& right,
+                           const std::vector<int>& lkeys,
+                           const std::vector<int>& rkeys) {
+  std::vector<Row> out;
+  for (const Row& l : left) {
+    for (const Row& r : right) {
+      bool match = true;
+      for (size_t i = 0; i < lkeys.size(); ++i) {
+        const Value& lv = l[static_cast<size_t>(lkeys[i])];
+        const Value& rv = r[static_cast<size_t>(rkeys[i])];
+        if (lv.is_null() || rv.is_null() || lv != rv) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row joined = l;
+      joined.insert(joined.end(), r.begin(), r.end());
+      out.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+/// Engine fixture with two joinable tables, configurable sizes and key
+/// skew.
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override { engine_ = std::make_unique<Engine>(); }
+
+  std::shared_ptr<Table> MakeTable(const std::string& name, int rows,
+                                   int key_domain, uint64_t seed,
+                                   double zipf_skew = 0.0) {
+    auto t = std::make_shared<Table>(
+        name,
+        Schema({{"k", ValueType::kInt64},
+                {"k2", ValueType::kInt64},
+                {"payload", ValueType::kString}}),
+        engine_->cluster().num_nodes);
+    EXPECT_TRUE(t->SetPartitionKey({"k"}).ok());
+    Rng rng(seed);
+    ZipfDistribution zipf(static_cast<size_t>(key_domain),
+                          zipf_skew > 0 ? zipf_skew : 0.0);
+    for (int i = 0; i < rows; ++i) {
+      int64_t k = zipf_skew > 0
+                      ? static_cast<int64_t>(zipf.Sample(rng))
+                      : rng.NextInt64(0, key_domain - 1);
+      t->AppendRow({Value(k), Value(rng.NextInt64(0, 9)),
+                    Value(name + "_" + std::to_string(i))});
+    }
+    EXPECT_TRUE(engine_->catalog().RegisterTable(t).ok());
+    return t;
+  }
+
+  Result<JobResult> Exec(const PlanNode& plan) {
+    JobExecutor executor = engine_->MakeExecutor();
+    return executor.Execute(plan, {});
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+// --- Scan / filter / project ----------------------------------------------------
+
+TEST_F(ExecTest, ScanQualifiesAndProjects) {
+  MakeTable("t", 100, 10, 1);
+  auto plan = PlanNode::Scan("t", "a", false, {"a.payload", "a.k"});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->data.columns,
+            (std::vector<std::string>{"a.payload", "a.k"}));
+  EXPECT_EQ(result->data.NumRows(), 100u);
+  EXPECT_GT(result->metrics.bytes_scanned, 0u);
+  EXPECT_GT(result->metrics.simulated_seconds, 0.0);
+}
+
+TEST_F(ExecTest, ScanUnknownColumnFails) {
+  MakeTable("t", 10, 5, 1);
+  auto plan = PlanNode::Scan("t", "a", false, {"a.missing"});
+  EXPECT_EQ(Exec(*plan).status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, ScanUnknownTableFails) {
+  auto plan = PlanNode::Scan("nope", "a");
+  EXPECT_EQ(Exec(*plan).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExecTest, FilterKeepsMatchingRows) {
+  MakeTable("t", 1000, 10, 2);
+  auto plan = PlanNode::Filter(PlanNode::Scan("t", "a"),
+                               Eq(Col("a", "k"), Lit(Value(3))));
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  for (const Row& row : result->data.GatherRows()) {
+    EXPECT_EQ(row[0], Value(3));
+  }
+  EXPECT_GT(result->data.NumRows(), 0u);
+  EXPECT_LT(result->data.NumRows(), 1000u);
+}
+
+TEST_F(ExecTest, ProjectReordersColumns) {
+  MakeTable("t", 10, 5, 3);
+  auto plan = PlanNode::Project(PlanNode::Scan("t", "a"),
+                                {"a.payload", "a.k"});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.columns,
+            (std::vector<std::string>{"a.payload", "a.k"}));
+  Row first = result->data.GatherRows()[0];
+  EXPECT_EQ(first[0].type(), ValueType::kString);
+  EXPECT_EQ(first[1].type(), ValueType::kInt64);
+}
+
+// --- Join correctness sweep -------------------------------------------------------
+
+/// (left rows, right rows, key domain, num keys, skew) — hash and broadcast
+/// must both match the naive oracle.
+class JoinCorrectnessTest
+    : public ExecTest,
+      public ::testing::WithParamInterface<
+          std::tuple<int, int, int, int, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinCorrectnessTest,
+    ::testing::Values(std::make_tuple(50, 50, 10, 1, 0.0),
+                      std::make_tuple(200, 1000, 30, 1, 0.0),
+                      std::make_tuple(1000, 200, 30, 1, 0.0),
+                      std::make_tuple(100, 100, 5, 2, 0.0),
+                      std::make_tuple(500, 500, 20, 1, 1.2),
+                      std::make_tuple(300, 700, 1, 1, 0.0),   // All match.
+                      std::make_tuple(10, 10, 1000, 1, 0.0),  // Few match.
+                      std::make_tuple(0, 100, 10, 1, 0.0),    // Empty side.
+                      std::make_tuple(100, 0, 10, 1, 0.0)));
+
+TEST_P(JoinCorrectnessTest, HashAndBroadcastMatchNaive) {
+  auto [lrows, rrows, domain, nkeys, skew] = GetParam();
+  auto lt = MakeTable("lhs", lrows, domain, 10, skew);
+  auto rt = MakeTable("rhs", rrows, domain, 20, skew);
+
+  std::vector<std::pair<std::string, std::string>> keys = {
+      {"l.k", "r.k"}};
+  std::vector<int> lkeys = {0}, rkeys = {0};
+  if (nkeys == 2) {
+    keys.emplace_back("l.k2", "r.k2");
+    lkeys.push_back(1);
+    rkeys.push_back(1);
+  }
+
+  // Oracle.
+  Dataset lscan, rscan;
+  {
+    auto lres = Exec(*PlanNode::Scan("lhs", "l"));
+    auto rres = Exec(*PlanNode::Scan("rhs", "r"));
+    ASSERT_TRUE(lres.ok() && rres.ok());
+    lscan = std::move(lres->data);
+    rscan = std::move(rres->data);
+  }
+  std::vector<Row> expected =
+      NaiveJoin(lscan.GatherRows(), rscan.GatherRows(), lkeys, rkeys);
+  SortRows(&expected);
+
+  for (JoinMethod method :
+       {JoinMethod::kHashShuffle, JoinMethod::kBroadcast}) {
+    auto plan = PlanNode::Join(method, PlanNode::Scan("lhs", "l"),
+                               PlanNode::Scan("rhs", "r"), keys);
+    auto result = Exec(*plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Row> actual = result->data.GatherRows();
+    SortRows(&actual);
+    EXPECT_EQ(actual, expected) << JoinMethodName(method);
+  }
+}
+
+TEST_F(ExecTest, NullKeysNeverMatch) {
+  auto t = std::make_shared<Table>(
+      "nulls", Schema({{"k", ValueType::kInt64}}), 2);
+  t->AppendRow({Value::Null()});
+  t->AppendRow({Value(1)});
+  ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
+  auto plan = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("nulls", "a"),
+                             PlanNode::Scan("nulls", "b"), {{"a.k", "b.k"}});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->data.NumRows(), 1u);  // Only 1=1; NULL=NULL excluded.
+}
+
+TEST_F(ExecTest, HashJoinMetersShuffle) {
+  // Join on k2, which neither table is partitioned on, forcing real
+  // re-partitioning traffic.
+  MakeTable("lhs", 1000, 100, 30);
+  MakeTable("rhs", 1000, 100, 31);
+  auto plan = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("lhs", "l"),
+                             PlanNode::Scan("rhs", "r"), {{"l.k2", "r.k2"}});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.bytes_shuffled, 0u);
+  EXPECT_EQ(result->metrics.bytes_broadcast, 0u);
+}
+
+TEST_F(ExecTest, CoPartitionedHashJoinSkipsShuffle) {
+  // Both tables are hash-partitioned on k; re-partitioning is unnecessary
+  // and must be free, as in AsterixDB's key/foreign-key case.
+  MakeTable("lhs", 1000, 100, 30);
+  MakeTable("rhs", 1000, 100, 31);
+  auto plan = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("lhs", "l"),
+                             PlanNode::Scan("rhs", "r"), {{"l.k", "r.k"}});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->metrics.bytes_shuffled, 0u);
+}
+
+TEST_F(ExecTest, BroadcastJoinMetersBroadcast) {
+  MakeTable("lhs", 100, 100, 32);
+  MakeTable("rhs", 1000, 100, 33);
+  auto plan = PlanNode::Join(JoinMethod::kBroadcast,
+                             PlanNode::Scan("lhs", "l"),
+                             PlanNode::Scan("rhs", "r"), {{"l.k", "r.k"}});
+  auto result = Exec(*plan);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->metrics.bytes_broadcast, 0u);
+  EXPECT_EQ(result->metrics.bytes_shuffled, 0u);
+}
+
+TEST_F(ExecTest, OversizedBroadcastPaysSpillPenalty) {
+  // Shrink the memory budget so the build side overflows.
+  engine_->mutable_cluster().broadcast_threshold_bytes = 1024;
+  MakeTable("lhs", 2000, 100, 34);
+  MakeTable("rhs", 100, 100, 35);
+  auto broadcast = PlanNode::Join(JoinMethod::kBroadcast,
+                                  PlanNode::Scan("lhs", "l"),
+                                  PlanNode::Scan("rhs", "r"),
+                                  {{"l.k", "r.k"}});
+  auto hash = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("lhs", "l"),
+                             PlanNode::Scan("rhs", "r"), {{"l.k", "r.k"}});
+  auto b = Exec(*broadcast);
+  auto h = Exec(*hash);
+  ASSERT_TRUE(b.ok() && h.ok());
+  EXPECT_GT(b->metrics.simulated_seconds,
+            3.0 * h->metrics.simulated_seconds)
+      << "an overflowing broadcast build must be punished";
+}
+
+// --- Indexed nested loop join -------------------------------------------------------
+
+TEST_F(ExecTest, InljMatchesHashJoin) {
+  auto inner = MakeTable("inner", 2000, 200, 40);
+  ASSERT_TRUE(inner->CreateSecondaryIndex("k").ok());
+  MakeTable("outer", 50, 200, 41);
+
+  auto inlj = PlanNode::Join(JoinMethod::kIndexNestedLoop,
+                             PlanNode::Scan("outer", "o"),
+                             PlanNode::Scan("inner", "i"), {{"o.k", "i.k"}});
+  auto hash = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("outer", "o"),
+                             PlanNode::Scan("inner", "i"), {{"o.k", "i.k"}});
+  auto a = Exec(*inlj);
+  auto b = Exec(*hash);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  ASSERT_TRUE(b.ok());
+  std::vector<Row> ar = a->data.GatherRows(), br = b->data.GatherRows();
+  SortRows(&ar);
+  SortRows(&br);
+  EXPECT_EQ(ar, br);
+  EXPECT_GT(a->metrics.index_lookups, 0u);
+  EXPECT_EQ(b->metrics.index_lookups, 0u);
+}
+
+TEST_F(ExecTest, InljRequiresIndex) {
+  MakeTable("inner", 100, 10, 42);  // No index created.
+  MakeTable("outer", 10, 10, 43);
+  auto plan = PlanNode::Join(JoinMethod::kIndexNestedLoop,
+                             PlanNode::Scan("outer", "o"),
+                             PlanNode::Scan("inner", "i"), {{"o.k", "i.k"}});
+  EXPECT_EQ(Exec(*plan).status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, InljRequiresBaseScanInner) {
+  auto inner = MakeTable("inner", 100, 10, 44);
+  ASSERT_TRUE(inner->CreateSecondaryIndex("k").ok());
+  MakeTable("outer", 10, 10, 45);
+  auto filtered_inner = PlanNode::Filter(PlanNode::Scan("inner", "i"),
+                                         Eq(Col("i", "k2"), Lit(Value(1))));
+  auto plan = PlanNode::Join(JoinMethod::kIndexNestedLoop,
+                             PlanNode::Scan("outer", "o"),
+                             std::move(filtered_inner), {{"o.k", "i.k"}});
+  EXPECT_EQ(Exec(*plan).status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, InljRejectsCompositeKeys) {
+  auto inner = MakeTable("inner", 100, 10, 46);
+  ASSERT_TRUE(inner->CreateSecondaryIndex("k").ok());
+  MakeTable("outer", 10, 10, 47);
+  auto plan = PlanNode::Join(
+      JoinMethod::kIndexNestedLoop, PlanNode::Scan("outer", "o"),
+      PlanNode::Scan("inner", "i"), {{"o.k", "i.k"}, {"o.k2", "i.k2"}});
+  EXPECT_EQ(Exec(*plan).status().code(), StatusCode::kExecutionError);
+}
+
+// --- Materialization -------------------------------------------------------------
+
+TEST_F(ExecTest, MaterializePreservesDataAndPartitions) {
+  MakeTable("t", 500, 50, 50);
+  auto scan = Exec(*PlanNode::Scan("t", "a"));
+  ASSERT_TRUE(scan.ok());
+  std::vector<size_t> partition_sizes;
+  for (const auto& p : scan->data.partitions) {
+    partition_sizes.push_back(p.size());
+  }
+  std::vector<Row> original = scan->data.GatherRows();
+
+  JobExecutor executor = engine_->MakeExecutor();
+  ExecMetrics metrics;
+  auto sink = executor.Materialize(std::move(scan->data), "test", {"a.k"},
+                                   true, &metrics);
+  ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+  EXPECT_TRUE(Catalog::IsTempName(sink->table_name));
+  EXPECT_EQ(sink->stats.row_count, 500u);
+  EXPECT_NEAR(sink->stats.Column("a.k")->ndv, 50.0, 2.0);
+  EXPECT_GT(metrics.bytes_materialized, 0u);
+  EXPECT_GT(metrics.reopt_seconds, 0.0);
+  EXPECT_GT(metrics.stats_seconds, 0.0);
+  EXPECT_EQ(metrics.num_reopt_points, 1);
+
+  // Reader sees identical data in identical partitions.
+  auto table = engine_->catalog().GetTable(sink->table_name);
+  ASSERT_TRUE(table.ok());
+  for (size_t p = 0; p < partition_sizes.size(); ++p) {
+    EXPECT_EQ(table.value()->partition(p).size(), partition_sizes[p]);
+  }
+  auto reread = Exec(*PlanNode::Scan(sink->table_name, "", true));
+  ASSERT_TRUE(reread.ok());
+  std::vector<Row> roundtrip = reread->data.GatherRows();
+  SortRows(&original);
+  SortRows(&roundtrip);
+  EXPECT_EQ(original, roundtrip);
+  EXPECT_GT(reread->metrics.bytes_intermediate_read, 0u);
+  EXPECT_GT(reread->metrics.reopt_seconds, 0.0);
+}
+
+TEST_F(ExecTest, MaterializeWithoutStatsStillRecordsCardinality) {
+  MakeTable("t", 200, 20, 51);
+  auto scan = Exec(*PlanNode::Scan("t", "a"));
+  ASSERT_TRUE(scan.ok());
+  JobExecutor executor = engine_->MakeExecutor();
+  ExecMetrics metrics;
+  auto sink = executor.Materialize(std::move(scan->data), "nostats",
+                                   {"a.k"}, false, &metrics);
+  ASSERT_TRUE(sink.ok());
+  EXPECT_EQ(sink->stats.row_count, 200u);
+  EXPECT_TRUE(sink->stats.columns.empty());
+  EXPECT_DOUBLE_EQ(metrics.stats_seconds, 0.0);
+  // Row count is still registered with the stats framework.
+  const TableStats* stats = engine_->stats().Get(sink->table_name);
+  ASSERT_NE(stats, nullptr);
+  EXPECT_EQ(stats->row_count, 200u);
+}
+
+// --- Metrics ----------------------------------------------------------------------
+
+TEST(MetricsTest, AddAccumulates) {
+  ExecMetrics a, b;
+  a.tuples_processed = 10;
+  a.simulated_seconds = 1.0;
+  a.num_jobs = 1;
+  b.tuples_processed = 5;
+  b.simulated_seconds = 0.5;
+  b.reopt_seconds = 0.1;
+  b.rows_out = 42;
+  b.num_jobs = 2;
+  a.Add(b);
+  EXPECT_EQ(a.tuples_processed, 15u);
+  EXPECT_DOUBLE_EQ(a.simulated_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(a.reopt_seconds, 0.1);
+  EXPECT_EQ(a.rows_out, 42u);  // Latest stage's output.
+  EXPECT_EQ(a.num_jobs, 3);
+  EXPECT_FALSE(a.ToString().empty());
+}
+
+}  // namespace
+}  // namespace dynopt

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exec/engine.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/explain.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+namespace dynopt {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new Engine();
+    TpcdsOptions tpcds;
+    tpcds.sf = 0.2;
+    ASSERT_TRUE(LoadTpcds(engine_, tpcds).ok());
+    TpchOptions tpch;
+    tpch.sf = 0.2;
+    ASSERT_TRUE(LoadTpch(engine_, tpch).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static Engine* engine_;
+};
+
+Engine* ExplainTest::engine_ = nullptr;
+
+TEST_F(ExplainTest, StaticExplainShowsScansJoinsAndEstimates) {
+  auto query = TpcdsQ50(engine_, 9, 1999);
+  ASSERT_TRUE(query.ok());
+  auto explained = ExplainStatic(engine_, query.value());
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  const std::string& text = explained.value();
+  // All five FROM entries appear as scans.
+  for (const char* alias : {"ss", "sr", "d1", "d2", "s"}) {
+    EXPECT_NE(text.find(std::string("Scan ") + alias), std::string::npos)
+        << text;
+  }
+  EXPECT_NE(text.find("Join["), std::string::npos);
+  EXPECT_NE(text.find("est_rows="), std::string::npos);
+  EXPECT_NE(text.find("est_bytes="), std::string::npos);
+  // d1 carries the parameterized predicates.
+  EXPECT_NE(text.find("Scan d1 [date_dim] (filtered)"), std::string::npos)
+      << text;
+}
+
+TEST_F(ExplainTest, ExplainShowsPostProcessing) {
+  auto query = TpcdsQ17(engine_);
+  ASSERT_TRUE(query.ok());
+  auto explained = ExplainStatic(engine_, query.value());
+  ASSERT_TRUE(explained.ok());
+  EXPECT_NE(explained->find("then GROUP BY (4 keys, 3 aggregates)"),
+            std::string::npos)
+      << *explained;
+  EXPECT_NE(explained->find("then ORDER BY (4 keys)"), std::string::npos);
+  EXPECT_NE(explained->find("then LIMIT 100"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainTreeRendersRecordedDynamicPlan) {
+  auto query = TpchQ9(engine_);
+  ASSERT_TRUE(query.ok());
+  DynamicOptimizer optimizer(engine_);
+  auto result = optimizer.Run(query.value());
+  ASSERT_TRUE(result.ok());
+  QuerySpec spec = query.value();
+  spec.NormalizeJoins();
+  auto explained = ExplainTree(engine_, spec, *result->join_tree);
+  ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+  EXPECT_NE(explained->find("Scan l [lineitem]"), std::string::npos)
+      << *explained;
+  // Six scans (one per FROM entry), five joins.
+  size_t scans = 0, joins = 0, pos = 0;
+  while ((pos = explained->find("Scan ", pos)) != std::string::npos) {
+    ++scans;
+    pos += 5;
+  }
+  pos = 0;
+  while ((pos = explained->find("Join[", pos)) != std::string::npos) {
+    ++joins;
+    pos += 5;
+  }
+  EXPECT_EQ(scans, 6u);
+  EXPECT_EQ(joins, 5u);
+}
+
+TEST_F(ExplainTest, ExplainRejectsInvalidQuery) {
+  // Disconnected join graph (cross product) fails validation.
+  QuerySpec broken;
+  broken.tables = {{"nation", "a", false, false, {}},
+                   {"region", "b", false, false, {}}};
+  broken.projections = {"a.n_name", "b.r_name"};
+  EXPECT_FALSE(ExplainStatic(engine_, broken).ok());
+}
+
+}  // namespace
+}  // namespace dynopt

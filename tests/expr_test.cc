@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "plan/analysis.h"
+#include "plan/expr.h"
+#include "plan/udf.h"
+
+namespace dynopt {
+namespace {
+
+/// Binds against a fixed two-column row layout: a.x -> 0, a.y -> 1.
+Result<BoundExprPtr> BindSimple(const ExprPtr& expr,
+                                const std::map<std::string, Value>* params =
+                                    nullptr,
+                                const UdfRegistry* udfs = nullptr) {
+  BindContext ctx;
+  ctx.resolve_column = [](const std::string& name) {
+    if (name == "a.x") return 0;
+    if (name == "a.y") return 1;
+    return -1;
+  };
+  ctx.params = params;
+  ctx.udfs = udfs;
+  return Bind(expr, ctx);
+}
+
+// --- Construction / printing -------------------------------------------------
+
+TEST(ExprTest, ToStringRendersTree) {
+  ExprPtr e = And({Cmp(CompareOp::kGt, Col("a", "x"), Lit(Value(5))),
+                   Between(Col("a", "y"), Lit(Value(1)), Lit(Value(9)))});
+  EXPECT_EQ(e->ToString(), "(a.x > 5) AND (a.y BETWEEN 1 AND 9)");
+}
+
+TEST(ExprTest, CollectColumnsFindsAll) {
+  ExprPtr e = Or({Eq(Col("a", "x"), Col("b", "y")),
+                  Not(Udf("f", {Col("c", "z")}))});
+  std::vector<const ColumnRefExpr*> cols;
+  e->CollectColumns(&cols);
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0]->Qualified(), "a.x");
+  EXPECT_EQ(cols[1]->Qualified(), "b.y");
+  EXPECT_EQ(cols[2]->Qualified(), "c.z");
+}
+
+TEST(ExprTest, SplitConjunctsFlattensNestedAnds) {
+  ExprPtr e = And({And({Lit(Value(true)), Lit(Value(false))}),
+                   Lit(Value(true))});
+  EXPECT_EQ(SplitConjuncts(e).size(), 3u);
+  EXPECT_TRUE(SplitConjuncts(nullptr).empty());
+}
+
+TEST(ExprTest, CombineConjunctsInverse) {
+  std::vector<ExprPtr> cs = {Lit(Value(1)), Lit(Value(2)), Lit(Value(3))};
+  ExprPtr combined = CombineConjuncts(cs);
+  EXPECT_EQ(SplitConjuncts(combined).size(), 3u);
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+  EXPECT_EQ(CombineConjuncts({cs[0]}), cs[0]);
+}
+
+// --- Binding & evaluation ------------------------------------------------------
+
+TEST(ExprEvalTest, ColumnAndLiteral) {
+  auto bound = BindSimple(Col("a", "x"));
+  ASSERT_TRUE(bound.ok());
+  Row row = {Value(7), Value("s")};
+  EXPECT_EQ(bound.value()->Eval(row), Value(7));
+}
+
+TEST(ExprEvalTest, UnresolvedColumnFails) {
+  auto bound = BindSimple(Col("z", "q"));
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+}
+
+TEST(ExprEvalTest, ComparisonsAllOps) {
+  Row row = {Value(5), Value(10)};
+  struct Case {
+    CompareOp op;
+    bool expected;
+  };
+  const Case cases[] = {
+      {CompareOp::kEq, false}, {CompareOp::kNe, true}, {CompareOp::kLt, true},
+      {CompareOp::kLe, true},  {CompareOp::kGt, false},
+      {CompareOp::kGe, false}};
+  for (const Case& c : cases) {
+    auto bound = BindSimple(Cmp(c.op, Col("a", "x"), Col("a", "y")));
+    ASSERT_TRUE(bound.ok());
+    EXPECT_EQ(bound.value()->EvalBool(row), c.expected)
+        << CompareOpName(c.op);
+  }
+}
+
+TEST(ExprEvalTest, NullComparisonsAreFalse) {
+  Row row = {Value::Null(), Value(10)};
+  auto bound = BindSimple(Eq(Col("a", "x"), Lit(Value(10))));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(bound.value()->Eval(row), Value::Null());
+  EXPECT_FALSE(bound.value()->EvalBool(row));
+}
+
+TEST(ExprEvalTest, BetweenInclusive) {
+  auto bound =
+      BindSimple(Between(Col("a", "x"), Lit(Value(3)), Lit(Value(7))));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value()->EvalBool({Value(3), Value(0)}));
+  EXPECT_TRUE(bound.value()->EvalBool({Value(7), Value(0)}));
+  EXPECT_FALSE(bound.value()->EvalBool({Value(8), Value(0)}));
+  EXPECT_FALSE(bound.value()->EvalBool({Value(2), Value(0)}));
+}
+
+TEST(ExprEvalTest, AndOrShortCircuitSemantics) {
+  auto both = BindSimple(And({Cmp(CompareOp::kGt, Col("a", "x"), Lit(Value(0))),
+                              Cmp(CompareOp::kLt, Col("a", "x"),
+                                  Lit(Value(10)))}));
+  ASSERT_TRUE(both.ok());
+  EXPECT_TRUE(both.value()->EvalBool({Value(5), Value(0)}));
+  EXPECT_FALSE(both.value()->EvalBool({Value(15), Value(0)}));
+
+  auto either = BindSimple(Or({Eq(Col("a", "x"), Lit(Value(1))),
+                               Eq(Col("a", "x"), Lit(Value(2)))}));
+  ASSERT_TRUE(either.ok());
+  EXPECT_TRUE(either.value()->EvalBool({Value(2), Value(0)}));
+  EXPECT_FALSE(either.value()->EvalBool({Value(3), Value(0)}));
+}
+
+TEST(ExprEvalTest, NotInverts) {
+  auto bound = BindSimple(Not(Eq(Col("a", "x"), Lit(Value(1)))));
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(bound.value()->EvalBool({Value(1), Value(0)}));
+  EXPECT_TRUE(bound.value()->EvalBool({Value(2), Value(0)}));
+}
+
+TEST(ExprEvalTest, ParamSubstitution) {
+  std::map<std::string, Value> params = {{"p", Value(9)}};
+  auto bound = BindSimple(Eq(Col("a", "x"), Param("p")), &params);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value()->EvalBool({Value(9), Value(0)}));
+}
+
+TEST(ExprEvalTest, MissingParamFailsBinding) {
+  std::map<std::string, Value> params;
+  auto bound = BindSimple(Eq(Col("a", "x"), Param("p")), &params);
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+  auto no_params = BindSimple(Param("p"));
+  EXPECT_EQ(no_params.status().code(), StatusCode::kBindError);
+}
+
+TEST(ExprEvalTest, UdfEvaluation) {
+  UdfRegistry udfs;
+  ASSERT_TRUE(udfs.Register("twice", [](const std::vector<Value>& args) {
+                    return Value(args[0].AsInt64() * 2);
+                  }).ok());
+  auto bound = BindSimple(Eq(Udf("twice", {Col("a", "x")}), Lit(Value(10))),
+                          nullptr, &udfs);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_TRUE(bound.value()->EvalBool({Value(5), Value(0)}));
+  EXPECT_FALSE(bound.value()->EvalBool({Value(6), Value(0)}));
+}
+
+TEST(ExprEvalTest, UnregisteredUdfFailsBinding) {
+  UdfRegistry udfs;
+  auto bound = BindSimple(Udf("nope", {Col("a", "x")}), nullptr, &udfs);
+  EXPECT_EQ(bound.status().code(), StatusCode::kBindError);
+  auto no_registry = BindSimple(Udf("nope", {Col("a", "x")}));
+  EXPECT_EQ(no_registry.status().code(), StatusCode::kBindError);
+}
+
+TEST(UdfRegistryTest, DuplicateRegistrationRejected) {
+  UdfRegistry udfs;
+  auto fn = [](const std::vector<Value>&) { return Value(1); };
+  EXPECT_TRUE(udfs.Register("f", fn).ok());
+  EXPECT_EQ(udfs.Register("f", fn).code(), StatusCode::kAlreadyExists);
+  EXPECT_TRUE(udfs.Has("f"));
+  EXPECT_FALSE(udfs.Has("g"));
+}
+
+// --- Predicate analysis ----------------------------------------------------------
+
+TEST(AnalysisTest, SingleSimplePredicateNoPushdown) {
+  PredicateShape shape =
+      AnalyzePredicates({Eq(Col("a", "x"), Lit(Value(1)))});
+  EXPECT_EQ(shape.num_conjuncts, 1);
+  EXPECT_FALSE(shape.has_udf);
+  EXPECT_FALSE(shape.has_param);
+  EXPECT_FALSE(shape.RequiresPushDown());
+}
+
+TEST(AnalysisTest, MultiplePredicatesRequirePushdown) {
+  PredicateShape shape = AnalyzePredicates(
+      {Eq(Col("a", "x"), Lit(Value(1))), Eq(Col("a", "y"), Lit(Value(2)))});
+  EXPECT_EQ(shape.num_conjuncts, 2);
+  EXPECT_TRUE(shape.RequiresPushDown());
+}
+
+TEST(AnalysisTest, UdfRequiresPushdown) {
+  PredicateShape shape =
+      AnalyzePredicates({Eq(Udf("f", {Col("a", "x")}), Lit(Value(1)))});
+  EXPECT_TRUE(shape.has_udf);
+  EXPECT_TRUE(shape.RequiresPushDown());
+}
+
+TEST(AnalysisTest, ParamRequiresPushdown) {
+  PredicateShape shape = AnalyzePredicates({Eq(Col("a", "x"), Param("p"))});
+  EXPECT_TRUE(shape.has_param);
+  EXPECT_TRUE(shape.RequiresPushDown());
+}
+
+TEST(AnalysisTest, NestedAndCountsConjuncts) {
+  PredicateShape shape = AnalyzePredicates(
+      {And({Eq(Col("a", "x"), Lit(Value(1))),
+            Between(Col("a", "y"), Lit(Value(0)), Param("q"))})});
+  EXPECT_EQ(shape.num_conjuncts, 2);
+  EXPECT_TRUE(shape.has_param);
+}
+
+TEST(AnalysisTest, ExtractSimpleComparison) {
+  auto cond = ExtractSimpleCondition(
+      Cmp(CompareOp::kLt, Col("a", "x"), Lit(Value(5))));
+  ASSERT_TRUE(cond.has_value());
+  EXPECT_EQ(cond->column, "a.x");
+  EXPECT_EQ(cond->op, CompareOp::kLt);
+  EXPECT_EQ(cond->value, Value(5));
+  EXPECT_FALSE(cond->is_between);
+}
+
+TEST(AnalysisTest, ExtractFlipsReversedComparison) {
+  // 5 < a.x  ==  a.x > 5.
+  auto cond = ExtractSimpleCondition(
+      Cmp(CompareOp::kLt, Lit(Value(5)), Col("a", "x")));
+  ASSERT_TRUE(cond.has_value());
+  EXPECT_EQ(cond->op, CompareOp::kGt);
+}
+
+TEST(AnalysisTest, ExtractBetween) {
+  auto cond = ExtractSimpleCondition(
+      Between(Col("a", "x"), Lit(Value(1)), Lit(Value(9))));
+  ASSERT_TRUE(cond.has_value());
+  EXPECT_TRUE(cond->is_between);
+  EXPECT_EQ(cond->lo, Value(1));
+  EXPECT_EQ(cond->hi, Value(9));
+}
+
+TEST(AnalysisTest, ComplexShapesNotExtractable) {
+  EXPECT_FALSE(ExtractSimpleCondition(
+                   Eq(Udf("f", {Col("a", "x")}), Lit(Value(1))))
+                   .has_value());
+  EXPECT_FALSE(
+      ExtractSimpleCondition(Eq(Col("a", "x"), Param("p"))).has_value());
+  EXPECT_FALSE(ExtractSimpleCondition(Eq(Col("a", "x"), Col("a", "y")))
+                   .has_value());
+  EXPECT_FALSE(ExtractSimpleCondition(
+                   Or({Eq(Col("a", "x"), Lit(Value(1))),
+                       Eq(Col("a", "x"), Lit(Value(2)))}))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace dynopt

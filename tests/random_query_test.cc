@@ -1,0 +1,301 @@
+// Property test: randomized join queries over randomized synthetic tables,
+// checked against a naive in-memory oracle (filter + nested-loop joins) and
+// across the independent execution paths (dynamic re-optimization loop,
+// static DP single job, greedy worst-order chain, INGRES-like loop).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/engine.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/ingres_optimizer.h"
+#include "opt/order_baselines.h"
+#include "opt/static_optimizer.h"
+
+namespace dynopt {
+namespace {
+
+/// Naive oracle: per-alias filters over gathered rows, then nested-loop
+/// joins edge by edge, then projection. Returns nullopt on internal errors
+/// (reported via ADD_FAILURE).
+std::vector<Row> Oracle(Engine* engine, const QuerySpec& spec, bool* ok) {
+  *ok = true;
+  struct Piece {
+    std::set<std::string> aliases;
+    std::vector<std::string> columns;
+    std::vector<Row> rows;
+  };
+  std::vector<Piece> pieces;
+  for (const auto& ref : spec.tables) {
+    auto table_or = engine->catalog().GetTable(ref.table);
+    if (!table_or.ok()) {
+      ADD_FAILURE() << table_or.status().ToString();
+      *ok = false;
+      return {};
+    }
+    auto table = table_or.value();
+    Piece piece;
+    piece.aliases = {ref.alias};
+    for (size_t i = 0; i < table->schema().num_fields(); ++i) {
+      piece.columns.push_back(ref.alias + "." + table->schema().field(i).name);
+    }
+    ExprPtr predicate = CombineConjuncts(spec.PredicatesFor(ref.alias));
+    BoundExprPtr bound;
+    if (predicate != nullptr) {
+      BindContext ctx;
+      ctx.resolve_column = [&piece](const std::string& name) {
+        for (size_t i = 0; i < piece.columns.size(); ++i) {
+          if (piece.columns[i] == name) return static_cast<int>(i);
+        }
+        return -1;
+      };
+      ctx.params = &spec.params;
+      ctx.udfs = &engine->udfs();
+      auto bound_or = Bind(predicate, ctx);
+      if (!bound_or.ok()) {
+        ADD_FAILURE() << bound_or.status().ToString();
+        *ok = false;
+        return {};
+      }
+      bound = std::move(bound_or).value();
+    }
+    for (size_t p = 0; p < table->num_partitions(); ++p) {
+      for (const Row& row : table->partition(p)) {
+        if (bound == nullptr || bound->EvalBool(row)) piece.rows.push_back(row);
+      }
+    }
+    pieces.push_back(std::move(piece));
+  }
+
+  std::vector<JoinEdge> pending = spec.joins;
+  while (!pending.empty()) {
+    bool progressed = false;
+    for (size_t e = 0; e < pending.size(); ++e) {
+      const JoinEdge& edge = pending[e];
+      int li = -1, ri = -1;
+      for (size_t i = 0; i < pieces.size(); ++i) {
+        if (pieces[i].aliases.count(edge.left_alias)) li = static_cast<int>(i);
+        if (pieces[i].aliases.count(edge.right_alias)) ri = static_cast<int>(i);
+      }
+      if (li < 0 || ri < 0 || li == ri) continue;
+      const Piece& l = pieces[static_cast<size_t>(li)];
+      const Piece& r = pieces[static_cast<size_t>(ri)];
+      std::vector<int> lkeys, rkeys;
+      for (const auto& [lk, rk] : edge.keys) {
+        for (size_t i = 0; i < l.columns.size(); ++i) {
+          if (l.columns[i] == lk) lkeys.push_back(static_cast<int>(i));
+        }
+        for (size_t i = 0; i < r.columns.size(); ++i) {
+          if (r.columns[i] == rk) rkeys.push_back(static_cast<int>(i));
+        }
+      }
+      if (lkeys.size() != edge.keys.size() ||
+          rkeys.size() != edge.keys.size()) {
+        ADD_FAILURE() << "oracle could not resolve keys of "
+                      << edge.ToString();
+        *ok = false;
+        return {};
+      }
+      Piece joined;
+      joined.aliases = l.aliases;
+      joined.aliases.insert(r.aliases.begin(), r.aliases.end());
+      joined.columns = l.columns;
+      joined.columns.insert(joined.columns.end(), r.columns.begin(),
+                            r.columns.end());
+      for (const Row& lr : l.rows) {
+        for (const Row& rr : r.rows) {
+          bool match = true;
+          for (size_t i = 0; i < lkeys.size(); ++i) {
+            const Value& lv = lr[static_cast<size_t>(lkeys[i])];
+            const Value& rv = rr[static_cast<size_t>(rkeys[i])];
+            if (lv.is_null() || rv.is_null() || lv != rv) {
+              match = false;
+              break;
+            }
+          }
+          if (!match) continue;
+          Row row = lr;
+          row.insert(row.end(), rr.begin(), rr.end());
+          joined.rows.push_back(std::move(row));
+        }
+      }
+      // Remove the two inputs (higher index first), append the join.
+      pieces.erase(pieces.begin() + std::max(li, ri));
+      pieces.erase(pieces.begin() + std::min(li, ri));
+      pieces.push_back(std::move(joined));
+      pending.erase(pending.begin() + static_cast<long>(e));
+      progressed = true;
+      break;
+    }
+    if (!progressed) {
+      ADD_FAILURE() << "oracle stuck: disconnected edge set";
+      *ok = false;
+      return {};
+    }
+  }
+
+  const Piece& final_piece = pieces[0];
+  std::vector<int> slots;
+  for (const auto& proj : spec.projections) {
+    for (size_t i = 0; i < final_piece.columns.size(); ++i) {
+      if (final_piece.columns[i] == proj) slots.push_back(static_cast<int>(i));
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(final_piece.rows.size());
+  for (const Row& row : final_piece.rows) {
+    Row projected;
+    for (int s : slots) projected.push_back(row[static_cast<size_t>(s)]);
+    out.push_back(std::move(projected));
+  }
+  return out;
+}
+
+struct Generated {
+  std::unique_ptr<Engine> engine;
+  QuerySpec query;
+};
+
+/// Random catalog: 3-5 tables, each non-root referencing a random earlier
+/// table via an `fk` column; random predicates (ranges, UDFs, params).
+Generated Generate(uint64_t seed) {
+  Generated g;
+  g.engine = std::make_unique<Engine>();
+  Rng rng(seed);
+  (void)g.engine->udfs().Register("p_even", [](const std::vector<Value>& a) {
+    return Value(a[0].AsInt64() % 2 == 0);
+  });
+
+  // Shape first: table sizes and the join-tree parent of each table.
+  const int num_tables = 3 + static_cast<int>(rng.NextUint64(3));
+  std::vector<int64_t> table_rows;
+  std::vector<int> parents;
+  for (int t = 0; t < num_tables; ++t) {
+    table_rows.push_back(rng.NextInt64(40, 600));
+    parents.push_back(
+        t == 0 ? 0 : static_cast<int>(rng.NextUint64(static_cast<uint64_t>(t))));
+  }
+  for (int t = 0; t < num_tables; ++t) {
+    int64_t parent_rows = table_rows[static_cast<size_t>(parents[t])];
+    std::string name = "t" + std::to_string(t);
+    auto table = std::make_shared<Table>(
+        name,
+        Schema({{"id", ValueType::kInt64},
+                {"fk", ValueType::kInt64},
+                {"v", ValueType::kInt64},
+                {"s", ValueType::kString}}),
+        g.engine->cluster().num_nodes);
+    (void)table->SetPartitionKey({"id"});
+    for (int64_t i = 0; i < table_rows[static_cast<size_t>(t)]; ++i) {
+      table->AppendRow({Value(i), Value(rng.NextInt64(0, parent_rows - 1)),
+                        Value(rng.NextInt64(0, 99)),
+                        Value("s" + std::to_string(rng.NextInt64(0, 4)))});
+    }
+    (void)g.engine->catalog().RegisterTable(table);
+    (void)g.engine->CollectBaseStats(name, {"id", "fk", "v", "s"});
+  }
+
+  for (int t = 0; t < num_tables; ++t) {
+    TableRef ref;
+    ref.table = "t" + std::to_string(t);
+    ref.alias = "a" + std::to_string(t);
+    g.query.tables.push_back(ref);
+  }
+  for (int t = 1; t < num_tables; ++t) {
+    JoinEdge edge;
+    edge.left_alias = "a" + std::to_string(t);
+    edge.right_alias = "a" + std::to_string(parents[static_cast<size_t>(t)]);
+    edge.keys = {{edge.left_alias + ".fk", edge.right_alias + ".id"}};
+    g.query.joins.push_back(std::move(edge));
+  }
+
+  // Random predicates.
+  Rng prng(seed * 7 + 1);
+  for (int t = 0; t < num_tables; ++t) {
+    std::string alias = "a" + std::to_string(t);
+    double dice = prng.NextDouble();
+    if (dice < 0.3) {
+      g.query.predicates.push_back(
+          {alias, Cmp(CompareOp::kLt, Col(alias, "v"),
+                      Lit(Value(prng.NextInt64(20, 90))))});
+    } else if (dice < 0.45) {
+      g.query.predicates.push_back({alias, Udf("p_even", {Col(alias, "v")})});
+      g.query.predicates.push_back(
+          {alias, Between(Col(alias, "v"), Lit(Value(prng.NextInt64(0, 30))),
+                          Lit(Value(prng.NextInt64(50, 99))))});
+    } else if (dice < 0.6) {
+      std::string pname = "p" + std::to_string(t);
+      g.query.predicates.push_back(
+          {alias, Cmp(CompareOp::kGe, Col(alias, "v"), Param(pname))});
+      g.query.params[pname] = Value(prng.NextInt64(10, 60));
+    }
+  }
+
+  // Projections: one column per table (mix of ids/values/strings).
+  for (int t = 0; t < num_tables; ++t) {
+    const char* const cols[] = {"id", "v", "s"};
+    g.query.projections.push_back("a" + std::to_string(t) + "." +
+                                  cols[prng.NextUint64(3)]);
+  }
+  g.query.NormalizeJoins();
+  return g;
+}
+
+class RandomQueryTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryTest,
+                         ::testing::Range(uint64_t{1}, uint64_t{17}));
+
+TEST_P(RandomQueryTest, AllPathsMatchOracle) {
+  Generated g = Generate(GetParam());
+  ASSERT_TRUE(g.query.Validate().ok()) << g.query.Validate().ToString()
+                                       << "\n" << g.query.ToString();
+  bool ok = false;
+  std::vector<Row> expected = Oracle(g.engine.get(), g.query, &ok);
+  ASSERT_TRUE(ok);
+  SortRows(&expected);
+
+  DynamicOptimizer dynamic(g.engine.get());
+  auto dyn = dynamic.Run(g.query);
+  ASSERT_TRUE(dyn.ok()) << dyn.status().ToString();
+  SortRows(&dyn->rows);
+  EXPECT_EQ(dyn->rows, expected) << "dynamic diverges from oracle, seed "
+                                 << GetParam();
+
+  StaticCostBasedOptimizer cost_based(g.engine.get());
+  auto cb = cost_based.Run(g.query);
+  ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+  SortRows(&cb->rows);
+  EXPECT_EQ(cb->rows, expected) << "cost-based diverges, seed " << GetParam();
+
+  WorstOrderOptimizer worst(g.engine.get());
+  auto wo = worst.Run(g.query);
+  ASSERT_TRUE(wo.ok()) << wo.status().ToString();
+  SortRows(&wo->rows);
+  EXPECT_EQ(wo->rows, expected) << "worst-order diverges, seed " << GetParam();
+
+  IngresLikeOptimizer ingres(g.engine.get());
+  auto ing = ingres.Run(g.query);
+  ASSERT_TRUE(ing.ok()) << ing.status().ToString();
+  SortRows(&ing->rows);
+  EXPECT_EQ(ing->rows, expected) << "ingres-like diverges, seed "
+                                 << GetParam();
+}
+
+TEST_P(RandomQueryTest, NoTempTableLeaks) {
+  Generated g = Generate(GetParam());
+  size_t before = g.engine->catalog().TableNames().size();
+  DynamicOptimizer dynamic(g.engine.get());
+  ASSERT_TRUE(dynamic.Run(g.query).ok());
+  IngresLikeOptimizer ingres(g.engine.get());
+  ASSERT_TRUE(ingres.Run(g.query).ok());
+  EXPECT_EQ(g.engine->catalog().TableNames().size(), before);
+}
+
+}  // namespace
+}  // namespace dynopt

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace dynopt {
+namespace {
+
+// --- Lexer -------------------------------------------------------------------
+
+TEST(LexerTest, TokenizesKeywordsAndIdentifiers) {
+  auto tokens = Tokenize("SELECT x FROM t WHERE y = 1");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 tokens + End.
+  EXPECT_EQ((*tokens)[0].type, TokenType::kKeyword);
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[8].type, TokenType::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("select From wHeRe");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "SELECT");
+  EXPECT_EQ((*tokens)[1].text, "FROM");
+  EXPECT_EQ((*tokens)[2].text, "WHERE");
+}
+
+TEST(LexerTest, NumbersAndStrings) {
+  auto tokens = Tokenize("42 3.14 'hello world'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIntLiteral);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kDoubleLiteral);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kStringLiteral);
+  EXPECT_EQ((*tokens)[2].text, "hello world");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Tokenize("= != <> < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kEq);
+  EXPECT_EQ((*tokens)[1].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[2].type, TokenType::kNe);
+  EXPECT_EQ((*tokens)[3].type, TokenType::kLt);
+  EXPECT_EQ((*tokens)[4].type, TokenType::kLe);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kGt);
+  EXPECT_EQ((*tokens)[6].type, TokenType::kGe);
+}
+
+TEST(LexerTest, Params) {
+  auto tokens = Tokenize("$year $m_1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].type, TokenType::kParam);
+  EXPECT_EQ((*tokens)[0].text, "year");
+  EXPECT_EQ((*tokens)[1].text, "m_1");
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_EQ(Tokenize("'unterminated").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("$ x").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("a ! b").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(Tokenize("a @ b").status().code(), StatusCode::kParseError);
+}
+
+// --- Parser -------------------------------------------------------------------
+
+TEST(ParserTest, BasicSelect) {
+  auto stmt = ParseSelect("SELECT a.x, b.y FROM t1 a, t2 AS b");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  ASSERT_EQ(stmt->select_list.size(), 2u);
+  ASSERT_EQ(stmt->from.size(), 2u);
+  EXPECT_EQ(stmt->from[0].table, "t1");
+  EXPECT_EQ(stmt->from[0].alias, "a");
+  EXPECT_EQ(stmt->from[1].alias, "b");
+  EXPECT_EQ(stmt->where, nullptr);
+}
+
+TEST(ParserTest, AliasDefaultsToTableName) {
+  auto stmt = ParseSelect("SELECT x FROM orders");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from[0].alias, "orders");
+}
+
+TEST(ParserTest, WhereConjunction) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t a WHERE a.x = 1 AND a.y > 2 AND a.z <= 3.5");
+  ASSERT_TRUE(stmt.ok());
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(SplitConjuncts(stmt->where).size(), 3u);
+}
+
+TEST(ParserTest, BetweenBindsItsOwnAnd) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t a WHERE a.x BETWEEN 1 AND 9 AND a.y = 2");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = SplitConjuncts(stmt->where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kBetween);
+}
+
+TEST(ParserTest, UdfCallsAndParams) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t a WHERE myyear(a.d) = $y AND f(a.x, 2, 'z')");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = SplitConjuncts(stmt->where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kComparison);
+  EXPECT_EQ(conjuncts[1]->kind(), ExprKind::kUdfCall);
+}
+
+TEST(ParserTest, ParenthesizedOr) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t a WHERE (a.x = 1 OR a.x = 2) AND a.y = 3");
+  ASSERT_TRUE(stmt.ok());
+  auto conjuncts = SplitConjuncts(stmt->where);
+  ASSERT_EQ(conjuncts.size(), 2u);
+  EXPECT_EQ(conjuncts[0]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, NotPredicate) {
+  auto stmt = ParseSelect("SELECT a.x FROM t a WHERE NOT a.x = 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind(), ExprKind::kNot);
+}
+
+TEST(ParserTest, LiteralKeywords) {
+  auto stmt =
+      ParseSelect("SELECT a.x FROM t a WHERE a.b = TRUE AND a.c != NULL");
+  ASSERT_TRUE(stmt.ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_EQ(ParseSelect("FROM t").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseSelect("SELECT x").status().code(), StatusCode::kParseError);
+  EXPECT_EQ(ParseSelect("SELECT x FROM t WHERE").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(ParseSelect("SELECT x FROM t extra garbage = 1").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(
+      ParseSelect("SELECT x FROM t WHERE (a.x = 1").status().code(),
+      StatusCode::kParseError);
+  EXPECT_EQ(ParseSelect("SELECT f(x) FROM t").status().code(),
+            StatusCode::kParseError);  // Expressions in SELECT unsupported.
+}
+
+// --- Binder -------------------------------------------------------------------
+
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto users = std::make_shared<Table>(
+        "users",
+        Schema({{"id", ValueType::kInt64}, {"country", ValueType::kString}}),
+        2);
+    auto orders = std::make_shared<Table>(
+        "orders",
+        Schema({{"oid", ValueType::kInt64},
+                {"user_id", ValueType::kInt64},
+                {"amount", ValueType::kDouble}}),
+        2);
+    auto items = std::make_shared<Table>(
+        "items",
+        Schema({{"iid", ValueType::kInt64}, {"oid", ValueType::kInt64}}), 2);
+    ASSERT_TRUE(catalog_.RegisterTable(users).ok());
+    ASSERT_TRUE(catalog_.RegisterTable(orders).ok());
+    ASSERT_TRUE(catalog_.RegisterTable(items).ok());
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ClassifiesJoinsAndPredicates) {
+  auto spec = ParseAndBind(
+      "SELECT u.country, o.amount FROM users u, orders o "
+      "WHERE u.id = o.user_id AND o.amount > 10",
+      catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->joins.size(), 1u);
+  EXPECT_EQ(spec->joins[0].keys[0].first, "o.user_id");
+  EXPECT_EQ(spec->joins[0].keys[0].second, "u.id");
+  ASSERT_EQ(spec->predicates.size(), 1u);
+  EXPECT_EQ(spec->predicates[0].alias, "o");
+  EXPECT_EQ(spec->projections,
+            (std::vector<std::string>{"u.country", "o.amount"}));
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedColumns) {
+  auto spec = ParseAndBind(
+      "SELECT country FROM users u, orders o WHERE id = user_id", catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->projections[0], "u.country");
+}
+
+TEST_F(BinderTest, AmbiguousColumnRejected) {
+  // "oid" exists in both orders and items.
+  auto spec = ParseAndBind(
+      "SELECT oid FROM orders o, items i WHERE o.oid = i.oid", catalog_);
+  EXPECT_EQ(spec.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, UnknownTableAndColumn) {
+  EXPECT_EQ(ParseAndBind("SELECT x FROM nope", catalog_).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ParseAndBind("SELECT u.nope FROM users u", catalog_)
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, DuplicateAliasRejected) {
+  EXPECT_EQ(ParseAndBind("SELECT u.id FROM users u, orders u", catalog_)
+                .status()
+                .code(),
+            StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, DisconnectedJoinGraphRejected) {
+  auto spec =
+      ParseAndBind("SELECT u.id FROM users u, orders o", catalog_);
+  EXPECT_FALSE(spec.ok());  // Cross product: no join edge.
+}
+
+TEST_F(BinderTest, MultiAliasPredicateRejected) {
+  auto spec = ParseAndBind(
+      "SELECT u.id FROM users u, orders o "
+      "WHERE u.id = o.user_id AND u.id > o.amount",
+      catalog_);
+  EXPECT_EQ(spec.status().code(), StatusCode::kBindError);
+}
+
+TEST_F(BinderTest, ParamsValidated) {
+  auto missing = ParseAndBind(
+      "SELECT u.id FROM users u WHERE u.id = $x", catalog_);
+  EXPECT_EQ(missing.status().code(), StatusCode::kBindError);
+  auto ok = ParseAndBind("SELECT u.id FROM users u WHERE u.id = $x",
+                         catalog_, {{"x", Value(1)}});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->params.at("x"), Value(1));
+}
+
+TEST_F(BinderTest, SelfJoinWithDistinctAliases) {
+  auto spec = ParseAndBind(
+      "SELECT a.id FROM users a, users b WHERE a.id = b.id", catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->joins.size(), 1u);
+}
+
+TEST_F(BinderTest, CompositeJoinKeysMerged) {
+  auto spec = ParseAndBind(
+      "SELECT o.amount FROM orders o, items i "
+      "WHERE o.oid = i.oid AND o.user_id = i.iid",
+      catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->joins.size(), 1u);  // NormalizeJoins merged the pair.
+  EXPECT_EQ(spec->joins[0].keys.size(), 2u);
+}
+
+TEST_F(BinderTest, SameAliasEqualityIsPredicateNotJoin) {
+  auto spec = ParseAndBind(
+      "SELECT o.amount FROM orders o WHERE o.oid = o.user_id", catalog_);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->joins.empty());
+  EXPECT_EQ(spec->predicates.size(), 1u);
+}
+
+TEST_F(BinderTest, BaseTablesRecorded) {
+  auto spec = ParseAndBind(
+      "SELECT u.id FROM users u, orders o WHERE u.id = o.user_id", catalog_);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->base_tables.at("u"), "users");
+  EXPECT_EQ(spec->base_tables.at("o"), "orders");
+}
+
+}  // namespace
+}  // namespace dynopt

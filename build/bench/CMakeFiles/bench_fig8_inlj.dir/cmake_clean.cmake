@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_inlj.dir/bench_fig8_inlj.cc.o"
+  "CMakeFiles/bench_fig8_inlj.dir/bench_fig8_inlj.cc.o.d"
+  "bench_fig8_inlj"
+  "bench_fig8_inlj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_inlj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/dynopt_bench_harness.dir/harness.cc.o.d"
+  "libdynopt_bench_harness.a"
+  "libdynopt_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

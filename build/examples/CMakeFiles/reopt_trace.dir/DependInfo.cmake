@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reopt_trace.cpp" "examples/CMakeFiles/reopt_trace.dir/reopt_trace.cpp.o" "gcc" "examples/CMakeFiles/reopt_trace.dir/reopt_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/dynopt_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dynopt_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/dynopt_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/dynopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dynopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

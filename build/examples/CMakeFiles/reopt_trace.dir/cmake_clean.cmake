@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reopt_trace.dir/reopt_trace.cpp.o"
+  "CMakeFiles/reopt_trace.dir/reopt_trace.cpp.o.d"
+  "reopt_trace"
+  "reopt_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reopt_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/udf_selectivity.dir/udf_selectivity.cpp.o"
+  "CMakeFiles/udf_selectivity.dir/udf_selectivity.cpp.o.d"
+  "udf_selectivity"
+  "udf_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/udf_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_common.dir/logging.cc.o"
+  "CMakeFiles/dynopt_common.dir/logging.cc.o.d"
+  "CMakeFiles/dynopt_common.dir/random.cc.o"
+  "CMakeFiles/dynopt_common.dir/random.cc.o.d"
+  "CMakeFiles/dynopt_common.dir/status.cc.o"
+  "CMakeFiles/dynopt_common.dir/status.cc.o.d"
+  "CMakeFiles/dynopt_common.dir/thread_pool.cc.o"
+  "CMakeFiles/dynopt_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/dynopt_common.dir/value.cc.o"
+  "CMakeFiles/dynopt_common.dir/value.cc.o.d"
+  "libdynopt_common.a"
+  "libdynopt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/engine.cc" "src/exec/CMakeFiles/dynopt_exec.dir/engine.cc.o" "gcc" "src/exec/CMakeFiles/dynopt_exec.dir/engine.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/dynopt_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/dynopt_exec.dir/executor.cc.o.d"
+  "/root/repo/src/exec/job.cc" "src/exec/CMakeFiles/dynopt_exec.dir/job.cc.o" "gcc" "src/exec/CMakeFiles/dynopt_exec.dir/job.cc.o.d"
+  "/root/repo/src/exec/metrics.cc" "src/exec/CMakeFiles/dynopt_exec.dir/metrics.cc.o" "gcc" "src/exec/CMakeFiles/dynopt_exec.dir/metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynopt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dynopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

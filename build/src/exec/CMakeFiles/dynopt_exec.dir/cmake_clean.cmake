@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_exec.dir/engine.cc.o"
+  "CMakeFiles/dynopt_exec.dir/engine.cc.o.d"
+  "CMakeFiles/dynopt_exec.dir/executor.cc.o"
+  "CMakeFiles/dynopt_exec.dir/executor.cc.o.d"
+  "CMakeFiles/dynopt_exec.dir/job.cc.o"
+  "CMakeFiles/dynopt_exec.dir/job.cc.o.d"
+  "CMakeFiles/dynopt_exec.dir/metrics.cc.o"
+  "CMakeFiles/dynopt_exec.dir/metrics.cc.o.d"
+  "libdynopt_exec.a"
+  "libdynopt_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/cardinality.cc" "src/opt/CMakeFiles/dynopt_opt.dir/cardinality.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/cardinality.cc.o.d"
+  "/root/repo/src/opt/cost_model.cc" "src/opt/CMakeFiles/dynopt_opt.dir/cost_model.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/cost_model.cc.o.d"
+  "/root/repo/src/opt/dynamic_optimizer.cc" "src/opt/CMakeFiles/dynopt_opt.dir/dynamic_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/dynamic_optimizer.cc.o.d"
+  "/root/repo/src/opt/explain.cc" "src/opt/CMakeFiles/dynopt_opt.dir/explain.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/explain.cc.o.d"
+  "/root/repo/src/opt/finalize.cc" "src/opt/CMakeFiles/dynopt_opt.dir/finalize.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/finalize.cc.o.d"
+  "/root/repo/src/opt/ingres_optimizer.cc" "src/opt/CMakeFiles/dynopt_opt.dir/ingres_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/ingres_optimizer.cc.o.d"
+  "/root/repo/src/opt/join_tree.cc" "src/opt/CMakeFiles/dynopt_opt.dir/join_tree.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/join_tree.cc.o.d"
+  "/root/repo/src/opt/optimizer.cc" "src/opt/CMakeFiles/dynopt_opt.dir/optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/optimizer.cc.o.d"
+  "/root/repo/src/opt/order_baselines.cc" "src/opt/CMakeFiles/dynopt_opt.dir/order_baselines.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/order_baselines.cc.o.d"
+  "/root/repo/src/opt/pilot_run_optimizer.cc" "src/opt/CMakeFiles/dynopt_opt.dir/pilot_run_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/pilot_run_optimizer.cc.o.d"
+  "/root/repo/src/opt/plan_builder.cc" "src/opt/CMakeFiles/dynopt_opt.dir/plan_builder.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/plan_builder.cc.o.d"
+  "/root/repo/src/opt/planner.cc" "src/opt/CMakeFiles/dynopt_opt.dir/planner.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/planner.cc.o.d"
+  "/root/repo/src/opt/reconstruction.cc" "src/opt/CMakeFiles/dynopt_opt.dir/reconstruction.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/reconstruction.cc.o.d"
+  "/root/repo/src/opt/static_execution.cc" "src/opt/CMakeFiles/dynopt_opt.dir/static_execution.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/static_execution.cc.o.d"
+  "/root/repo/src/opt/static_optimizer.cc" "src/opt/CMakeFiles/dynopt_opt.dir/static_optimizer.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/static_optimizer.cc.o.d"
+  "/root/repo/src/opt/stats_view.cc" "src/opt/CMakeFiles/dynopt_opt.dir/stats_view.cc.o" "gcc" "src/opt/CMakeFiles/dynopt_opt.dir/stats_view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exec/CMakeFiles/dynopt_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/dynopt_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dynopt_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/dynopt_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

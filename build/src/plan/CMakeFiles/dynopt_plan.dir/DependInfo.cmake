@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/analysis.cc" "src/plan/CMakeFiles/dynopt_plan.dir/analysis.cc.o" "gcc" "src/plan/CMakeFiles/dynopt_plan.dir/analysis.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/plan/CMakeFiles/dynopt_plan.dir/expr.cc.o" "gcc" "src/plan/CMakeFiles/dynopt_plan.dir/expr.cc.o.d"
+  "/root/repo/src/plan/query_spec.cc" "src/plan/CMakeFiles/dynopt_plan.dir/query_spec.cc.o" "gcc" "src/plan/CMakeFiles/dynopt_plan.dir/query_spec.cc.o.d"
+  "/root/repo/src/plan/udf.cc" "src/plan/CMakeFiles/dynopt_plan.dir/udf.cc.o" "gcc" "src/plan/CMakeFiles/dynopt_plan.dir/udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dynopt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_plan.dir/analysis.cc.o"
+  "CMakeFiles/dynopt_plan.dir/analysis.cc.o.d"
+  "CMakeFiles/dynopt_plan.dir/expr.cc.o"
+  "CMakeFiles/dynopt_plan.dir/expr.cc.o.d"
+  "CMakeFiles/dynopt_plan.dir/query_spec.cc.o"
+  "CMakeFiles/dynopt_plan.dir/query_spec.cc.o.d"
+  "CMakeFiles/dynopt_plan.dir/udf.cc.o"
+  "CMakeFiles/dynopt_plan.dir/udf.cc.o.d"
+  "libdynopt_plan.a"
+  "libdynopt_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_sql.dir/binder.cc.o"
+  "CMakeFiles/dynopt_sql.dir/binder.cc.o.d"
+  "CMakeFiles/dynopt_sql.dir/lexer.cc.o"
+  "CMakeFiles/dynopt_sql.dir/lexer.cc.o.d"
+  "CMakeFiles/dynopt_sql.dir/parser.cc.o"
+  "CMakeFiles/dynopt_sql.dir/parser.cc.o.d"
+  "libdynopt_sql.a"
+  "libdynopt_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

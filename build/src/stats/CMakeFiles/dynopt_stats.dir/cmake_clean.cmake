@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_stats.dir/column_stats.cc.o"
+  "CMakeFiles/dynopt_stats.dir/column_stats.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/gk_quantile.cc.o"
+  "CMakeFiles/dynopt_stats.dir/gk_quantile.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/histogram.cc.o"
+  "CMakeFiles/dynopt_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/hyperloglog.cc.o"
+  "CMakeFiles/dynopt_stats.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/dynopt_stats.dir/table_stats.cc.o"
+  "CMakeFiles/dynopt_stats.dir/table_stats.cc.o.d"
+  "libdynopt_stats.a"
+  "libdynopt_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

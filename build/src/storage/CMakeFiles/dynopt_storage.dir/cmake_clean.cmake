@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_storage.dir/catalog.cc.o"
+  "CMakeFiles/dynopt_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/csv.cc.o"
+  "CMakeFiles/dynopt_storage.dir/csv.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/schema.cc.o"
+  "CMakeFiles/dynopt_storage.dir/schema.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/serde.cc.o"
+  "CMakeFiles/dynopt_storage.dir/serde.cc.o.d"
+  "CMakeFiles/dynopt_storage.dir/table.cc.o"
+  "CMakeFiles/dynopt_storage.dir/table.cc.o.d"
+  "libdynopt_storage.a"
+  "libdynopt_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

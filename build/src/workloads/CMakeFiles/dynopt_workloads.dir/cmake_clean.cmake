@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynopt_workloads.dir/tpcds.cc.o"
+  "CMakeFiles/dynopt_workloads.dir/tpcds.cc.o.d"
+  "CMakeFiles/dynopt_workloads.dir/tpch.cc.o"
+  "CMakeFiles/dynopt_workloads.dir/tpch.cc.o.d"
+  "libdynopt_workloads.a"
+  "libdynopt_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynopt_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/finalize_test.dir/finalize_test.cc.o"
+  "CMakeFiles/finalize_test.dir/finalize_test.cc.o.d"
+  "finalize_test"
+  "finalize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/finalize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

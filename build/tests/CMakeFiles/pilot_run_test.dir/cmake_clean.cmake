@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pilot_run_test.dir/pilot_run_test.cc.o"
+  "CMakeFiles/pilot_run_test.dir/pilot_run_test.cc.o.d"
+  "pilot_run_test"
+  "pilot_run_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pilot_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -50,6 +50,7 @@ void RunCase(benchmark::State& state, const std::string& query,
     record.reopt_seconds = reopt;
     record.stats_seconds = stats;
     record.wall_seconds = result->wall_seconds;
+    SetWallBreakdown(&record, result->metrics);
     AddRecord(std::move(record));
   }
 }

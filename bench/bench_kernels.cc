@@ -1,0 +1,281 @@
+// Wall-clock benchmark of the executor's data-movement kernels on a
+// shuffle-heavy multi-join pipeline: the TPC-H Q9 hash-join chain (orders ⋈
+// lineitem ⋈ part ⋈ supplier ⋈ partsupp ⋈ nation, with Q9's UDF filters on
+// orders and part), every join executed as shuffle-both-sides + local hash
+// join at the cluster's node count.
+//
+// Two implementations run on identical inputs:
+//  - seed:     the sequential reference kernels (exec/reference_kernels.h —
+//              the pre-parallel-exchange executor, verbatim);
+//  - parallel: the two-phase parallel shuffle exchange + flat-table hash
+//              join with key hashes computed once and threaded through.
+//
+// The report (stdout + BENCH_kernels.json) breaks wall time down per
+// kernel class (shuffle / build / probe) so every future perf PR has a
+// machine-readable trajectory. Simulated seconds are asserted identical
+// between the two implementations — the perf work must not move the paper's
+// cost model.
+//
+// Usage: bench_kernels [--sf <paper_sf>] [--iters <n>] [--out <path>]
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "plan/expr.h"
+
+namespace dynopt {
+namespace bench {
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
+}
+
+/// One join step of the chain: shuffle keys are resolved by column name
+/// against whatever the current intermediate's schema is.
+struct JoinStep {
+  std::vector<std::string> build_cols;
+  std::vector<std::string> probe_cols;
+};
+
+std::vector<int> MustResolve(const Dataset& data,
+                             const std::vector<std::string>& names) {
+  std::vector<int> indices;
+  for (const auto& name : names) {
+    int idx = data.ColumnIndex(name);
+    DYNOPT_CHECK(idx >= 0);
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+struct PipelineResult {
+  ExecMetrics metrics;   // Simulated + per-class wall metering.
+  double total_wall = 0; // End-to-end wall seconds for the join chain.
+  uint64_t rows_out = 0;
+  Dataset output;
+};
+
+/// Runs the five-join chain over copies of `inputs`. `build_sides[s]` and
+/// the running intermediate are consumed; inputs stay reusable.
+PipelineResult RunPipeline(JobExecutor* executor,
+                           const std::vector<Dataset>& build_inputs,
+                           const Dataset& probe_input,
+                           const std::vector<JoinStep>& steps,
+                           bool parallel_kernels, bool keep_output) {
+  // Copies happen before the timer: the benchmark measures the kernels,
+  // not std::vector deep copies.
+  std::vector<Dataset> builds = build_inputs;
+  Dataset current = probe_input;
+  const ClusterConfig& cluster = executor->cluster();
+
+  PipelineResult result;
+  const auto start = WallClock::now();
+  for (size_t s = 0; s < steps.size(); ++s) {
+    std::vector<int> build_keys = MustResolve(builds[s], steps[s].build_cols);
+    std::vector<int> probe_keys = MustResolve(current, steps[s].probe_cols);
+    if (parallel_kernels) {
+      ShuffleResult build_parts = executor->Repartition(
+          std::move(builds[s]), build_keys, &result.metrics);
+      ShuffleResult probe_parts = executor->Repartition(
+          std::move(current), probe_keys, &result.metrics);
+      current = executor->LocalHashJoin(build_parts.data, probe_parts.data,
+                                        build_keys, probe_keys,
+                                        &result.metrics, &build_parts.hashes,
+                                        &probe_parts.hashes);
+    } else {
+      Dataset build_parts = reference::Repartition(
+          std::move(builds[s]), build_keys, cluster, &result.metrics);
+      Dataset probe_parts = reference::Repartition(
+          std::move(current), probe_keys, cluster, &result.metrics);
+      current = reference::LocalHashJoin(build_parts, probe_parts, build_keys,
+                                         probe_keys, cluster,
+                                         &result.metrics);
+    }
+  }
+  result.total_wall = SecondsSince(start);
+  result.rows_out = current.NumRows();
+  if (keep_output) result.output = std::move(current);
+  return result;
+}
+
+Dataset MustExec(JobExecutor* executor, std::unique_ptr<PlanNode> plan) {
+  auto result = executor->Execute(*plan, {});
+  DYNOPT_CHECK(result.ok());
+  return std::move(result->data);
+}
+
+struct Breakdown {
+  double shuffle = 0, build = 0, probe = 0;
+  double kernel_total = 0;  // shuffle + build + probe wall clocks.
+  double end_to_end = 0;    // Wall time around the whole chain, including
+                            // benchmark overhead (freeing intermediates).
+};
+
+Breakdown ToBreakdown(const PipelineResult& r) {
+  Breakdown b;
+  b.shuffle = r.metrics.wall_shuffle_seconds;
+  b.build = r.metrics.wall_build_seconds;
+  b.probe = r.metrics.wall_probe_seconds;
+  b.kernel_total = b.shuffle + b.build + b.probe;
+  b.end_to_end = r.total_wall;
+  return b;
+}
+
+void PrintBreakdown(const char* name, const Breakdown& b) {
+  std::printf("%-18s shuffle=%8.3fs  build=%8.3fs  probe=%8.3fs  "
+              "kernels=%8.3fs  end_to_end=%8.3fs\n",
+              name, b.shuffle, b.build, b.probe, b.kernel_total,
+              b.end_to_end);
+}
+
+int Main(int argc, char** argv) {
+  int paper_sf = 100;
+  int iters = 12;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      paper_sf = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sf <paper_sf>] [--iters <n>] [--out <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Engine* engine = GetEngine(paper_sf, /*with_indexes=*/false);
+  JobExecutor executor = engine->MakeExecutor();
+
+  // Untimed input preparation: scans + Q9's filters.
+  Dataset lineitem = MustExec(&executor, PlanNode::Scan("lineitem", "l"));
+  Dataset orders = MustExec(
+      &executor,
+      PlanNode::Filter(PlanNode::Scan("orders", "o"),
+                       Eq(Udf("myym", {Col("o", "o_orderdate")}),
+                          Lit(Value(199603)))));
+  Dataset part = MustExec(
+      &executor, PlanNode::Filter(PlanNode::Scan("part", "p"),
+                                  Eq(Udf("mysub", {Col("p", "p_brand")}),
+                                     Lit(Value("#3")))));
+  Dataset supplier = MustExec(&executor, PlanNode::Scan("supplier", "s"));
+  Dataset partsupp = MustExec(&executor, PlanNode::Scan("partsupp", "ps"));
+  Dataset nation = MustExec(&executor, PlanNode::Scan("nation", "n"));
+
+  const uint64_t lineitem_rows = lineitem.NumRows();
+  std::vector<Dataset> build_inputs;
+  build_inputs.push_back(std::move(orders));
+  build_inputs.push_back(std::move(part));
+  build_inputs.push_back(std::move(supplier));
+  build_inputs.push_back(std::move(partsupp));
+  build_inputs.push_back(std::move(nation));
+  const std::vector<JoinStep> steps = {
+      {{"o.o_orderkey"}, {"l.l_orderkey"}},
+      {{"p.p_partkey"}, {"l.l_partkey"}},
+      {{"s.s_suppkey"}, {"l.l_suppkey"}},
+      {{"ps.ps_partkey", "ps.ps_suppkey"}, {"l.l_partkey", "l.l_suppkey"}},
+      {{"n.n_nationkey"}, {"s.s_nationkey"}},
+  };
+
+  // Correctness + cost-model guard: one warm-up run of each implementation
+  // must produce identical partitions and identical simulated metering.
+  PipelineResult seed_check = RunPipeline(&executor, build_inputs, lineitem,
+                                          steps, /*parallel_kernels=*/false,
+                                          /*keep_output=*/true);
+  PipelineResult par_check = RunPipeline(&executor, build_inputs, lineitem,
+                                         steps, /*parallel_kernels=*/true,
+                                         /*keep_output=*/true);
+  DYNOPT_CHECK(par_check.output.partitions == seed_check.output.partitions);
+  DYNOPT_CHECK(par_check.metrics.simulated_seconds ==
+               seed_check.metrics.simulated_seconds);
+  DYNOPT_CHECK(par_check.metrics.bytes_shuffled ==
+               seed_check.metrics.bytes_shuffled);
+
+  // Timed runs: best-of-iters (by kernel time) per implementation,
+  // interleaved so neither side systematically benefits from warm caches.
+  Breakdown seed_best, par_best;
+  seed_best.kernel_total = par_best.kernel_total = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    PipelineResult seed = RunPipeline(&executor, build_inputs, lineitem,
+                                      steps, false, false);
+    Breakdown sb = ToBreakdown(seed);
+    if (sb.kernel_total < seed_best.kernel_total) seed_best = sb;
+    PipelineResult par = RunPipeline(&executor, build_inputs, lineitem,
+                                     steps, true, false);
+    Breakdown pb = ToBreakdown(par);
+    if (pb.kernel_total < par_best.kernel_total) par_best = pb;
+  }
+
+  const double speedup_total = seed_best.kernel_total / par_best.kernel_total;
+  const double speedup_e2e = seed_best.end_to_end / par_best.end_to_end;
+  std::printf("\n=== bench_kernels: TPC-H Q9 hash-join chain ===\n");
+  std::printf("paper_sf=%d  generator_sf=%.2f  nodes=%zu  pool_threads=%zu  "
+              "iters=%d\n",
+              paper_sf, GeneratorSfForPaperSf(paper_sf),
+              executor.cluster().num_nodes, engine->pool().num_threads(),
+              iters);
+  std::printf("lineitem_rows=%llu  output_rows=%llu  sim_seconds=%.3f "
+              "(identical for both)\n\n",
+              static_cast<unsigned long long>(lineitem_rows),
+              static_cast<unsigned long long>(par_check.rows_out),
+              par_check.metrics.simulated_seconds);
+  PrintBreakdown("seed kernels", seed_best);
+  PrintBreakdown("parallel kernels", par_best);
+  std::printf("\nspeedup: shuffle=%.2fx build=%.2fx probe=%.2fx "
+              "TOTAL=%.2fx (end_to_end=%.2fx)\n",
+              seed_best.shuffle / par_best.shuffle,
+              seed_best.build / par_best.build,
+              seed_best.probe / par_best.probe, speedup_total, speedup_e2e);
+
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"benchmark\": \"kernels\",\n"
+       << "  \"pipeline\": \"tpch_q9_hash_join_chain\",\n"
+       << "  \"paper_sf\": " << paper_sf << ",\n"
+       << "  \"generator_sf\": " << GeneratorSfForPaperSf(paper_sf) << ",\n"
+       << "  \"iterations\": " << iters << ",\n"
+       << "  \"num_nodes\": " << executor.cluster().num_nodes << ",\n"
+       << "  \"pool_threads\": " << engine->pool().num_threads() << ",\n"
+       << "  \"lineitem_rows\": " << lineitem_rows << ",\n"
+       << "  \"output_rows\": " << par_check.rows_out << ",\n"
+       << "  \"simulated_seconds\": " << par_check.metrics.simulated_seconds
+       << ",\n"
+       << "  \"seed_kernels\": {\"shuffle_s\": " << seed_best.shuffle
+       << ", \"build_s\": " << seed_best.build
+       << ", \"probe_s\": " << seed_best.probe
+       << ", \"kernel_total_s\": " << seed_best.kernel_total
+       << ", \"end_to_end_s\": " << seed_best.end_to_end << "},\n"
+       << "  \"parallel_kernels\": {\"shuffle_s\": " << par_best.shuffle
+       << ", \"build_s\": " << par_best.build
+       << ", \"probe_s\": " << par_best.probe
+       << ", \"kernel_total_s\": " << par_best.kernel_total
+       << ", \"end_to_end_s\": " << par_best.end_to_end << "},\n"
+       << "  \"speedup\": {\"shuffle\": " << seed_best.shuffle / par_best.shuffle
+       << ", \"build\": " << seed_best.build / par_best.build
+       << ", \"probe\": " << seed_best.probe / par_best.probe
+       << ", \"total\": " << speedup_total
+       << ", \"end_to_end\": " << speedup_e2e << "}\n"
+       << "}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynopt
+
+int main(int argc, char** argv) { return dynopt::bench::Main(argc, argv); }

@@ -155,6 +155,13 @@ Result<OptimizerRunResult> RunStrategy(Engine* engine, int paper_sf,
   return Status::InvalidArgument("unknown optimizer " + optimizer_name);
 }
 
+void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
+  record->wall_shuffle_seconds = metrics.wall_shuffle_seconds;
+  record->wall_build_seconds = metrics.wall_build_seconds;
+  record->wall_probe_seconds = metrics.wall_probe_seconds;
+  record->wall_materialize_seconds = metrics.wall_materialize_seconds;
+}
+
 void AddRecord(Record record) {
   std::lock_guard<std::mutex> lock(g_mutex);
   MutableRecords().push_back(std::move(record));
@@ -206,6 +213,29 @@ void PrintFigureTable(const std::string& figure) {
     if (r.figure != figure || r.plan.empty()) continue;
     std::printf("%s sf=%d %s: %s\n", r.query.c_str(), r.paper_sf,
                 r.optimizer.c_str(), r.plan.c_str());
+  }
+  // Host wall-clock spent inside each physical operator class — the real
+  // execution cost, orthogonal to the simulated seconds plotted above.
+  bool any_wall = false;
+  for (const auto& r : records) {
+    if (r.figure == figure &&
+        (r.wall_shuffle_seconds > 0 || r.wall_build_seconds > 0 ||
+         r.wall_probe_seconds > 0 || r.wall_materialize_seconds > 0)) {
+      any_wall = true;
+      break;
+    }
+  }
+  if (any_wall) {
+    std::printf("\n-- wall-clock kernel breakdown (host seconds) --\n");
+    for (const auto& r : records) {
+      if (r.figure != figure) continue;
+      std::printf(
+          "%s sf=%d %s: shuffle=%.4f build=%.4f probe=%.4f "
+          "materialize=%.4f wall_total=%.4f\n",
+          r.query.c_str(), r.paper_sf, r.optimizer.c_str(),
+          r.wall_shuffle_seconds, r.wall_build_seconds, r.wall_probe_seconds,
+          r.wall_materialize_seconds, r.wall_seconds);
+    }
   }
 }
 

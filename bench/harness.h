@@ -52,9 +52,19 @@ struct Record {
   double wall_seconds = 0;
   double reopt_seconds = 0;
   double stats_seconds = 0;
+  // Host wall-clock per operator class (ExecMetrics::wall_*_seconds):
+  // real time inside the physical kernels, independent of the simulated
+  // cost model above.
+  double wall_shuffle_seconds = 0;
+  double wall_build_seconds = 0;
+  double wall_probe_seconds = 0;
+  double wall_materialize_seconds = 0;
   uint64_t rows = 0;
   std::string plan;
 };
+
+/// Copies the per-operator-class wall clocks out of `metrics` into `record`.
+void SetWallBreakdown(Record* record, const ExecMetrics& metrics);
 
 void AddRecord(Record record);
 const std::vector<Record>& Records();

@@ -1,8 +1,45 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <memory>
 
 namespace dynopt {
+
+namespace {
+
+/// Shared state of one ParallelFor call. Held by shared_ptr because a
+/// helper task can still sit in the queue after the call returned (when the
+/// caller claimed every block itself); such a task must find only a
+/// harmless "no blocks left" state, never a dangling stack frame.
+struct ForState {
+  size_t n = 0;
+  size_t num_blocks = 0;
+  /// Valid only while the owning ParallelFor call is still blocked; tasks
+  /// dereference it only after successfully claiming a block, which is
+  /// impossible once the call returned.
+  const std::function<void(size_t)>* fn = nullptr;
+  std::atomic<size_t> next_block{0};
+  std::atomic<size_t> done_blocks{0};
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+/// Claims and runs blocks until none remain.
+void RunBlocks(ForState* s) {
+  for (;;) {
+    size_t b = s->next_block.fetch_add(1, std::memory_order_relaxed);
+    if (b >= s->num_blocks) return;
+    const size_t begin = b * s->n / s->num_blocks;
+    const size_t end = (b + 1) * s->n / s->num_blocks;
+    for (size_t i = begin; i < end; ++i) (*s->fn)(i);
+    if (s->done_blocks.fetch_add(1) + 1 == s->num_blocks) {
+      std::lock_guard<std::mutex> lock(s->done_mu);
+      s->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) {
@@ -40,28 +77,33 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (n == 1) {
-    fn(0);
+  // Tiny loops run inline: no queue, no lock, no wake.
+  if (n == 1 || threads_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  std::atomic<size_t> remaining{n};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
+  auto state = std::make_shared<ForState>();
+  state->n = n;
+  // The caller participates, so one block is its own; helpers get the rest.
+  state->num_blocks = std::min(n, threads_.size() + 1);
+  state->fn = &fn;
+  const size_t helpers = state->num_blocks - 1;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    for (size_t i = 0; i < n; ++i) {
-      tasks_.push([&, i] {
-        fn(i);
-        if (remaining.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> done_lock(done_mu);
-          done_cv.notify_one();
-        }
-      });
+    for (size_t i = 0; i < helpers; ++i) {
+      tasks_.push([state] { RunBlocks(state.get()); });
     }
   }
-  cv_.notify_all();
-  std::unique_lock<std::mutex> done_lock(done_mu);
-  done_cv.wait(done_lock, [&] { return remaining.load() == 0; });
+  if (helpers == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+  RunBlocks(state.get());
+  std::unique_lock<std::mutex> lock(state->done_mu);
+  state->done_cv.wait(lock, [&] {
+    return state->done_blocks.load() == state->num_blocks;
+  });
 }
 
 }  // namespace dynopt

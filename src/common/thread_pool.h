@@ -25,8 +25,11 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Runs fn(i) for every i in [0, n), distributing across workers, and
-  /// waits for completion. Safe to call concurrently from one thread at a
-  /// time (operators run sequentially; partitions run in parallel).
+  /// waits for completion. Work is chunked into ~num_threads contiguous
+  /// blocks (not one task per index), and the calling thread executes
+  /// blocks too, so nested and concurrent ParallelFor calls cannot
+  /// deadlock: a caller can always drain its own loop even when every
+  /// worker is busy.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   size_t num_threads() const { return threads_.size(); }

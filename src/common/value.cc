@@ -23,22 +23,6 @@ const char* ValueTypeName(ValueType type) {
   return "UNKNOWN";
 }
 
-ValueType Value::type() const {
-  switch (data_.index()) {
-    case 0:
-      return ValueType::kNull;
-    case 1:
-      return ValueType::kBool;
-    case 2:
-      return ValueType::kInt64;
-    case 3:
-      return ValueType::kDouble;
-    case 4:
-      return ValueType::kString;
-  }
-  return ValueType::kNull;
-}
-
 bool Value::IsNumeric() const {
   ValueType t = type();
   return t == ValueType::kBool || t == ValueType::kInt64 ||

@@ -39,13 +39,32 @@ class Value {
 
   static Value Null() { return Value(); }
 
-  ValueType type() const;
+  ValueType type() const {
+    switch (data_.index()) {
+      case 0:
+        return ValueType::kNull;
+      case 1:
+        return ValueType::kBool;
+      case 2:
+        return ValueType::kInt64;
+      case 3:
+        return ValueType::kDouble;
+      case 4:
+        return ValueType::kString;
+    }
+    return ValueType::kNull;
+  }
   bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
 
   bool AsBool() const { return std::get<bool>(data_); }
   int64_t AsInt64() const { return std::get<int64_t>(data_); }
   double AsDouble() const { return std::get<double>(data_); }
   const std::string& AsString() const { return std::get<std::string>(data_); }
+  /// AsString without the std::get throw-on-mismatch check, for kernel
+  /// loops that have already dispatched on type().
+  const std::string& AsStringUnchecked() const {
+    return *std::get_if<std::string>(&data_);
+  }
 
   /// Numeric view used by the statistics sketches: int64/double/bool map to
   /// their numeric value; strings map to a stable order-ignoring hash-based

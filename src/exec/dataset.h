@@ -17,9 +17,28 @@ struct Dataset {
   std::vector<std::string> columns;
   std::vector<std::vector<Row>> partitions;
 
+  /// Optional per-row byte sizes, parallel to `partitions`: when non-empty,
+  /// row_sizes[p][i] == RowSizeBytes(partitions[p][i]). Producers that
+  /// already have every value in cache (scan projection, join emission)
+  /// record sizes for ~free; the shuffle then meters network bytes from
+  /// this 8-byte-per-row array instead of re-walking each row's payload
+  /// (the dominant memory traffic of routing). Operators that cannot
+  /// maintain the invariant must leave/clear it empty — consumers validate
+  /// shape via HasRowSizes() and fall back to computing sizes.
+  std::vector<std::vector<uint64_t>> row_sizes;
+
   Dataset() = default;
   Dataset(std::vector<std::string> cols, size_t num_partitions)
       : columns(std::move(cols)), partitions(num_partitions) {}
+
+  /// True when row_sizes is present and aligned with partitions.
+  bool HasRowSizes() const {
+    if (row_sizes.size() != partitions.size()) return false;
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (row_sizes[p].size() != partitions[p].size()) return false;
+    }
+    return true;
+  }
 
   /// Slot of a qualified column, or -1.
   int ColumnIndex(const std::string& name) const {

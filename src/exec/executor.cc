@@ -1,11 +1,13 @@
 #include "exec/executor.h"
 
 #include <algorithm>
-#include <atomic>
-#include <unordered_map>
+#include <chrono>
+#include <iterator>
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "exec/join_hash_table.h"
+#include "exec/row_kernels.h"
 #include "storage/schema.h"
 #include "storage/serde.h"
 
@@ -30,28 +32,16 @@ Result<std::vector<int>> ResolveColumns(const Dataset& data,
   return indices;
 }
 
-bool AnyKeyNull(const Row& row, const std::vector<int>& keys) {
-  for (int k : keys) {
-    if (row[static_cast<size_t>(k)].is_null()) return true;
-  }
-  return false;
-}
-
-bool KeysEqual(const Row& a, const std::vector<int>& a_keys, const Row& b,
-               const std::vector<int>& b_keys) {
-  for (size_t i = 0; i < a_keys.size(); ++i) {
-    if (a[static_cast<size_t>(a_keys[i])] !=
-        b[static_cast<size_t>(b_keys[i])]) {
-      return false;
-    }
-  }
-  return true;
-}
-
 uint64_t MaxOver(const std::vector<uint64_t>& per_node) {
   uint64_t mx = 0;
   for (uint64_t v : per_node) mx = std::max(mx, v);
   return mx;
+}
+
+using WallClock = std::chrono::steady_clock;
+
+double SecondsSince(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
 }
 
 }  // namespace
@@ -65,6 +55,42 @@ JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
       cluster_(cluster),
       pool_(pool) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
+}
+
+std::vector<Row> JobExecutor::TakeRowVec() {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  if (row_vec_pool_.empty()) return {};
+  std::vector<Row> v = std::move(row_vec_pool_.back());
+  row_vec_pool_.pop_back();
+  return v;
+}
+
+void JobExecutor::RecycleRowVec(std::vector<Row>&& v) {
+  if (v.capacity() == 0) return;
+  v.clear();
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  if (row_vec_pool_.size() < 64) row_vec_pool_.push_back(std::move(v));
+}
+
+std::vector<uint64_t> JobExecutor::TakeHashVec() {
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  if (hash_vec_pool_.empty()) return {};
+  std::vector<uint64_t> v = std::move(hash_vec_pool_.back());
+  hash_vec_pool_.pop_back();
+  return v;
+}
+
+void JobExecutor::RecycleHashVec(std::vector<uint64_t>&& v) {
+  if (v.capacity() == 0) return;
+  v.clear();
+  std::lock_guard<std::mutex> lock(scratch_mutex_);
+  if (hash_vec_pool_.size() < 64) hash_vec_pool_.push_back(std::move(v));
+}
+
+void JobExecutor::RecycleShuffleResult(ShuffleResult&& parts) {
+  for (auto& rows : parts.data.partitions) RecycleRowVec(std::move(rows));
+  for (auto& sizes : parts.data.row_sizes) RecycleHashVec(std::move(sizes));
+  for (auto& hashes : parts.hashes) RecycleHashVec(std::move(hashes));
 }
 
 Result<JobResult> JobExecutor::Execute(
@@ -132,18 +158,30 @@ Result<Dataset> JobExecutor::ExecScan(const PlanNode& node,
 
   const size_t num_parts = table->num_partitions();
   Dataset out(out_columns, num_parts);
+  out.row_sizes.resize(num_parts);
   std::vector<uint64_t> bytes_in(num_parts, 0);
   std::vector<uint64_t> rows_in(num_parts, 0);
   pool_->ParallelFor(num_parts, [&](size_t p) {
     const auto& rows = table->partition(p);
     auto& dest = out.partitions[p];
+    auto& dest_sizes = out.row_sizes[p];
     dest.reserve(rows.size());
+    dest_sizes.reserve(rows.size());
     uint64_t bytes = 0;
     for (const Row& row : rows) {
       bytes += RowSizeBytes(row);
       Row projected;
       projected.reserve(keep.size());
-      for (int k : keep) projected.push_back(row[static_cast<size_t>(k)]);
+      // The values are hot in cache while being copied, so sizing the
+      // projected row here is nearly free; downstream shuffles meter from
+      // this annotation instead of re-reading the payload.
+      uint64_t projected_bytes = 8;
+      for (int k : keep) {
+        const Value& v = row[static_cast<size_t>(k)];
+        projected_bytes += ValueSizeBytesInline(v);
+        projected.push_back(v);
+      }
+      dest_sizes.push_back(projected_bytes);
       dest.push_back(std::move(projected));
     }
     bytes_in[p] = bytes;
@@ -189,13 +227,28 @@ Result<Dataset> JobExecutor::ExecFilter(
 
   const size_t num_parts = input.partitions.size();
   Dataset out(input.columns, num_parts);
+  const bool has_sizes = input.HasRowSizes();
+  if (has_sizes) out.row_sizes.resize(num_parts);
   std::vector<uint64_t> rows_in(num_parts, 0);
   pool_->ParallelFor(num_parts, [&](size_t p) {
     auto& src = input.partitions[p];
     auto& dest = out.partitions[p];
     rows_in[p] = src.size();
-    for (Row& row : src) {
-      if (bound->EvalBool(row)) dest.push_back(std::move(row));
+    if (has_sizes) {
+      // A filter does not change surviving rows, so their size annotations
+      // ride along.
+      const uint64_t* src_sizes = input.row_sizes[p].data();
+      auto& dest_sizes = out.row_sizes[p];
+      for (size_t i = 0; i < src.size(); ++i) {
+        if (bound->EvalBool(src[i])) {
+          dest_sizes.push_back(src_sizes[i]);
+          dest.push_back(std::move(src[i]));
+        }
+      }
+    } else {
+      for (Row& row : src) {
+        if (bound->EvalBool(row)) dest.push_back(std::move(row));
+      }
     }
   });
   uint64_t total_rows = 0;
@@ -216,16 +269,25 @@ Result<Dataset> JobExecutor::ExecProject(
       ResolveColumns(input, node.project_columns, "project"));
   const size_t num_parts = input.partitions.size();
   Dataset out(node.project_columns, num_parts);
+  out.row_sizes.resize(num_parts);
   std::vector<uint64_t> rows_in(num_parts, 0);
   pool_->ParallelFor(num_parts, [&](size_t p) {
     auto& src = input.partitions[p];
     auto& dest = out.partitions[p];
+    auto& dest_sizes = out.row_sizes[p];
     dest.reserve(src.size());
+    dest_sizes.reserve(src.size());
     rows_in[p] = src.size();
     for (const Row& row : src) {
       Row projected;
       projected.reserve(keep.size());
-      for (int k : keep) projected.push_back(row[static_cast<size_t>(k)]);
+      uint64_t projected_bytes = 8;
+      for (int k : keep) {
+        const Value& v = row[static_cast<size_t>(k)];
+        projected_bytes += ValueSizeBytesInline(v);
+        projected.push_back(v);
+      }
+      dest_sizes.push_back(projected_bytes);
       dest.push_back(std::move(projected));
     }
   });
@@ -234,81 +296,340 @@ Result<Dataset> JobExecutor::ExecProject(
   return out;
 }
 
-Dataset JobExecutor::Repartition(Dataset&& input,
-                                 const std::vector<int>& key_indices,
-                                 ExecMetrics* metrics) {
+ShuffleResult JobExecutor::Repartition(Dataset&& input,
+                                       const std::vector<int>& key_indices,
+                                       ExecMetrics* metrics) {
+  const auto wall_start = WallClock::now();
   const size_t n = cluster_.num_nodes;
-  Dataset out(input.columns, n);
-  std::vector<uint64_t> received_bytes(n, 0);
-  std::vector<uint64_t> rows_in(input.partitions.size(), 0);
-  // Route sequentially per source partition (destinations are shared).
-  for (size_t p = 0; p < input.partitions.size(); ++p) {
-    rows_in[p] = input.partitions[p].size();
-    for (Row& row : input.partitions[p]) {
-      size_t dest = static_cast<size_t>(HashRowKey(row, key_indices) % n);
-      if (dest != p || input.partitions.size() != n) {
-        uint64_t bytes = RowSizeBytes(row);
-        metrics->bytes_shuffled += bytes;
-        received_bytes[dest] += bytes;
-      }
-      out.partitions[dest].push_back(std::move(row));
-    }
-    input.partitions[p].clear();
+  const size_t src_parts = input.partitions.size();
+
+  ShuffleResult result;
+  result.data = Dataset(input.columns, n);
+  result.hashes.resize(n);
+  result.data.row_sizes.resize(n);
+  for (size_t d = 0; d < n; ++d) {
+    result.data.partitions[d] = TakeRowVec();
+    result.hashes[d] = TakeHashVec();
+    result.data.row_sizes[d] = TakeHashVec();
   }
+  // When the producer annotated per-row sizes (scan/project/join emission,
+  // or an earlier shuffle), network metering reads 8 bytes per row instead
+  // of re-walking the row payload — the routing loop then only touches the
+  // key column's cache line. The shuffle always re-emits the annotation for
+  // its own output, so the whole join chain meters each row's size once.
+  const bool input_has_sizes = input.HasRowSizes();
+
+  // Adaptive route: the two-phase exchange below exists so sources can be
+  // routed concurrently without locks, at the price of a second pass over
+  // the row headers. A pool without at least two workers cannot overlap
+  // anything, so the classic one-pass exchange (hash, meter and move each
+  // row while it is hot in cache) is strictly better there. Row order,
+  // hashes and all metering are identical on both routes.
+  if (pool_->num_threads() <= 1) {
+    uint64_t total_rows = 0;
+    size_t input_rows = 0;
+    for (const auto& src : input.partitions) input_rows += src.size();
+    const size_t estimate = input_rows / n + input_rows / (4 * n) + 4;
+    for (size_t d = 0; d < n; ++d) {
+      result.data.partitions[d].reserve(estimate);
+      result.hashes[d].reserve(estimate);
+      result.data.row_sizes[d].reserve(estimate);
+    }
+    std::vector<uint64_t> received_bytes(n, 0);
+    std::vector<uint64_t> rows_in(src_parts, 0);
+    uint64_t shuffled_bytes = 0;
+    const int* keys = key_indices.data();
+    const size_t num_keys = key_indices.size();
+    const FastMod mod_n(n);
+    std::vector<Row>* out_rows = result.data.partitions.data();
+    std::vector<uint64_t>* out_hashes = result.hashes.data();
+    std::vector<uint64_t>* out_sizes = result.data.row_sizes.data();
+    for (size_t p = 0; p < src_parts; ++p) {
+      auto& src = input.partitions[p];
+      rows_in[p] = src.size();
+      Row* rows_p = src.data();
+      const uint64_t* src_sizes =
+          input_has_sizes ? input.row_sizes[p].data() : nullptr;
+      const size_t m = src.size();
+      for (size_t i = 0; i < m; ++i) {
+        // Each Row is its own heap block, so hashing + size-metering is a
+        // DRAM-latency-bound pointer chase (the row headers stream, the
+        // payloads do not). Prefetching the payload ~16 rows ahead hides
+        // most of that (shorter distances leave half the latency exposed);
+        // the seed kernels have no equivalent and stall. With a size
+        // annotation only the key column's line is touched at all.
+        if (i + 16 < m) {
+          const char* pf = reinterpret_cast<const char*>(rows_p[i + 16].data());
+          __builtin_prefetch(pf);
+          if (src_sizes == nullptr) {
+            __builtin_prefetch(pf + 128);
+            __builtin_prefetch(pf + 256);
+          }
+        }
+        Row& row = rows_p[i];
+        const uint64_t h = HashRowKeyInline(row, keys, num_keys);
+        const size_t dest = static_cast<size_t>(mod_n(h));
+        const uint64_t bytes =
+            src_sizes != nullptr ? src_sizes[i] : RowSizeBytesInline(row);
+        // A row already sitting on its destination node (co-partitioned
+        // input) moves no bytes. Adding zero keeps the counters identical
+        // while letting the compiler emit a conditional move instead of a
+        // hash-dependent (hence unpredictable) branch.
+        const uint64_t moved = (dest != p || src_parts != n) ? bytes : 0;
+        shuffled_bytes += moved;
+        received_bytes[dest] += moved;
+        out_sizes[dest].push_back(bytes);
+        out_hashes[dest].push_back(h);
+        out_rows[dest].push_back(std::move(row));
+      }
+      total_rows += rows_in[p];
+      src.clear();
+      RecycleRowVec(std::move(src));
+    }
+    metrics->bytes_shuffled += shuffled_bytes;
+    metrics->tuples_processed += total_rows;
+    metrics->simulated_seconds +=
+        static_cast<double>(MaxOver(received_bytes)) *
+            cluster_.network_seconds_per_byte +
+        static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+    metrics->wall_shuffle_seconds += SecondsSince(wall_start);
+    return result;
+  }
+
+  // Phase 1: route every source partition independently on the pool. Rows
+  // do not move (and their non-key columns are not touched) yet — each
+  // source only computes its rows' key hashes, destinations and
+  // per-destination counts into private arrays, so the data path needs no
+  // locks and no shared-vector contention.
+  struct RoutePlan {
+    std::vector<uint64_t> hashes;    // [row] -> key hash (computed once)
+    std::vector<uint32_t> dest;      // [row] -> destination partition
+    std::vector<size_t> counts;      // [dest] -> rows routed there
+    std::vector<uint64_t> bytes_to;  // [dest] -> shuffled bytes
+    uint64_t shuffled_bytes = 0;
+  };
+  std::vector<RoutePlan> routed(src_parts);
+  std::vector<uint64_t> rows_in(src_parts, 0);
+  pool_->ParallelFor(src_parts, [&](size_t p) {
+    RoutePlan& plan = routed[p];
+    const auto& src = input.partitions[p];
+    const size_t m = src.size();
+    rows_in[p] = m;
+    plan.hashes.resize(m);
+    plan.dest.resize(m);
+    plan.counts.assign(n, 0);
+    const int* keys = key_indices.data();
+    const size_t num_keys = key_indices.size();
+    const FastMod mod_n(n);
+    const Row* rows_p = src.data();
+    for (size_t i = 0; i < m; ++i) {
+      // Hide the row-payload pointer chase (see the one-pass route above).
+      if (i + 16 < m) {
+        const char* pf = reinterpret_cast<const char*>(rows_p[i + 16].data());
+        __builtin_prefetch(pf);
+      }
+      const uint64_t h = HashRowKeyInline(rows_p[i], keys, num_keys);
+      const size_t dest = static_cast<size_t>(mod_n(h));
+      plan.hashes[i] = h;
+      plan.dest[i] = static_cast<uint32_t>(dest);
+      ++plan.counts[dest];
+    }
+  });
+
+  // Exact destination sizes are known, so every row moves exactly once into
+  // exactly-reserved storage. offsets[p][d] is the first slot in destination
+  // d owned by source p; sources occupy consecutive slot ranges in source
+  // order, which reproduces the row order of a sequential shuffle exactly.
+  std::vector<std::vector<size_t>> offsets(src_parts,
+                                           std::vector<size_t>(n, 0));
+  for (size_t d = 0; d < n; ++d) {
+    size_t running = 0;
+    for (size_t p = 0; p < src_parts; ++p) {
+      offsets[p][d] = running;
+      running += routed[p].counts[d];
+    }
+    result.data.partitions[d].resize(running);
+    result.hashes[d].resize(running);
+    result.data.row_sizes[d].resize(running);
+  }
+
+  // Phase 2: every source scatters its rows to its precomputed slots, in
+  // parallel. Slot ranges are disjoint, so concurrent writers never touch
+  // the same element. Byte metering happens here, in the same pass that
+  // (only now) touches the full row, and lands in per-source accumulators
+  // merged below.
+  pool_->ParallelFor(src_parts, [&](size_t p) {
+    auto& src = input.partitions[p];
+    RoutePlan& plan = routed[p];
+    plan.bytes_to.assign(n, 0);
+    std::vector<size_t> next = offsets[p];
+    Row* rows_p = src.data();
+    const uint64_t* src_sizes =
+        input_has_sizes ? input.row_sizes[p].data() : nullptr;
+    const size_t m = src.size();
+    for (size_t i = 0; i < m; ++i) {
+      if (i + 16 < m) {
+        const char* pf = reinterpret_cast<const char*>(rows_p[i + 16].data());
+        __builtin_prefetch(pf);
+        if (src_sizes == nullptr) {
+          __builtin_prefetch(pf + 128);
+          __builtin_prefetch(pf + 256);
+        }
+      }
+      const size_t d = plan.dest[i];
+      const uint64_t bytes =
+          src_sizes != nullptr ? src_sizes[i] : RowSizeBytesInline(src[i]);
+      // A row already sitting on its destination node (co-partitioned
+      // input) moves no bytes; adding zero keeps the counters identical
+      // without a hash-dependent branch.
+      const uint64_t moved = (d != p || src_parts != n) ? bytes : 0;
+      plan.shuffled_bytes += moved;
+      plan.bytes_to[d] += moved;
+      const size_t slot = next[d]++;
+      result.data.partitions[d][slot] = std::move(src[i]);
+      result.hashes[d][slot] = plan.hashes[i];
+      result.data.row_sizes[d][slot] = bytes;
+    }
+    src.clear();
+  });
+  // Serial section: hand the emptied source vectors back to the pool.
+  for (auto& src : input.partitions) RecycleRowVec(std::move(src));
+
+  std::vector<uint64_t> received_bytes(n, 0);
   uint64_t total_rows = 0;
-  for (uint64_t r : rows_in) total_rows += r;
+  uint64_t shuffled_bytes = 0;
+  for (size_t p = 0; p < src_parts; ++p) {
+    shuffled_bytes += routed[p].shuffled_bytes;
+    total_rows += rows_in[p];
+    for (size_t d = 0; d < n; ++d) received_bytes[d] += routed[p].bytes_to[d];
+  }
+  metrics->bytes_shuffled += shuffled_bytes;
   metrics->tuples_processed += total_rows;
   metrics->simulated_seconds +=
       static_cast<double>(MaxOver(received_bytes)) *
           cluster_.network_seconds_per_byte +
       static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
-  return out;
+  metrics->wall_shuffle_seconds += SecondsSince(wall_start);
+  return result;
 }
 
-Dataset JobExecutor::LocalHashJoin(const Dataset& build, const Dataset& probe,
-                                   const std::vector<int>& build_keys,
-                                   const std::vector<int>& probe_keys,
-                                   ExecMetrics* metrics) {
+Dataset JobExecutor::LocalHashJoin(
+    const Dataset& build, const Dataset& probe,
+    const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
+    ExecMetrics* metrics,
+    const std::vector<std::vector<uint64_t>>* build_hashes,
+    const std::vector<std::vector<uint64_t>>* probe_hashes) {
   DYNOPT_CHECK(build.partitions.size() == probe.partitions.size());
   const size_t num_parts = build.partitions.size();
   std::vector<std::string> out_columns = build.columns;
   out_columns.insert(out_columns.end(), probe.columns.begin(),
                      probe.columns.end());
   Dataset out(out_columns, num_parts);
+  // A joined row is build-row ++ probe-row, so its byte size is knowable in
+  // O(1) from the parents' annotations: both sides contribute their values,
+  // but the 8-byte row header is only paid once.
+  const bool emit_sizes = build.HasRowSizes() && probe.HasRowSizes();
+  if (emit_sizes) out.row_sizes.resize(num_parts);
+  for (size_t p = 0; p < num_parts; ++p) {
+    out.partitions[p] = TakeRowVec();
+    if (emit_sizes) out.row_sizes[p] = TakeHashVec();
+  }
+
+  // Build phase: one flat table per partition, reusing the executor's
+  // pooled tables (their vectors keep capacity between joins).
+  auto wall_start = WallClock::now();
+  if (join_tables_.size() < num_parts) join_tables_.resize(num_parts);
+  std::vector<JoinHashTable>& tables = join_tables_;
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    tables[p].Build(build.partitions[p], build_keys,
+                    build_hashes != nullptr ? &(*build_hashes)[p] : nullptr);
+  });
+  metrics->wall_build_seconds += SecondsSince(wall_start);
+
+  // Probe phase.
+  wall_start = WallClock::now();
   std::vector<uint64_t> work(num_parts, 0);
-  std::atomic<uint64_t> total_work{0};
   pool_->ParallelFor(num_parts, [&](size_t p) {
     const auto& build_rows = build.partitions[p];
     const auto& probe_rows = probe.partitions[p];
+    const JoinHashTable& table = tables[p];
+    const std::vector<uint64_t>* hashes =
+        probe_hashes != nullptr ? &(*probe_hashes)[p] : nullptr;
     auto& dest = out.partitions[p];
-    std::unordered_map<uint64_t, std::vector<size_t>> table;
-    table.reserve(build_rows.size());
-    for (size_t i = 0; i < build_rows.size(); ++i) {
-      if (AnyKeyNull(build_rows[i], build_keys)) continue;
-      table[HashRowKey(build_rows[i], build_keys)].push_back(i);
-    }
+    // FK equi-joins emit about one row per probe row; reserving that up
+    // front removes most of the doubling reallocations (each of which
+    // re-moves every previously emitted row header). Worst case this
+    // over-allocates headers only, and many-to-many joins still grow.
+    dest.reserve(probe_rows.size());
+    const uint64_t* build_sizes =
+        emit_sizes ? build.row_sizes[p].data() : nullptr;
+    const uint64_t* probe_sizes =
+        emit_sizes ? probe.row_sizes[p].data() : nullptr;
+    std::vector<uint64_t>* dest_sizes =
+        emit_sizes ? &out.row_sizes[p] : nullptr;
+    if (dest_sizes != nullptr) dest_sizes->reserve(probe_rows.size());
     uint64_t local_work = build_rows.size() + probe_rows.size();
-    for (const Row& probe_row : probe_rows) {
-      if (AnyKeyNull(probe_row, probe_keys)) continue;
-      auto it = table.find(HashRowKey(probe_row, probe_keys));
-      if (it == table.end()) continue;
-      for (size_t build_idx : it->second) {
-        const Row& build_row = build_rows[build_idx];
-        if (!KeysEqual(build_row, build_keys, probe_row, probe_keys)) {
+    // Hoisted raw views: const locals stay in registers across the emission
+    // writes below, which the compiler must otherwise assume may alias the
+    // vectors' headers and reload every iteration.
+    constexpr uint32_t kEnd = JoinHashTable::kEnd;
+    const uint32_t* heads = table.heads();
+    const uint32_t* next = table.next();
+    const uint64_t* table_hashes = table.hashes();
+    const size_t mask = table.mask();
+    const size_t num_probe_rows = probe_rows.size();
+    const uint64_t* probe_h = hashes != nullptr ? hashes->data() : nullptr;
+    for (size_t j = 0; j < num_probe_rows; ++j) {
+      uint64_t h;
+      uint32_t first;
+      if (probe_h != nullptr) {
+        // Precomputed hashes let misses resolve from the table's own arrays
+        // — the chain is walked comparing full 64-bit hashes (L1-resident)
+        // and the probe row itself is only touched on a hash match. NULL-key
+        // rows are filtered below on that (rare) match; the table holds no
+        // NULL-key entries, so hash + key equality already reject them, and
+        // the explicit check keeps the invariant obvious.
+        h = probe_h[j];
+        // The upcoming bucket loads are data-dependent random accesses into
+        // an array that outgrows L2 for large build sides; prefetching a few
+        // iterations ahead hides most of that latency.
+        if (j + 8 < num_probe_rows) {
+          __builtin_prefetch(&heads[probe_h[j + 8] & mask]);
+        }
+        first = heads[h & mask];
+        while (first != kEnd && table_hashes[first] != h) first = next[first];
+        if (first == kEnd) continue;
+        if (AnyJoinKeyNull(probe_rows[j], probe_keys)) continue;
+      } else {
+        if (AnyJoinKeyNull(probe_rows[j], probe_keys)) continue;
+        h = HashRowKey(probe_rows[j], probe_keys);
+        first = heads[h & mask];
+      }
+      const Row& probe_row = probe_rows[j];
+      for (uint32_t i = first; i != kEnd; i = next[i]) {
+        if (table_hashes[i] != h) continue;
+        const Row& build_row = build_rows[i];
+        if (!JoinKeysEqual(build_row, build_keys, probe_row, probe_keys)) {
           continue;
         }
-        Row joined;
+        dest.emplace_back();
+        Row& joined = dest.back();
         joined.reserve(build_row.size() + probe_row.size());
         joined.insert(joined.end(), build_row.begin(), build_row.end());
         joined.insert(joined.end(), probe_row.begin(), probe_row.end());
-        dest.push_back(std::move(joined));
+        if (dest_sizes != nullptr) {
+          dest_sizes->push_back(build_sizes[i] + probe_sizes[j] - 8);
+        }
         ++local_work;
       }
     }
     work[p] = local_work;
-    total_work.fetch_add(local_work);
   });
-  metrics->tuples_processed += total_work.load();
+  metrics->wall_probe_seconds += SecondsSince(wall_start);
+
+  uint64_t total_work = 0;
+  for (uint64_t w : work) total_work += w;
+  metrics->tuples_processed += total_work;
   metrics->simulated_seconds +=
       static_cast<double>(MaxOver(work)) * cluster_.cpu_seconds_per_tuple;
   return out;
@@ -332,10 +653,18 @@ Result<Dataset> JobExecutor::ExecJoin(
                           ResolveColumns(probe, probe_names, "join probe"));
 
   if (node.method == JoinMethod::kHashShuffle) {
-    Dataset build_parts = Repartition(std::move(build), build_keys, metrics);
-    Dataset probe_parts = Repartition(std::move(probe), probe_keys, metrics);
-    return LocalHashJoin(build_parts, probe_parts, build_keys, probe_keys,
-                         metrics);
+    ShuffleResult build_parts =
+        Repartition(std::move(build), build_keys, metrics);
+    ShuffleResult probe_parts =
+        Repartition(std::move(probe), probe_keys, metrics);
+    Dataset joined = LocalHashJoin(build_parts.data, probe_parts.data,
+                                   build_keys, probe_keys, metrics,
+                                   &build_parts.hashes, &probe_parts.hashes);
+    // The shuffled inputs are fully consumed; recycle their storage for the
+    // next exchange instead of returning it to the allocator.
+    RecycleShuffleResult(std::move(build_parts));
+    RecycleShuffleResult(std::move(probe_parts));
+    return joined;
   }
 
   // Broadcast join: replicate the (small) build side to every partition of
@@ -487,20 +816,38 @@ Result<SinkResult> JobExecutor::Materialize(
     Dataset&& data, const std::string& prefix,
     const std::vector<std::string>& stats_columns, bool collect_stats,
     ExecMetrics* metrics) {
+  const auto wall_start = WallClock::now();
   // Build the temp table schema: stored column names are the (already
-  // qualified) dataset column names; types are inferred from data.
-  std::vector<Field> fields;
-  fields.reserve(data.columns.size());
-  for (size_t c = 0; c < data.columns.size(); ++c) {
-    ValueType type = ValueType::kNull;
-    for (const auto& part : data.partitions) {
-      for (const auto& row : part) {
-        if (!row[c].is_null()) {
-          type = row[c].type();
-          break;
+  // qualified) dataset column names; types are inferred from data in one
+  // parallel pass that fills every column's type at once (first non-NULL
+  // value in partition-then-row order), instead of rescanning the dataset
+  // once per column.
+  const size_t num_cols = data.columns.size();
+  const size_t num_parts = data.partitions.size();
+  std::vector<std::vector<ValueType>> part_types(
+      num_parts, std::vector<ValueType>(num_cols, ValueType::kNull));
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& types = part_types[p];
+    size_t unresolved = num_cols;
+    for (const Row& row : data.partitions[p]) {
+      if (unresolved == 0) break;
+      for (size_t c = 0; c < num_cols; ++c) {
+        if (types[c] == ValueType::kNull && !row[c].is_null()) {
+          types[c] = row[c].type();
+          --unresolved;
         }
       }
-      if (type != ValueType::kNull) break;
+    }
+  });
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    ValueType type = ValueType::kNull;
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (part_types[p][c] != ValueType::kNull) {
+        type = part_types[p][c];
+        break;
+      }
     }
     fields.push_back(Field{data.columns[c], type});
   }
@@ -519,18 +866,26 @@ Result<SinkResult> JobExecutor::Materialize(
       stat_names.push_back(col);
     }
   }
-  const size_t num_parts = data.partitions.size();
   std::vector<TableStatsBuilder> builders;
   builders.reserve(num_parts);
   for (size_t p = 0; p < num_parts; ++p) {
     builders.emplace_back(stat_names, stat_indices);
   }
+  const bool has_sizes = data.HasRowSizes();
   std::vector<uint64_t> part_bytes(num_parts, 0);
   pool_->ParallelFor(num_parts, [&](size_t p) {
     uint64_t bytes = 0;
-    for (const Row& row : data.partitions[p]) {
-      bytes += RowSizeBytes(row);
-      if (collect_stats) builders[p].AddRow(row);
+    if (has_sizes) {
+      // Sum the producer's size annotation instead of re-walking payloads.
+      for (uint64_t b : data.row_sizes[p]) bytes += b;
+      if (collect_stats) {
+        for (const Row& row : data.partitions[p]) builders[p].AddRow(row);
+      }
+    } else {
+      for (const Row& row : data.partitions[p]) {
+        bytes += RowSizeBytes(row);
+        if (collect_stats) builders[p].AddRow(row);
+      }
     }
     part_bytes[p] = bytes;
   });
@@ -605,6 +960,7 @@ Result<SinkResult> JobExecutor::Materialize(
   metrics->simulated_seconds +=
       write_seconds + cluster_.reopt_fixed_seconds;
   metrics->num_reopt_points += 1;
+  metrics->wall_materialize_seconds += SecondsSince(wall_start);
   return result;
 }
 

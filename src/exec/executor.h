@@ -1,7 +1,9 @@
 #ifndef DYNOPT_EXEC_EXECUTOR_H_
 #define DYNOPT_EXEC_EXECUTOR_H_
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -10,6 +12,7 @@
 #include "exec/cluster.h"
 #include "exec/dataset.h"
 #include "exec/job.h"
+#include "exec/join_hash_table.h"
 #include "exec/metrics.h"
 #include "plan/udf.h"
 #include "stats/table_stats.h"
@@ -29,11 +32,25 @@ struct SinkResult {
   TableStats stats;        ///< Online statistics (empty when disabled).
 };
 
+/// A repartitioned dataset plus the key hash of every row, computed once
+/// during routing. hashes[p][i] == HashRowKey(data.partitions[p][i], keys)
+/// for the key set the shuffle ran on; the local hash join consumes them so
+/// build and probe never rehash.
+struct ShuffleResult {
+  Dataset data;
+  std::vector<std::vector<uint64_t>> hashes;
+};
+
 /// Executes physical job plans against the simulated cluster: operators run
 /// partition-parallel on a thread pool, and every unit of work (bytes
 /// scanned/shuffled/broadcast/materialized, tuples, index lookups) is
 /// metered and converted to simulated seconds under the ClusterConfig cost
 /// model. Per pipeline stage, simulated time is max-over-nodes.
+///
+/// The data-movement kernels (Repartition / LocalHashJoin) are public:
+/// tests compare them against the sequential reference implementation in
+/// exec/reference_kernels.h, and bench/bench_kernels.cc times them. Their
+/// simulated-seconds metering is byte-for-byte identical to the reference.
 class JobExecutor {
  public:
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
@@ -51,6 +68,27 @@ class JobExecutor {
   Result<SinkResult> Materialize(Dataset&& data, const std::string& prefix,
                                  const std::vector<std::string>& stats_columns,
                                  bool collect_stats, ExecMetrics* metrics);
+
+  /// Hash-repartitions `input` on `key_indices` into the cluster's node
+  /// count, metering network traffic. Two-phase parallel exchange: phase 1
+  /// routes each source partition on the thread pool (computing each row's
+  /// key hash exactly once) into thread-local per-destination buffers;
+  /// phase 2 merges the buffers per destination, in source-partition order,
+  /// so the output row order matches a sequential shuffle.
+  ShuffleResult Repartition(Dataset&& input,
+                            const std::vector<int>& key_indices,
+                            ExecMetrics* metrics);
+
+  /// Local hash join between aligned partitions (equal-length partition
+  /// vectors); emits build-row ++ probe-row. When `build_hashes` /
+  /// `probe_hashes` are non-null (per-partition key hashes from
+  /// Repartition) the join reuses them instead of rehashing.
+  Dataset LocalHashJoin(
+      const Dataset& build, const Dataset& probe,
+      const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
+      ExecMetrics* metrics,
+      const std::vector<std::vector<uint64_t>>* build_hashes = nullptr,
+      const std::vector<std::vector<uint64_t>>* probe_hashes = nullptr);
 
   const ClusterConfig& cluster() const { return cluster_; }
 
@@ -72,22 +110,36 @@ class JobExecutor {
       const PlanNode& node, const std::map<std::string, Value>& params,
       ExecMetrics* metrics);
 
-  /// Hash-repartitions `input` on `key_indices`, metering network traffic.
-  Dataset Repartition(Dataset&& input, const std::vector<int>& key_indices,
-                      ExecMetrics* metrics);
-
-  /// Local hash join between aligned partitions (equal-length partition
-  /// vectors); emits build-row ++ probe-row.
-  Dataset LocalHashJoin(const Dataset& build, const Dataset& probe,
-                        const std::vector<int>& build_keys,
-                        const std::vector<int>& probe_keys,
-                        ExecMetrics* metrics);
+  /// Scratch recycling: the shuffle and join kernels allocate
+  /// multi-hundred-KB header vectors (destination row vectors, hash
+  /// vectors, join tables) on every call, which glibc serves straight from
+  /// mmap — so every operator pays fresh first-touch page faults for memory
+  /// an earlier operator just released. These helpers keep emptied vectors
+  /// (capacity intact, contents cleared) on a small bounded pool instead.
+  /// The mutex only guards pool membership; pooled objects are always taken
+  /// and returned from serial sections, never inside ParallelFor bodies.
+  std::vector<Row> TakeRowVec();
+  void RecycleRowVec(std::vector<Row>&& v);
+  std::vector<uint64_t> TakeHashVec();
+  void RecycleHashVec(std::vector<uint64_t>&& v);
+  void RecycleShuffleResult(ShuffleResult&& parts);
 
   Catalog* catalog_;
   StatsManager* stats_;
   const UdfRegistry* udfs_;
   ClusterConfig cluster_;
   ThreadPool* pool_;
+
+  std::mutex scratch_mutex_;
+  std::vector<std::vector<Row>> row_vec_pool_;
+  std::vector<std::vector<uint64_t>> hash_vec_pool_;
+
+  /// Join build tables, reused across LocalHashJoin calls so the bucket /
+  /// chain / hash vectors keep their capacity instead of being reallocated
+  /// for every join of a pipeline. Only touched from LocalHashJoin, which
+  /// runs one join at a time (each ParallelFor body writes a distinct
+  /// element).
+  std::vector<JoinHashTable> join_tables_;
 };
 
 }  // namespace dynopt

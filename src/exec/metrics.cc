@@ -18,6 +18,10 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   simulated_seconds += other.simulated_seconds;
   reopt_seconds += other.reopt_seconds;
   stats_seconds += other.stats_seconds;
+  wall_shuffle_seconds += other.wall_shuffle_seconds;
+  wall_build_seconds += other.wall_build_seconds;
+  wall_probe_seconds += other.wall_probe_seconds;
+  wall_materialize_seconds += other.wall_materialize_seconds;
 }
 
 std::string ExecMetrics::ToString() const {
@@ -29,7 +33,10 @@ std::string ExecMetrics::ToString() const {
      << "B reread=" << bytes_intermediate_read
      << "B idx_lookups=" << index_lookups << " jobs=" << num_jobs
      << " reopts=" << num_reopt_points << " sim_s=" << simulated_seconds
-     << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds << ")";
+     << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds << ")"
+     << " wall[shuffle=" << wall_shuffle_seconds
+     << "s build=" << wall_build_seconds << "s probe=" << wall_probe_seconds
+     << "s materialize=" << wall_materialize_seconds << "s]";
   return os.str();
 }
 

@@ -31,6 +31,23 @@ struct ExecMetrics {
   /// Portion attributable to online statistics collection.
   double stats_seconds = 0;
 
+  // --- Host wall-clock per kernel class ---------------------------------
+  //
+  // Real elapsed time (std::chrono::steady_clock) spent inside the
+  // executor's data-movement and join kernels, independent of the
+  // simulated cost model above. These exist so perf work on the kernels
+  // has a machine-readable trajectory (bench_kernels / BENCH_kernels.json)
+  // while the simulated seconds stay byte-for-byte stable.
+
+  /// Shuffle exchange (Repartition): routing + merge, both phases.
+  double wall_shuffle_seconds = 0;
+  /// Hash-join build phase (hash-table construction over the build side).
+  double wall_build_seconds = 0;
+  /// Hash-join probe phase (lookups + output emission).
+  double wall_probe_seconds = 0;
+  /// Sink materialization (schema inference, stats, write-back).
+  double wall_materialize_seconds = 0;
+
   void Add(const ExecMetrics& other);
   std::string ToString() const;
 };

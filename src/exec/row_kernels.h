@@ -1,0 +1,113 @@
+#ifndef DYNOPT_EXEC_ROW_KERNELS_H_
+#define DYNOPT_EXEC_ROW_KERNELS_H_
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/value.h"
+
+namespace dynopt {
+
+/// Header-inline equivalents of Value::Hash / Value::SizeBytes / HashRowKey
+/// / RowSizeBytes for the executor's hot kernel loops (shuffle routing and
+/// hash-join build/probe). The out-of-line versions in common/value.cc cost
+/// a call per value, which dominates when the loop body is just
+/// hash-and-route; inlining lets the compiler fold the variant dispatch into
+/// the loop. They must stay bit-identical to the out-of-line versions —
+/// exchange_test cross-checks both the scalar cases and every hash/byte
+/// count a shuffle produces.
+
+inline uint64_t ValueHashInline(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return 0x9ae16a3b2f90404fULL;
+    case ValueType::kBool:
+      return Mix64(v.AsBool() ? 1 : 0);
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(v.AsInt64()));
+    case ValueType::kDouble: {
+      double d = v.AsDouble();
+      // Hash integral doubles identically to the equal int64 so that
+      // cross-type join keys behave consistently with Compare().
+      if (d == static_cast<double>(static_cast<int64_t>(d)) &&
+          std::abs(d) < 9.0e18) {
+        return Mix64(static_cast<uint64_t>(static_cast<int64_t>(d)));
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(d));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(v.AsString());
+  }
+  return 0;
+}
+
+inline size_t ValueSizeBytesInline(const Value& v) {
+  // Table-indexed by type tag instead of a switch: the shuffle meters every
+  // moved row, so this runs once per value and the jump table (two switches
+  // once Value::type()'s own dispatch is counted) shows up in the routing
+  // loop. Sizes match Value::SizeBytes: null/bool=1, int64/double=8,
+  // string=16+length.
+  static constexpr size_t kSizeByType[5] = {1, 1, 8, 8, 16};
+  const auto t = static_cast<size_t>(v.type());
+  size_t size = kSizeByType[t];
+  if (t == static_cast<size_t>(ValueType::kString)) {
+    size += v.AsStringUnchecked().size();
+  }
+  return size;
+}
+
+inline uint64_t HashRowKeyInline(const Row& row, const int* key_indices,
+                                 size_t num_keys) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (size_t k = 0; k < num_keys; ++k) {
+    h = HashCombine(h,
+                    ValueHashInline(row[static_cast<size_t>(key_indices[k])]));
+  }
+  return h;
+}
+
+inline uint64_t HashRowKeyInline(const Row& row,
+                                 const std::vector<int>& key_indices) {
+  return HashRowKeyInline(row, key_indices.data(), key_indices.size());
+}
+
+inline size_t RowSizeBytesInline(const Row& row) {
+  size_t total = 8;  // Row header overhead.
+  for (const Value& v : row) total += ValueSizeBytesInline(v);
+  return total;
+}
+
+/// Exact h % n for a fixed n via a precomputed reciprocal: one 128-bit
+/// multiply plus a bounded correction instead of a ~20-cycle hardware
+/// divide per row. recip = floor((2^64-1)/n) <= (2^64-1)/n, so the
+/// estimated quotient q = floor(h*recip / 2^64) never exceeds floor(h/n)
+/// and undershoots by at most 2; the correction loop therefore runs at most
+/// twice and the result equals h % n for every h (exchange_test sweeps this
+/// against the plain operator).
+class FastMod {
+ public:
+  explicit FastMod(uint64_t n)
+      : n_(n), recip_(n > 1 ? ~uint64_t{0} / n : 0) {}
+
+  uint64_t operator()(uint64_t h) const {
+    if (n_ <= 1) return 0;
+    uint64_t q = static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(h) * recip_) >> 64);
+    uint64_t r = h - q * n_;
+    while (r >= n_) r -= n_;
+    return r;
+  }
+
+ private:
+  uint64_t n_;
+  uint64_t recip_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_ROW_KERNELS_H_

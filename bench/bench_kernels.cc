@@ -85,14 +85,20 @@ PipelineResult RunPipeline(JobExecutor* executor,
     std::vector<int> build_keys = MustResolve(builds[s], steps[s].build_cols);
     std::vector<int> probe_keys = MustResolve(current, steps[s].probe_cols);
     if (parallel_kernels) {
-      ShuffleResult build_parts = executor->Repartition(
-          std::move(builds[s]), build_keys, &result.metrics);
-      ShuffleResult probe_parts = executor->Repartition(
-          std::move(current), probe_keys, &result.metrics);
-      current = executor->LocalHashJoin(build_parts.data, probe_parts.data,
-                                        build_keys, probe_keys,
-                                        &result.metrics, &build_parts.hashes,
-                                        &probe_parts.hashes);
+      // Injection is never armed here, so the kernels cannot fail.
+      auto build_or = executor->Repartition(std::move(builds[s]), build_keys,
+                                            &result.metrics);
+      DYNOPT_CHECK(build_or.ok());
+      ShuffleResult build_parts = std::move(build_or).value();
+      auto probe_or = executor->Repartition(std::move(current), probe_keys,
+                                            &result.metrics);
+      DYNOPT_CHECK(probe_or.ok());
+      ShuffleResult probe_parts = std::move(probe_or).value();
+      auto join_or = executor->LocalHashJoin(
+          build_parts.data, probe_parts.data, build_keys, probe_keys,
+          &result.metrics, &build_parts.hashes, &probe_parts.hashes);
+      DYNOPT_CHECK(join_or.ok());
+      current = std::move(join_or).value();
     } else {
       Dataset build_parts = reference::Repartition(
           std::move(builds[s]), build_keys, cluster, &result.metrics);

@@ -1,8 +1,10 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <set>
+#include <sstream>
 
 #include "common/logging.h"
 #include "opt/dynamic_optimizer.h"
@@ -160,6 +162,10 @@ void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
   record->wall_build_seconds = metrics.wall_build_seconds;
   record->wall_probe_seconds = metrics.wall_probe_seconds;
   record->wall_materialize_seconds = metrics.wall_materialize_seconds;
+  record->recovery_seconds = metrics.recovery_seconds;
+  record->num_retries = metrics.num_retries;
+  record->speculative_executions = metrics.speculative_executions;
+  record->corrupted_blocks = metrics.corrupted_blocks;
 }
 
 void AddRecord(Record record) {
@@ -168,6 +174,71 @@ void AddRecord(Record record) {
 }
 
 const std::vector<Record>& Records() { return MutableRecords(); }
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RecordsToJson() {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const auto& r : Records()) {
+    os << (first ? "\n" : ",\n") << "    {"
+       << "\"figure\": \"" << JsonEscape(r.figure) << "\", "
+       << "\"query\": \"" << JsonEscape(r.query) << "\", "
+       << "\"paper_sf\": " << r.paper_sf << ", "
+       << "\"optimizer\": \"" << JsonEscape(r.optimizer) << "\", "
+       << "\"sim_seconds\": " << r.sim_seconds << ", "
+       << "\"wall_seconds\": " << r.wall_seconds << ", "
+       << "\"reopt_seconds\": " << r.reopt_seconds << ", "
+       << "\"stats_seconds\": " << r.stats_seconds << ", "
+       << "\"wall_shuffle_s\": " << r.wall_shuffle_seconds << ", "
+       << "\"wall_build_s\": " << r.wall_build_seconds << ", "
+       << "\"wall_probe_s\": " << r.wall_probe_seconds << ", "
+       << "\"wall_materialize_s\": " << r.wall_materialize_seconds << ", "
+       << "\"recovery_seconds\": " << r.recovery_seconds << ", "
+       << "\"num_retries\": " << r.num_retries << ", "
+       << "\"speculative_executions\": " << r.speculative_executions << ", "
+       << "\"corrupted_blocks\": " << r.corrupted_blocks << ", "
+       << "\"rows\": " << r.rows << ", "
+       << "\"plan\": \"" << JsonEscape(r.plan) << "\"}";
+    first = false;
+  }
+  os << "\n  ]";
+  return os.str();
+}
+
+bool WriteRecordsJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n  \"records\": " << RecordsToJson() << "\n}\n";
+  return static_cast<bool>(out);
+}
 
 void PrintFigureTable(const std::string& figure) {
   const auto& records = Records();

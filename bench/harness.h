@@ -59,15 +59,30 @@ struct Record {
   double wall_build_seconds = 0;
   double wall_probe_seconds = 0;
   double wall_materialize_seconds = 0;
+  // Fault-injection outcomes (ExecMetrics fault counters); all zero when
+  // injection is disarmed.
+  double recovery_seconds = 0;
+  uint64_t num_retries = 0;
+  uint64_t speculative_executions = 0;
+  uint64_t corrupted_blocks = 0;
   uint64_t rows = 0;
   std::string plan;
 };
 
-/// Copies the per-operator-class wall clocks out of `metrics` into `record`.
+/// Copies the per-operator-class wall clocks and the fault counters out of
+/// `metrics` into `record`.
 void SetWallBreakdown(Record* record, const ExecMetrics& metrics);
 
 void AddRecord(Record record);
 const std::vector<Record>& Records();
+
+/// All accumulated records as a JSON array (one object per record,
+/// including the fault-recovery counters).
+std::string RecordsToJson();
+
+/// Writes RecordsToJson() wrapped in {"records": [...]} to `path`.
+/// Returns false when the file cannot be written.
+bool WriteRecordsJson(const std::string& path);
 
 /// Prints records of `figure` grouped like the paper's figures: one block
 /// per scale factor, queries as rows, strategies as columns.

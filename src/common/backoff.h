@@ -1,0 +1,33 @@
+#ifndef DYNOPT_COMMON_BACKOFF_H_
+#define DYNOPT_COMMON_BACKOFF_H_
+
+#include <algorithm>
+
+namespace dynopt {
+
+/// Capped exponential backoff between retries of a failed task. Delays are
+/// *simulated* seconds (the retrying node sits idle that long in the cost
+/// model); nothing actually sleeps. Attempt numbering starts at 0 for the
+/// first execution, so attempt k's retry waits
+/// min(initial * multiplier^k, cap).
+struct BackoffPolicy {
+  double initial_seconds = 0.05;
+  double multiplier = 2.0;
+  double cap_seconds = 1.0;
+  /// Total executions allowed per task (first try + retries). Exhausting
+  /// them escalates the task failure to a query-level transient error.
+  int max_attempts = 4;
+
+  double Delay(int attempt) const {
+    double d = initial_seconds;
+    for (int i = 0; i < attempt; ++i) {
+      d *= multiplier;
+      if (d >= cap_seconds) break;
+    }
+    return std::min(d, cap_seconds);
+  }
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_BACKOFF_H_

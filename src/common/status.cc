@@ -25,6 +25,10 @@ const char* CodeName(StatusCode code) {
       return "BindError";
     case StatusCode::kExecutionError:
       return "ExecutionError";
+    case StatusCode::kTransient:
+      return "Transient";
+    case StatusCode::kDataCorruption:
+      return "DataCorruption";
   }
   return "Unknown";
 }

@@ -20,7 +20,21 @@ enum class StatusCode {
   kParseError,
   kBindError,
   kExecutionError,
+  /// Transient infrastructure fault (lost node, failed task): the operation
+  /// may succeed if retried, possibly from a checkpoint.
+  kTransient,
+  /// Detected corruption of stored bytes (checksum mismatch): the data must
+  /// be re-materialized; retrying the read alone cannot help.
+  kDataCorruption,
 };
+
+/// True for error categories a caller may recover from by re-executing the
+/// failed work (against a fresh copy of the data for kDataCorruption).
+/// Fatal categories — bad plans, missing tables, logic errors — stay false:
+/// re-running them yields the same failure.
+inline bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kTransient || code == StatusCode::kDataCorruption;
+}
 
 /// Lightweight status object returned by fallible operations. The library
 /// does not use exceptions (per the project style rules); every public
@@ -60,9 +74,17 @@ class Status {
   static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
+  static Status Transient(std::string msg) {
+    return Status(StatusCode::kTransient, std::move(msg));
+  }
+  static Status DataCorruption(std::string msg) {
+    return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
+  /// True when the failure is worth retrying (see IsRetryable above).
+  bool retryable() const { return IsRetryable(code_); }
   const std::string& message() const { return message_; }
 
   /// Human-readable rendering, e.g. "InvalidArgument: bad join key".

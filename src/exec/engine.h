@@ -33,10 +33,30 @@ class Engine {
   ClusterConfig& mutable_cluster() { return cluster_; }
 
   /// A fresh executor bound to this engine's state (executors are cheap,
-  /// stateless objects).
+  /// stateless objects). When fault injection is armed, the executor draws
+  /// faults from the engine-owned injector.
   JobExecutor MakeExecutor() {
-    return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_);
+    return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_,
+                       faults_.get());
   }
+
+  /// (Re)builds the fault injector from `cluster().fault`, resetting its
+  /// stage counter, failure budget and aborted-work ledger. Call after
+  /// editing mutable_cluster().fault and before the runs that should see
+  /// the faults. The injector outlives individual queries on purpose:
+  /// stage ids advance monotonically across restart/resume attempts, which
+  /// is what lets a retried query get *past* the stage that killed it.
+  void ArmFaultInjection() {
+    faults_ = std::make_unique<FaultInjector>(cluster_.fault);
+  }
+
+  /// Drops the injector; subsequent executors run fault-free (and meter
+  /// byte-for-byte like a build without injection).
+  void DisarmFaultInjection() { faults_.reset(); }
+
+  /// Armed injector, or nullptr. Recovery policies read its aborted-work
+  /// ledger to price restarts.
+  FaultInjector* fault_injector() { return faults_.get(); }
 
   /// Collects load-time ("upfront") statistics on `columns` of `table` and
   /// registers them with the StatsManager — the simulator's analogue of the
@@ -53,6 +73,7 @@ class Engine {
   StatsManager stats_;
   UdfRegistry udfs_;
   ThreadPool pool_;
+  std::unique_ptr<FaultInjector> faults_;
 };
 
 }  // namespace dynopt

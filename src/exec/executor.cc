@@ -48,13 +48,102 @@ double SecondsSince(WallClock::time_point start) {
 
 JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
                          const UdfRegistry* udfs, const ClusterConfig& cluster,
-                         ThreadPool* pool)
+                         ThreadPool* pool, FaultInjector* faults)
     : catalog_(catalog),
       stats_(stats),
       udfs_(udfs),
       cluster_(cluster),
-      pool_(pool) {
+      pool_(pool),
+      faults_(faults) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
+}
+
+Status JobExecutor::ApplyFaults(FaultSite site,
+                                const std::vector<double>& per_node_seconds,
+                                ExecMetrics* metrics, int stage) {
+  if (!FaultsArmed()) return Status::OK();
+  const FaultInjectionConfig& cfg = faults_->config();
+  if (stage < 0) stage = faults_->NextStageId();
+
+  // Work a query-level abort throws away: for Execute-driven sites the
+  // metrics object is the current job's fresh accumulator, so its
+  // simulated_seconds is exactly this job's paid-for work. Materialize gets
+  // the *cumulative* query metrics from the dynamic optimizer, so it cannot
+  // attribute per-abort work and records zero (the recovery bench sweeps
+  // stages, where the distinction washes out).
+  auto aborted_work = [&]() {
+    return site == FaultSite::kMaterialize ? 0.0 : metrics->simulated_seconds;
+  };
+
+  if (faults_->ShouldFailQuery(stage)) {
+    faults_->RecordAbortedWork(aborted_work());
+    return Status::Transient(std::string("injected node failure during ") +
+                             FaultSiteName(site) + " (stage " +
+                             std::to_string(stage) + ")");
+  }
+  if (per_node_seconds.empty()) return Status::OK();
+
+  // Median clean task time: the baseline against which a task is deemed
+  // "straggling enough" to deserve a speculative backup.
+  std::vector<double> sorted = per_node_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  double max_base = 0.0;
+  double max_completion = 0.0;
+  uint64_t retries = 0;
+  uint64_t speculative = 0;
+  for (size_t node = 0; node < per_node_seconds.size(); ++node) {
+    const double base = per_node_seconds[node];
+    max_base = std::max(max_base, base);
+    double task = base;
+    if (faults_->IsStraggler(site, stage, node)) {
+      task = base * cfg.straggler_multiplier;
+    }
+    // Partition-level retry: each failed attempt burns its task time plus
+    // a capped-exponential backoff wait before the next try.
+    double completion = 0.0;
+    int attempt = 0;
+    while (faults_->TaskFails(site, stage, node, attempt)) {
+      if (attempt + 1 >= cfg.backoff.max_attempts) {
+        faults_->RecordAbortedWork(aborted_work());
+        return Status::Transient(
+            "node " + std::to_string(node) + " lost during " +
+            FaultSiteName(site) + " (stage " + std::to_string(stage) + "): " +
+            std::to_string(cfg.backoff.max_attempts) + " attempts failed");
+      }
+      completion += task + cfg.backoff.Delay(attempt);
+      ++retries;
+      ++attempt;
+    }
+    completion += task;
+    // Speculative execution: a task projected to finish beyond
+    // `speculation_threshold` x the median launches a backup copy on a
+    // healthy node. The backup starts once the slowness is observable (at
+    // the median completion time) and runs clean, so it finishes at
+    // median + base; the earlier of original and backup wins.
+    if (median > 0.0 && cfg.speculation_threshold > 0.0 &&
+        completion > cfg.speculation_threshold * median) {
+      const double backup = median + base;
+      if (backup < completion) {
+        completion = backup;
+        ++speculative;
+      }
+    }
+    max_completion = std::max(max_completion, completion);
+  }
+
+  // The stage's clean critical path (max over nodes) is already metered by
+  // the kernel; faults only add the *extra* critical-path time on top, so
+  // a disabled injector leaves simulated_seconds bit-identical.
+  const double extra = max_completion - max_base;
+  if (extra > 0.0) {
+    metrics->simulated_seconds += extra;
+    metrics->recovery_seconds += extra;
+  }
+  metrics->num_retries += retries;
+  metrics->speculative_executions += speculative;
+  return Status::OK();
 }
 
 std::vector<Row> JobExecutor::TakeRowVec() {
@@ -296,12 +385,32 @@ Result<Dataset> JobExecutor::ExecProject(
   return out;
 }
 
-ShuffleResult JobExecutor::Repartition(Dataset&& input,
-                                       const std::vector<int>& key_indices,
-                                       ExecMetrics* metrics) {
+Result<ShuffleResult> JobExecutor::Repartition(
+    Dataset&& input, const std::vector<int>& key_indices,
+    ExecMetrics* metrics) {
   const auto wall_start = WallClock::now();
   const size_t n = cluster_.num_nodes;
   const size_t src_parts = input.partitions.size();
+
+  // Fault overlay for one shuffle stage: node i both routes source
+  // partition i (CPU) and receives destination partition i (network); the
+  // wider of the two vectors bounds the node count.
+  auto fault_check = [&](const std::vector<uint64_t>& received_bytes,
+                         const std::vector<uint64_t>& rows_in) -> Status {
+    if (!FaultsArmed()) return Status::OK();
+    std::vector<double> per_node(std::max(received_bytes.size(),
+                                          rows_in.size()),
+                                 0.0);
+    for (size_t i = 0; i < received_bytes.size(); ++i) {
+      per_node[i] += static_cast<double>(received_bytes[i]) *
+                     cluster_.network_seconds_per_byte;
+    }
+    for (size_t i = 0; i < rows_in.size(); ++i) {
+      per_node[i] +=
+          static_cast<double>(rows_in[i]) * cluster_.cpu_seconds_per_tuple;
+    }
+    return ApplyFaults(FaultSite::kRepartition, per_node, metrics);
+  };
 
   ShuffleResult result;
   result.data = Dataset(input.columns, n);
@@ -392,6 +501,7 @@ ShuffleResult JobExecutor::Repartition(Dataset&& input,
         static_cast<double>(MaxOver(received_bytes)) *
             cluster_.network_seconds_per_byte +
         static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+    DYNOPT_RETURN_IF_ERROR(fault_check(received_bytes, rows_in));
     metrics->wall_shuffle_seconds += SecondsSince(wall_start);
     return result;
   }
@@ -509,11 +619,12 @@ ShuffleResult JobExecutor::Repartition(Dataset&& input,
       static_cast<double>(MaxOver(received_bytes)) *
           cluster_.network_seconds_per_byte +
       static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+  DYNOPT_RETURN_IF_ERROR(fault_check(received_bytes, rows_in));
   metrics->wall_shuffle_seconds += SecondsSince(wall_start);
   return result;
 }
 
-Dataset JobExecutor::LocalHashJoin(
+Result<Dataset> JobExecutor::LocalHashJoin(
     const Dataset& build, const Dataset& probe,
     const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
     ExecMetrics* metrics,
@@ -545,6 +656,17 @@ Dataset JobExecutor::LocalHashJoin(
                     build_hashes != nullptr ? &(*build_hashes)[p] : nullptr);
   });
   metrics->wall_build_seconds += SecondsSince(wall_start);
+  if (FaultsArmed()) {
+    // Build-stage fault overlay: node p's clean task time is inserting its
+    // build partition into the hash table.
+    std::vector<double> build_seconds(num_parts, 0.0);
+    for (size_t p = 0; p < num_parts; ++p) {
+      build_seconds[p] = static_cast<double>(build.partitions[p].size()) *
+                         cluster_.cpu_seconds_per_tuple;
+    }
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kBuild, build_seconds, metrics));
+  }
 
   // Probe phase.
   wall_start = WallClock::now();
@@ -632,6 +754,18 @@ Dataset JobExecutor::LocalHashJoin(
   metrics->tuples_processed += total_work;
   metrics->simulated_seconds +=
       static_cast<double>(MaxOver(work)) * cluster_.cpu_seconds_per_tuple;
+  if (FaultsArmed()) {
+    // Probe-stage fault overlay: node p's clean task time is its probe +
+    // emission work (work[p] minus the build rows already charged above).
+    std::vector<double> probe_seconds(num_parts, 0.0);
+    for (size_t p = 0; p < num_parts; ++p) {
+      probe_seconds[p] =
+          static_cast<double>(work[p] - build.partitions[p].size()) *
+          cluster_.cpu_seconds_per_tuple;
+    }
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kProbe, probe_seconds, metrics));
+  }
   return out;
 }
 
@@ -653,13 +787,17 @@ Result<Dataset> JobExecutor::ExecJoin(
                           ResolveColumns(probe, probe_names, "join probe"));
 
   if (node.method == JoinMethod::kHashShuffle) {
-    ShuffleResult build_parts =
-        Repartition(std::move(build), build_keys, metrics);
-    ShuffleResult probe_parts =
-        Repartition(std::move(probe), probe_keys, metrics);
-    Dataset joined = LocalHashJoin(build_parts.data, probe_parts.data,
-                                   build_keys, probe_keys, metrics,
-                                   &build_parts.hashes, &probe_parts.hashes);
+    DYNOPT_ASSIGN_OR_RETURN(ShuffleResult build_parts,
+                            Repartition(std::move(build), build_keys,
+                                        metrics));
+    DYNOPT_ASSIGN_OR_RETURN(ShuffleResult probe_parts,
+                            Repartition(std::move(probe), probe_keys,
+                                        metrics));
+    DYNOPT_ASSIGN_OR_RETURN(
+        Dataset joined,
+        LocalHashJoin(build_parts.data, probe_parts.data, build_keys,
+                      probe_keys, metrics, &build_parts.hashes,
+                      &probe_parts.hashes));
     // The shuffled inputs are fully consumed; recycle their storage for the
     // next exchange instead of returning it to the allocator.
     RecycleShuffleResult(std::move(build_parts));
@@ -688,6 +826,15 @@ Result<Dataset> JobExecutor::ExecJoin(
         overflow * cluster_.spill_penalty_passes *
         (cluster_.disk_write_seconds_per_byte +
          cluster_.disk_read_seconds_per_byte);
+  }
+  if (FaultsArmed()) {
+    // Broadcast-stage fault overlay: every node receives the full build
+    // side, so all clean task times are equal.
+    std::vector<double> receive_seconds(
+        n, static_cast<double>(build_bytes) *
+               cluster_.network_seconds_per_byte);
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kBroadcast, receive_seconds, metrics));
   }
 
   Dataset replicated(build.columns, n);
@@ -767,6 +914,14 @@ Result<Dataset> JobExecutor::ExecIndexNestedLoopJoin(
   metrics->bytes_broadcast += outer_bytes * n;
   metrics->simulated_seconds +=
       static_cast<double>(outer_bytes) * cluster_.network_seconds_per_byte;
+  if (FaultsArmed()) {
+    // The INLJ outer broadcast is a broadcast stage like any other.
+    std::vector<double> receive_seconds(
+        n, static_cast<double>(outer_bytes) *
+               cluster_.network_seconds_per_byte);
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kBroadcast, receive_seconds, metrics));
+  }
 
   std::vector<std::string> out_columns = outer.columns;
   out_columns.insert(out_columns.end(), inner_columns.begin(),
@@ -895,25 +1050,84 @@ Result<SinkResult> JobExecutor::Materialize(
     total_bytes += part_bytes[p];
     total_rows += data.partitions[p].size();
   }
+  // Fault overlay for the sink write stage, applied before anything is
+  // registered or charged so an injected whole-query abort leaves no
+  // half-materialized table behind. One stage id covers the whole sink;
+  // the corruption loop below draws from the same id.
+  int mat_stage = -1;
+  if (FaultsArmed()) {
+    mat_stage = faults_->NextStageId();
+    std::vector<double> write_seconds_per_node(num_parts, 0.0);
+    for (size_t p = 0; p < num_parts; ++p) {
+      write_seconds_per_node[p] = static_cast<double>(part_bytes[p]) *
+                                  cluster_.disk_write_seconds_per_byte;
+    }
+    DYNOPT_RETURN_IF_ERROR(ApplyFaults(FaultSite::kMaterialize,
+                                       write_seconds_per_node, metrics,
+                                       mat_stage));
+  }
   // Optionally round-trip each partition through the on-disk temp-file
   // format (the paper's intermediates are "stored in a temporary file").
+  // Under fault injection this is where corruption is *physical*: a byte of
+  // the written file is flipped, the checksummed format detects it on
+  // read-back (kDataCorruption), and the partition is re-materialized with
+  // backoff — up to the retry budget, after which the sink fails fatally.
   if (cluster_.materialize_to_disk) {
+    const bool inject = FaultsArmed();
+    const BackoffPolicy& backoff = cluster_.fault.backoff;
     std::vector<Status> statuses(num_parts);
+    std::vector<double> extra_seconds(num_parts, 0.0);
+    std::vector<uint64_t> part_retries(num_parts, 0);
+    std::vector<uint64_t> part_corrupted(num_parts, 0);
     pool_->ParallelFor(num_parts, [&](size_t p) {
       std::string path = cluster_.spill_directory + "/" + name + ".p" +
                          std::to_string(p) + ".rows";
-      Status st = WriteRowsFile(path, data.partitions[p]);
-      if (st.ok()) {
+      Status st;
+      for (int attempt = 0;; ++attempt) {
+        st = WriteRowsFile(path, data.partitions[p]);
+        if (!st.ok()) break;
+        if (inject && faults_->CorruptsBlock(mat_stage, p, attempt)) {
+          (void)CorruptByteInFile(path,
+                                  faults_->CorruptionOffset(mat_stage, p));
+        }
         auto back = ReadRowsFile(path);
         if (back.ok()) {
           data.partitions[p] = std::move(back).value();
-        } else {
-          st = back.status();
+          break;
         }
+        st = back.status();
+        if (st.code() != StatusCode::kDataCorruption) break;
+        ++part_corrupted[p];
+        if (attempt + 1 >= backoff.max_attempts) {
+          st = Status::ExecutionError(
+              "materialized partition " + path + " corrupted on " +
+              std::to_string(backoff.max_attempts) + " attempts: " +
+              st.message());
+          break;
+        }
+        // Re-materialize: pay another write + verify read plus the backoff
+        // wait (simulated seconds, committed after the ParallelFor).
+        ++part_retries[p];
+        extra_seconds[p] += backoff.Delay(attempt) +
+                            static_cast<double>(part_bytes[p]) *
+                                (cluster_.disk_write_seconds_per_byte +
+                                 cluster_.disk_read_seconds_per_byte);
       }
       std::remove(path.c_str());
       statuses[p] = st;
     });
+    if (inject) {
+      double extra = 0.0;
+      for (size_t p = 0; p < num_parts; ++p) {
+        extra = std::max(extra, extra_seconds[p]);
+        metrics->num_retries += part_retries[p];
+        metrics->corrupted_blocks += part_corrupted[p];
+      }
+      if (extra > 0.0) {
+        metrics->simulated_seconds += extra;
+        metrics->recovery_seconds += extra;
+      }
+    }
     for (const Status& st : statuses) {
       DYNOPT_RETURN_IF_ERROR(st);
     }

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "exec/cluster.h"
 #include "exec/dataset.h"
+#include "exec/fault_injector.h"
 #include "exec/job.h"
 #include "exec/join_hash_table.h"
 #include "exec/metrics.h"
@@ -51,10 +52,18 @@ struct ShuffleResult {
 /// tests compare them against the sequential reference implementation in
 /// exec/reference_kernels.h, and bench/bench_kernels.cc times them. Their
 /// simulated-seconds metering is byte-for-byte identical to the reference.
+/// When a FaultInjector is armed (Engine::ArmFaultInjection), every kernel
+/// additionally draws deterministic task failures, stragglers and temp-file
+/// corruption; re-executed work and unhidden slowdown are charged to
+/// ExecMetrics::recovery_seconds (included in simulated_seconds) and
+/// injected whole-query failures surface as retryable kTransient errors.
+/// With no injector (or a disabled one) the metering is byte-for-byte
+/// identical to a fault-free build.
 class JobExecutor {
  public:
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
-              const ClusterConfig& cluster, ThreadPool* pool);
+              const ClusterConfig& cluster, ThreadPool* pool,
+              FaultInjector* faults = nullptr);
 
   /// Runs one job tree and returns its output dataset plus metrics.
   Result<JobResult> Execute(const PlanNode& root,
@@ -74,16 +83,18 @@ class JobExecutor {
   /// routes each source partition on the thread pool (computing each row's
   /// key hash exactly once) into thread-local per-destination buffers;
   /// phase 2 merges the buffers per destination, in source-partition order,
-  /// so the output row order matches a sequential shuffle.
-  ShuffleResult Repartition(Dataset&& input,
-                            const std::vector<int>& key_indices,
-                            ExecMetrics* metrics);
+  /// so the output row order matches a sequential shuffle. Fails only under
+  /// fault injection (retryable kTransient).
+  Result<ShuffleResult> Repartition(Dataset&& input,
+                                    const std::vector<int>& key_indices,
+                                    ExecMetrics* metrics);
 
   /// Local hash join between aligned partitions (equal-length partition
   /// vectors); emits build-row ++ probe-row. When `build_hashes` /
   /// `probe_hashes` are non-null (per-partition key hashes from
-  /// Repartition) the join reuses them instead of rehashing.
-  Dataset LocalHashJoin(
+  /// Repartition) the join reuses them instead of rehashing. Fails only
+  /// under fault injection (retryable kTransient).
+  Result<Dataset> LocalHashJoin(
       const Dataset& build, const Dataset& probe,
       const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
       ExecMetrics* metrics,
@@ -110,6 +121,23 @@ class JobExecutor {
       const PlanNode& node, const std::map<std::string, Value>& params,
       ExecMetrics* metrics);
 
+  /// True when an enabled fault injector is attached.
+  bool FaultsArmed() const { return faults_ != nullptr && faults_->enabled(); }
+
+  /// Overlays injected faults on one completed kernel stage whose clean
+  /// per-node task times are `per_node_seconds`. Draws a fresh stage id
+  /// (unless the caller pre-drew one), then simulates task retries with
+  /// capped exponential backoff, straggler slowdown and speculative backup
+  /// execution; the resulting extra critical-path time (max completion
+  /// minus max clean time) is charged to `metrics->simulated_seconds` and
+  /// `metrics->recovery_seconds`. Returns retryable kTransient when the
+  /// whole query is scheduled to fail at this stage or a task exhausts its
+  /// retry budget (node loss). No-op without an armed injector; call sites
+  /// guard with FaultsArmed() so the fault-free path does no extra work.
+  Status ApplyFaults(FaultSite site,
+                     const std::vector<double>& per_node_seconds,
+                     ExecMetrics* metrics, int stage = -1);
+
   /// Scratch recycling: the shuffle and join kernels allocate
   /// multi-hundred-KB header vectors (destination row vectors, hash
   /// vectors, join tables) on every call, which glibc serves straight from
@@ -129,6 +157,7 @@ class JobExecutor {
   const UdfRegistry* udfs_;
   ClusterConfig cluster_;
   ThreadPool* pool_;
+  FaultInjector* faults_;  ///< Engine-owned; may be null (no injection).
 
   std::mutex scratch_mutex_;
   std::vector<std::vector<Row>> row_vec_pool_;

@@ -18,6 +18,10 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   simulated_seconds += other.simulated_seconds;
   reopt_seconds += other.reopt_seconds;
   stats_seconds += other.stats_seconds;
+  recovery_seconds += other.recovery_seconds;
+  num_retries += other.num_retries;
+  speculative_executions += other.speculative_executions;
+  corrupted_blocks += other.corrupted_blocks;
   wall_shuffle_seconds += other.wall_shuffle_seconds;
   wall_build_seconds += other.wall_build_seconds;
   wall_probe_seconds += other.wall_probe_seconds;
@@ -33,7 +37,14 @@ std::string ExecMetrics::ToString() const {
      << "B reread=" << bytes_intermediate_read
      << "B idx_lookups=" << index_lookups << " jobs=" << num_jobs
      << " reopts=" << num_reopt_points << " sim_s=" << simulated_seconds
-     << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds << ")"
+     << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds
+     << ", recovery_s=" << recovery_seconds << ")";
+  if (num_retries > 0 || speculative_executions > 0 || corrupted_blocks > 0) {
+    os << " faults[retries=" << num_retries
+       << " speculative=" << speculative_executions
+       << " corrupted_blocks=" << corrupted_blocks << "]";
+  }
+  os
      << " wall[shuffle=" << wall_shuffle_seconds
      << "s build=" << wall_build_seconds << "s probe=" << wall_probe_seconds
      << "s materialize=" << wall_materialize_seconds << "s]";

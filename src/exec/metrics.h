@@ -31,6 +31,20 @@ struct ExecMetrics {
   /// Portion attributable to online statistics collection.
   double stats_seconds = 0;
 
+  // --- Fault injection / recovery (zero unless an injector is armed) -----
+
+  /// Extra critical-path time paid to injected faults: task re-executions
+  /// plus their backoff delays, straggler slowdown not hidden by
+  /// speculation, and re-materialization of corrupted temp files. Included
+  /// in simulated_seconds, like reopt_seconds.
+  double recovery_seconds = 0;
+  /// Partition-task re-executions after injected task failures.
+  uint64_t num_retries = 0;
+  /// Speculative backup executions launched against straggler tasks.
+  uint64_t speculative_executions = 0;
+  /// Materialized partition files whose checksum verification failed.
+  uint64_t corrupted_blocks = 0;
+
   // --- Host wall-clock per kernel class ---------------------------------
   //
   // Real elapsed time (std::chrono::steady_clock) spent inside the

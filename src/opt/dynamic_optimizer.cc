@@ -119,6 +119,17 @@ Result<OptimizerRunResult> DynamicOptimizer::Resume(
   return RunFromState(std::move(checkpoint));
 }
 
+Result<OptimizerRunResult> DynamicOptimizer::ResumeFromLastCheckpoint() {
+  if (!last_checkpoint_.has_value()) {
+    return Status::InvalidArgument(
+        "dynamic: no checkpoint to resume from (last run did not fail "
+        "with a retryable error)");
+  }
+  DynamicCheckpoint checkpoint = std::move(*last_checkpoint_);
+  last_checkpoint_.reset();
+  return Resume(std::move(checkpoint));
+}
+
 Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     DynamicCheckpoint state) {
   const auto start = std::chrono::steady_clock::now();
@@ -126,6 +137,24 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   JobExecutor executor = engine_->MakeExecutor();
   std::ostringstream trace;
   trace << state.trace;
+
+  // Temp tables used to leak when a run died between materializing an
+  // intermediate and finish(): the early error return skipped the drop
+  // loop. This guard drops them on every exit path instead — except when a
+  // retryable failure cut a checkpoint, because the temp tables *are* the
+  // checkpoint data a later Resume() reads.
+  struct TempCleanup {
+    Engine* engine;
+    const std::vector<std::string>* names;
+    bool armed;
+    ~TempCleanup() {
+      if (!armed) return;
+      for (const auto& name : *names) {
+        (void)engine->catalog().DropTable(name);
+        engine->stats().Remove(name);
+      }
+    }
+  } cleanup{engine_, &state.temp_tables, options_.drop_temp_tables};
 
   // Cuts a checkpoint after a completed stage; returns true when the run
   // must abort here (failure injection).
@@ -135,9 +164,24 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     if (options_.inject_failure_after_stages >= 0 &&
         state.completed_stages >= options_.inject_failure_after_stages) {
       last_checkpoint_ = state;
+      cleanup.armed = false;
       return true;
     }
     return false;
+  };
+
+  // Routes a mid-stage executor failure. Retryable faults (injected node
+  // loss, detected corruption) cut a checkpoint at `at` — the state as of
+  // the last completed stage boundary, so the dying stage's partial
+  // metrics never leak into work-already-paid-for — and keep the temp
+  // tables alive for ResumeFromLastCheckpoint(). Fatal errors leave no
+  // checkpoint and let the cleanup guard reclaim the temps.
+  auto fail_stage = [&](Status st, DynamicCheckpoint at) -> Status {
+    if (st.retryable()) {
+      last_checkpoint_ = std::move(at);
+      cleanup.armed = false;
+    }
+    return st;
   };
 
   // ---- Stage 1: predicate push-down (Algorithm 1 lines 6-9) -------------
@@ -158,14 +202,21 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       std::vector<std::string> needed =
           RequiredColumns(state.spec, alias, false);
       auto plan = PlanNode::Project(std::move(leaf), needed);
-      DYNOPT_ASSIGN_OR_RETURN(JobResult job,
-                              executor.Execute(*plan, state.spec.params));
+      DynamicCheckpoint stage_start = state;
+      auto job_or = executor.Execute(*plan, state.spec.params);
+      if (!job_or.ok()) {
+        return fail_stage(job_or.status(), std::move(stage_start));
+      }
+      JobResult job = std::move(job_or).value();
       state.metrics.Add(job.metrics);
-      DYNOPT_ASSIGN_OR_RETURN(
-          SinkResult sink,
+      auto sink_or =
           executor.Materialize(std::move(job.data), "pushdown", needed,
                                options_.collect_online_stats,
-                               &state.metrics));
+                               &state.metrics);
+      if (!sink_or.ok()) {
+        return fail_stage(sink_or.status(), std::move(stage_start));
+      }
+      SinkResult sink = std::move(sink_or).value();
       state.temp_tables.push_back(sink.table_name);
       trace << "[pushdown] " << alias << " -> " << sink.table_name << " ("
             << sink.stats.row_count << " rows)\n";
@@ -173,20 +224,15 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
                                        std::move(needed));
       state.pushdown_next_index = i + 1;
       if (checkpoint_and_maybe_fail()) {
-        return Status::ExecutionError(
-            "injected failure after push-down stage");
+        return Status::Transient("injected failure after push-down stage");
       }
     }
     state.pushdown_done = true;
   }
 
+  // Temp tables are dropped by the cleanup guard on scope exit (success
+  // and fatal failure alike), honoring options_.drop_temp_tables.
   auto finish = [&](OptimizerRunResult result) -> OptimizerRunResult {
-    if (options_.drop_temp_tables) {
-      for (const auto& name : state.temp_tables) {
-        (void)engine_->catalog().DropTable(name);
-        engine_->stats().Remove(name);
-      }
-    }
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -203,8 +249,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
             state.spec, pd_view, engine_->cluster(), options_.planner));
     DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                             BuildPhysicalPlan(state.spec, *tree, true));
-    DYNOPT_ASSIGN_OR_RETURN(JobResult job,
-                            executor.Execute(*plan, state.spec.params));
+    auto job_or = executor.Execute(*plan, state.spec.params);
+    if (!job_or.ok()) return fail_stage(job_or.status(), state);
+    JobResult job = std::move(job_or).value();
     OptimizerRunResult result;
     result.metrics = state.metrics;
     result.metrics.Add(job.metrics);
@@ -234,8 +281,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         RequiredOutputColumns(state.spec, planned.edge);
     auto plan = PlanNode::Project(std::move(join_plan), out_columns);
 
-    DYNOPT_ASSIGN_OR_RETURN(JobResult job,
-                            executor.Execute(*plan, state.spec.params));
+    DynamicCheckpoint stage_start = state;
+    auto job_or = executor.Execute(*plan, state.spec.params);
+    if (!job_or.ok()) {
+      return fail_stage(job_or.status(), std::move(stage_start));
+    }
+    JobResult job = std::move(job_or).value();
     state.metrics.Add(job.metrics);
 
     // Online statistics: only on attributes of subsequent join stages, and
@@ -246,10 +297,13 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         FutureJoinKeyColumns(state.spec, planned.edge, out_columns);
     bool collect = options_.collect_online_stats && !last_iteration &&
                    !stats_columns.empty();
-    DYNOPT_ASSIGN_OR_RETURN(
-        SinkResult sink,
-        executor.Materialize(std::move(job.data), "join", stats_columns,
-                             collect, &state.metrics));
+    auto sink_or = executor.Materialize(std::move(job.data), "join",
+                                        stats_columns, collect,
+                                        &state.metrics);
+    if (!sink_or.ok()) {
+      return fail_stage(sink_or.status(), std::move(stage_start));
+    }
+    SinkResult sink = std::move(sink_or).value();
     state.temp_tables.push_back(sink.table_name);
 
     std::string new_alias = "__j" + std::to_string(state.join_counter++);
@@ -264,7 +318,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
                                       sink.table_name, new_alias,
                                       std::move(out_columns));
     if (checkpoint_and_maybe_fail()) {
-      return Status::ExecutionError("injected failure after join stage");
+      return Status::Transient("injected failure after join stage");
     }
   }
 
@@ -275,8 +329,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
                           planner.PlanRemaining());
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> final_plan,
                           BuildPhysicalPlan(state.spec, *final_tree, true));
-  DYNOPT_ASSIGN_OR_RETURN(JobResult job,
-                          executor.Execute(*final_plan, state.spec.params));
+  auto job_or = executor.Execute(*final_plan, state.spec.params);
+  if (!job_or.ok()) return fail_stage(job_or.status(), state);
+  JobResult job = std::move(job_or).value();
   OptimizerRunResult result;
   result.metrics = state.metrics;
   result.metrics.Add(job.metrics);

@@ -35,8 +35,8 @@ struct DynamicOptimizerOptions {
   /// re-optimization points.
   bool stop_after_pushdown = false;
   /// Failure-injection hook for the fault-tolerance tests: abort the run
-  /// (with an ExecutionError and a recoverable checkpoint) after this many
-  /// completed stages. Negative disables injection.
+  /// (with a retryable Transient error and a recoverable checkpoint) after
+  /// this many completed stages. Negative disables injection.
   int inject_failure_after_stages = -1;
 };
 
@@ -86,6 +86,14 @@ class DynamicOptimizer : public Optimizer {
   /// checkpoint's temp tables must still exist in the catalog. Completed
   /// stages are not re-executed (their metrics carry over).
   Result<OptimizerRunResult> Resume(DynamicCheckpoint checkpoint);
+
+  /// A checkpoint exists whenever the last Run/Resume failed with a
+  /// retryable error: every stage boundary is a materialization point, so
+  /// the run auto-checkpoints the completed prefix before surfacing the
+  /// failure (a failure before the first boundary checkpoints the initial
+  /// state, which degenerates to a restart — still via the same path).
+  bool CanResume() const override { return last_checkpoint_.has_value(); }
+  Result<OptimizerRunResult> ResumeFromLastCheckpoint() override;
 
   /// Checkpoint cut when the most recent Run/Resume failed mid-query;
   /// nullptr when the last run succeeded (or never ran).

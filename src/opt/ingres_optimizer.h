@@ -24,6 +24,13 @@ class IngresLikeOptimizer : public Optimizer {
   std::string name() const override { return "ingres-like"; }
   Result<OptimizerRunResult> Run(const QuerySpec& query) override;
 
+  /// Decomposition materializes every intermediate, so the wrapped dynamic
+  /// optimizer's checkpoints work unchanged here.
+  bool CanResume() const override { return inner_.CanResume(); }
+  Result<OptimizerRunResult> ResumeFromLastCheckpoint() override {
+    return inner_.ResumeFromLastCheckpoint();
+  }
+
  private:
   DynamicOptimizer inner_;
 };

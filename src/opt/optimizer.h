@@ -35,6 +35,22 @@ class Optimizer {
   virtual ~Optimizer() = default;
   virtual std::string name() const = 0;
   virtual Result<OptimizerRunResult> Run(const QuerySpec& query) = 0;
+
+  /// True when this optimizer can continue a failed run from mid-query
+  /// state instead of restarting. Only the checkpointing strategies
+  /// (dynamic, and ingres-like which wraps it) return true: their
+  /// materialized intermediates double as checkpoints. The static
+  /// strategies execute one monolithic job and have nothing to resume
+  /// from — RunWithRecovery (opt/recovery.h) degrades them to whole-query
+  /// restart.
+  virtual bool CanResume() const { return false; }
+
+  /// Continues the most recent failed Run() from its last checkpoint.
+  /// Precondition: CanResume() and the last Run/Resume failed with a
+  /// retryable error that left a checkpoint behind.
+  virtual Result<OptimizerRunResult> ResumeFromLastCheckpoint() {
+    return Status::Unimplemented(name() + " cannot resume from a checkpoint");
+  }
 };
 
 /// Sorts rows lexicographically — canonical form for comparing result sets

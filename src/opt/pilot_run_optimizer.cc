@@ -233,6 +233,16 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
       SinkResult sink,
       executor.Materialize(std::move(job.data), "pilot", out_columns, true,
                            &result.metrics));
+  // Any early error return below used to leak the pilot sink table; drop
+  // it on every exit path instead.
+  struct SinkCleanup {
+    Engine* engine;
+    const std::string* name;
+    ~SinkCleanup() {
+      (void)engine->catalog().DropTable(*name);
+      engine->stats().Remove(*name);
+    }
+  } sink_cleanup{engine_, &sink.table_name};
   trace << "[pilot-run] executed " << executed.ToString() << " -> "
         << sink.table_name << " (" << sink.stats.row_count << " rows)\n";
 
@@ -285,9 +295,6 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
       ApplyPostProcessing(spec, cluster, &result));
   result.join_tree = ReplaceSubtree(rest_tree, new_alias, step_tree);
   result.plan_trace = trace.str();
-
-  (void)engine_->catalog().DropTable(sink.table_name);
-  engine_->stats().Remove(sink.table_name);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

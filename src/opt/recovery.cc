@@ -1,0 +1,58 @@
+#include "opt/recovery.h"
+
+#include <string>
+#include <vector>
+
+namespace dynopt {
+
+Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
+                                           Engine* engine,
+                                           const QuerySpec& query,
+                                           const RecoveryPolicy& policy,
+                                           RecoveryReport* report) {
+  RecoveryReport local;
+  RecoveryReport* r = report != nullptr ? report : &local;
+  *r = RecoveryReport();
+
+  FaultInjector* injector = engine->fault_injector();
+  // aborted_work_seconds is cumulative over the injector's lifetime;
+  // deltas attribute waste to this query's failed attempts only.
+  double aborted_mark =
+      injector != nullptr ? injector->aborted_work_seconds() : 0.0;
+
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    const bool resume = attempt > 0 && optimizer->CanResume();
+    if (attempt > 0) {
+      if (resume) {
+        ++r->resumes;
+      } else {
+        ++r->restarts;
+      }
+    }
+    auto result = resume ? optimizer->ResumeFromLastCheckpoint()
+                         : optimizer->Run(query);
+    if (result.ok()) {
+      r->total_paid_seconds =
+          result.value().metrics.simulated_seconds + r->wasted_seconds;
+      return result;
+    }
+    last = result.status();
+    if (injector != nullptr) {
+      const double now = injector->aborted_work_seconds();
+      r->wasted_seconds += now - aborted_mark;
+      aborted_mark = now;
+    }
+    if (!last.retryable()) break;
+  }
+
+  // The query is not going to finish; reclaim whatever intermediates the
+  // attempts left behind so a failed query does not leak temp tables.
+  std::vector<std::string> dropped =
+      engine->catalog().DropTempTablesWithPrefix("");
+  for (const std::string& name : dropped) engine->stats().Remove(name);
+  r->total_paid_seconds = r->wasted_seconds;
+  return last;
+}
+
+}  // namespace dynopt

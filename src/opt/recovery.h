@@ -1,0 +1,54 @@
+#ifndef DYNOPT_OPT_RECOVERY_H_
+#define DYNOPT_OPT_RECOVERY_H_
+
+#include "exec/engine.h"
+#include "opt/optimizer.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Retry policy for query-level recovery (distinct from the per-partition
+/// BackoffPolicy inside the executor: that one retries individual tasks;
+/// this one re-drives whole optimizer runs after a task retry budget was
+/// exhausted or a node was lost).
+struct RecoveryPolicy {
+  /// Total optimizer runs allowed, counting the initial one.
+  int max_attempts = 5;
+};
+
+/// What recovery cost: how often the query was re-driven and how much
+/// simulated work was thrown away doing so.
+struct RecoveryReport {
+  /// Whole-query restarts (strategy could not resume from a checkpoint).
+  int restarts = 0;
+  /// Checkpoint resumes (only the failed stage onward was re-executed).
+  int resumes = 0;
+  /// Simulated seconds of work that was paid for and then discarded: for
+  /// each failed attempt, the work the dying job had completed when it was
+  /// killed. A lower bound for multi-job strategies that restart (their
+  /// earlier completed jobs are re-run too but are not re-counted here;
+  /// the re-run shows up in total_paid_seconds instead).
+  double wasted_seconds = 0;
+  /// Everything the cluster charged for this query across all attempts:
+  /// the successful run's simulated seconds (which for restarts includes
+  /// re-done work) plus wasted_seconds. total_paid − fault-free baseline
+  /// is the recovery cost BENCH_fault.json reports.
+  double total_paid_seconds = 0;
+};
+
+/// Drives `optimizer` over `query` to completion under fault injection.
+/// Retryable failures (injected node loss, exhausted task retries,
+/// unrecoverable corruption of a materialized block) are re-driven: via
+/// ResumeFromLastCheckpoint() when the strategy checkpoints (dynamic,
+/// ingres-like), by a whole-query restart otherwise. Fatal errors and
+/// retry exhaustion propagate after dropping every temp table the attempts
+/// left behind (assumes one recovered query in flight at a time).
+Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
+                                           Engine* engine,
+                                           const QuerySpec& query,
+                                           const RecoveryPolicy& policy,
+                                           RecoveryReport* report = nullptr);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_RECOVERY_H_

@@ -46,6 +46,22 @@ bool Catalog::IsTempName(const std::string& name) {
   return name.rfind("__tmp_", 0) == 0;
 }
 
+std::vector<std::string> Catalog::DropTempTablesWithPrefix(
+    const std::string& prefix) {
+  const std::string full_prefix = "__tmp_" + prefix;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> dropped;
+  for (auto it = tables_.begin(); it != tables_.end();) {
+    if (IsTempName(it->first) && it->first.rfind(full_prefix, 0) == 0) {
+      dropped.push_back(it->first);
+      it = tables_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 std::vector<std::string> Catalog::TableNames() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;

@@ -32,6 +32,14 @@ class Catalog {
   /// True for names produced by UniqueTempName.
   static bool IsTempName(const std::string& name);
 
+  /// Drops every temp table whose UniqueTempName prefix matches `prefix`
+  /// (all temp tables when `prefix` is empty) and returns the dropped
+  /// names, so callers can also clear the tables' statistics. This is the
+  /// failure-path janitor: a query that dies mid-run cannot enumerate the
+  /// temp tables it had created, but it knows the prefixes it uses.
+  std::vector<std::string> DropTempTablesWithPrefix(
+      const std::string& prefix);
+
   std::vector<std::string> TableNames() const;
 
  private:

@@ -1,7 +1,10 @@
 #include "storage/serde.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+
+#include "common/hash.h"
 
 namespace dynopt {
 
@@ -24,7 +27,7 @@ void AppendFixed64(uint64_t v, std::string* out) {
 
 Result<uint64_t> ReadFixed64(const std::string& buffer, size_t* offset) {
   if (*offset + 8 > buffer.size()) {
-    return Status::OutOfRange("serde: truncated fixed64");
+    return Status::DataCorruption("serde: truncated fixed64");
   }
   uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
@@ -49,13 +52,13 @@ Result<uint64_t> ReadVarint(const std::string& buffer, size_t* offset) {
   int shift = 0;
   while (true) {
     if (*offset >= buffer.size()) {
-      return Status::OutOfRange("serde: truncated varint");
+      return Status::DataCorruption("serde: truncated varint");
     }
     uint8_t byte = static_cast<unsigned char>(buffer[(*offset)++]);
     v |= static_cast<uint64_t>(byte & 0x7f) << shift;
     if ((byte & 0x80) == 0) break;
     shift += 7;
-    if (shift > 63) return Status::OutOfRange("serde: varint overflow");
+    if (shift > 63) return Status::DataCorruption("serde: varint overflow");
   }
   return v;
 }
@@ -95,7 +98,7 @@ void EncodeValue(const Value& v, std::string* out) {
 
 Result<Value> DecodeValue(const std::string& buffer, size_t* offset) {
   if (*offset >= buffer.size()) {
-    return Status::OutOfRange("serde: truncated value tag");
+    return Status::DataCorruption("serde: truncated value tag");
   }
   uint8_t tag = static_cast<unsigned char>(buffer[(*offset)++]);
   switch (tag) {
@@ -117,16 +120,18 @@ Result<Value> DecodeValue(const std::string& buffer, size_t* offset) {
     }
     case kTagString: {
       DYNOPT_ASSIGN_OR_RETURN(uint64_t len, ReadVarint(buffer, offset));
-      if (*offset + len > buffer.size()) {
-        return Status::OutOfRange("serde: truncated string payload");
+      // len is attacker-/corruption-controlled: compare against the space
+      // left instead of `*offset + len` (which can wrap).
+      if (len > buffer.size() - *offset) {
+        return Status::DataCorruption("serde: truncated string payload");
       }
       Value v(buffer.substr(*offset, len));
       *offset += len;
       return v;
     }
     default:
-      return Status::OutOfRange("serde: unknown value tag " +
-                                std::to_string(tag));
+      return Status::DataCorruption("serde: unknown value tag " +
+                                    std::to_string(tag));
   }
 }
 
@@ -163,13 +168,85 @@ Result<std::vector<Row>> DecodeRows(const std::string& buffer) {
     rows.push_back(std::move(row));
   }
   if (offset != buffer.size()) {
-    return Status::OutOfRange("serde: trailing bytes after rows");
+    return Status::DataCorruption("serde: trailing bytes after rows");
+  }
+  return rows;
+}
+
+namespace {
+
+/// "DRB2": Dynopt Row Blocks, format version 2 (v1 was the bare
+/// EncodeRows stream with no integrity protection).
+constexpr char kRowsFileMagic[4] = {'D', 'R', 'B', '2'};
+constexpr size_t kRowsPerBlock = 1024;
+
+}  // namespace
+
+std::string EncodeRowsChecksummed(const std::vector<Row>& rows) {
+  std::string out;
+  out.append(kRowsFileMagic, sizeof(kRowsFileMagic));
+  AppendVarint(rows.size(), &out);
+  std::string payload;
+  for (size_t begin = 0; begin < rows.size(); begin += kRowsPerBlock) {
+    const size_t end = std::min(rows.size(), begin + kRowsPerBlock);
+    payload.clear();
+    for (size_t i = begin; i < end; ++i) EncodeRow(rows[i], &payload);
+    AppendVarint(end - begin, &out);
+    AppendVarint(payload.size(), &out);
+    AppendFixed64(HashBytes(payload.data(), payload.size()), &out);
+    out.append(payload);
+  }
+  return out;
+}
+
+Result<std::vector<Row>> DecodeRowsChecksummed(const std::string& buffer) {
+  if (buffer.size() < sizeof(kRowsFileMagic) ||
+      std::memcmp(buffer.data(), kRowsFileMagic, sizeof(kRowsFileMagic)) !=
+          0) {
+    return Status::DataCorruption("serde: bad row-block magic");
+  }
+  size_t offset = sizeof(kRowsFileMagic);
+  DYNOPT_ASSIGN_OR_RETURN(uint64_t total, ReadVarint(buffer, &offset));
+  std::vector<Row> rows;
+  // A corrupted count must not drive a huge allocation; blocks below bound
+  // the real row count anyway.
+  rows.reserve(std::min<uint64_t>(total, buffer.size()));
+  uint64_t decoded = 0;
+  while (decoded < total) {
+    DYNOPT_ASSIGN_OR_RETURN(uint64_t block_rows, ReadVarint(buffer, &offset));
+    DYNOPT_ASSIGN_OR_RETURN(uint64_t payload_size,
+                            ReadVarint(buffer, &offset));
+    DYNOPT_ASSIGN_OR_RETURN(uint64_t checksum, ReadFixed64(buffer, &offset));
+    if (block_rows == 0 || decoded + block_rows > total) {
+      return Status::DataCorruption("serde: row-block count out of range");
+    }
+    if (payload_size > buffer.size() - offset) {
+      return Status::DataCorruption("serde: truncated row-block payload");
+    }
+    if (HashBytes(buffer.data() + offset, payload_size) != checksum) {
+      return Status::DataCorruption("serde: row-block checksum mismatch");
+    }
+    const size_t block_end = offset + payload_size;
+    for (uint64_t i = 0; i < block_rows; ++i) {
+      DYNOPT_ASSIGN_OR_RETURN(Row row, DecodeRow(buffer, &offset));
+      if (offset > block_end) {
+        return Status::DataCorruption("serde: row crosses block boundary");
+      }
+      rows.push_back(std::move(row));
+    }
+    if (offset != block_end) {
+      return Status::DataCorruption("serde: row-block payload size mismatch");
+    }
+    decoded += block_rows;
+  }
+  if (offset != buffer.size()) {
+    return Status::DataCorruption("serde: trailing bytes after row blocks");
   }
   return rows;
 }
 
 Status WriteRowsFile(const std::string& path, const std::vector<Row>& rows) {
-  std::string buffer = EncodeRows(rows);
+  std::string buffer = EncodeRowsChecksummed(rows);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) {
     return Status::ExecutionError("cannot open " + path + " for writing");
@@ -194,7 +271,27 @@ Result<std::vector<Row>> ReadRowsFile(const std::string& path) {
     buffer.append(chunk, n);
   }
   std::fclose(f);
-  return DecodeRows(buffer);
+  return DecodeRowsChecksummed(buffer);
+}
+
+Status CorruptByteInFile(const std::string& path, uint64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path + " for corruption");
+  }
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  if (size <= 0) {
+    std::fclose(f);
+    return Status::InvalidArgument(path + " is empty; nothing to corrupt");
+  }
+  const long pos = static_cast<long>(offset % static_cast<uint64_t>(size));
+  std::fseek(f, pos, SEEK_SET);
+  int byte = std::fgetc(f);
+  std::fseek(f, pos, SEEK_SET);
+  std::fputc((byte ^ 0x40) & 0xff, f);
+  std::fclose(f);
+  return Status::OK();
 }
 
 }  // namespace dynopt

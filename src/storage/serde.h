@@ -37,11 +37,30 @@ std::string EncodeRows(const std::vector<Row>& rows);
 /// Inverse of EncodeRows.
 Result<std::vector<Row>> DecodeRows(const std::string& buffer);
 
-/// Writes `rows` to `path` (EncodeRows format), overwriting.
+/// Serializes rows into the checksummed block format files use: a 4-byte
+/// magic ("DRB2"), the varint total row count, then blocks of up to 1024
+/// rows, each carrying (varint row count, varint payload size, fixed64
+/// payload checksum, payload of EncodeRow records). Any single flipped
+/// byte is detectable: payload flips break the block checksum, header
+/// flips break framing (offset/count mismatches), and the decoder verifies
+/// both per block and for the whole buffer.
+std::string EncodeRowsChecksummed(const std::vector<Row>& rows);
+
+/// Inverse of EncodeRowsChecksummed. Every framing or checksum violation
+/// returns kDataCorruption (retryable by re-materializing the data).
+Result<std::vector<Row>> DecodeRowsChecksummed(const std::string& buffer);
+
+/// Writes `rows` to `path` (EncodeRowsChecksummed format), overwriting.
 Status WriteRowsFile(const std::string& path, const std::vector<Row>& rows);
 
-/// Reads a file written by WriteRowsFile.
+/// Reads a file written by WriteRowsFile. kNotFound when the file is
+/// missing; kDataCorruption when its contents fail framing or checksum
+/// verification.
 Result<std::vector<Row>> ReadRowsFile(const std::string& path);
+
+/// Flips one bit of the byte at `offset % file size` in `path` — the fault
+/// injector's physical corruption primitive (and available to tests).
+Status CorruptByteInFile(const std::string& path, uint64_t offset);
 
 }  // namespace dynopt
 

@@ -16,6 +16,7 @@
 #include <thread>
 #include <tuple>
 
+#include "common/logging.h"
 #include "common/random.h"
 #include "common/thread_pool.h"
 #include "exec/engine.h"
@@ -26,6 +27,14 @@
 
 namespace dynopt {
 namespace {
+
+/// Unwraps a kernel result. Fault injection is never armed in these tests,
+/// so the Result-returning kernels cannot fail.
+template <typename T>
+T MustOk(Result<T> result) {
+  DYNOPT_CHECK(result.ok());
+  return std::move(result).value();
+}
 
 /// Sorted copy of all rows, for multiset comparison.
 std::vector<Row> SortedRows(const Dataset& data) {
@@ -94,13 +103,13 @@ void ExpectPipelineParityWith(JobExecutor executor,
                               const std::vector<int>& build_keys,
                               const std::vector<int>& probe_keys) {
   ExecMetrics par_metrics;
-  ShuffleResult build_parts =
-      executor.Repartition(CopyDataset(build_in), build_keys, &par_metrics);
-  ShuffleResult probe_parts =
-      executor.Repartition(CopyDataset(probe_in), probe_keys, &par_metrics);
-  Dataset par_out = executor.LocalHashJoin(
+  ShuffleResult build_parts = MustOk(
+      executor.Repartition(CopyDataset(build_in), build_keys, &par_metrics));
+  ShuffleResult probe_parts = MustOk(
+      executor.Repartition(CopyDataset(probe_in), probe_keys, &par_metrics));
+  Dataset par_out = MustOk(executor.LocalHashJoin(
       build_parts.data, probe_parts.data, build_keys, probe_keys,
-      &par_metrics, &build_parts.hashes, &probe_parts.hashes);
+      &par_metrics, &build_parts.hashes, &probe_parts.hashes));
 
   ExecMetrics ref_metrics;
   Dataset ref_build = reference::Repartition(CopyDataset(build_in),
@@ -255,7 +264,7 @@ TEST_F(ExchangeTest, CoPartitionedInputShufflesNoBytes) {
   JobExecutor executor = MakeExecutor();
   ExecMetrics metrics;
   ShuffleResult shuffled =
-      executor.Repartition(CopyDataset(placed), keys, &metrics);
+      MustOk(executor.Repartition(CopyDataset(placed), keys, &metrics));
   EXPECT_EQ(metrics.bytes_shuffled, 0u);
   EXPECT_EQ(shuffled.data.NumRows(), 300u);
 }
@@ -271,7 +280,7 @@ TEST_F(ExchangeTest, AllRowsOneKeyLandInOnePartition) {
   JobExecutor executor = MakeExecutor();
   ExecMetrics par_metrics, ref_metrics;
   ShuffleResult par =
-      executor.Repartition(CopyDataset(data), keys, &par_metrics);
+      MustOk(executor.Repartition(CopyDataset(data), keys, &par_metrics));
   Dataset ref = reference::Repartition(CopyDataset(data), keys, cluster(),
                                        &ref_metrics);
   size_t non_empty = 0;
@@ -299,8 +308,8 @@ TEST_F(ExchangeTest, BroadcastStyleJoinWithoutPrecomputedHashes) {
   std::vector<int> keys = {0};
   JobExecutor executor = MakeExecutor();
   ExecMetrics par_metrics, ref_metrics;
-  Dataset par_out = executor.LocalHashJoin(build, probe, keys, keys,
-                                           &par_metrics);
+  Dataset par_out = MustOk(executor.LocalHashJoin(build, probe, keys, keys,
+                                                  &par_metrics));
   Dataset ref_out = reference::LocalHashJoin(build, probe, keys, keys,
                                              cluster(), &ref_metrics);
   for (size_t p = 0; p < ref_out.partitions.size(); ++p) {
@@ -324,8 +333,8 @@ TEST_F(ExchangeTest, DuplicateKeysEmitAllMatchesInBuildOrder)
   std::vector<int> keys = {0};
   JobExecutor executor = MakeExecutor();
   ExecMetrics par_metrics, ref_metrics;
-  Dataset par_out = executor.LocalHashJoin(build, probe, keys, keys,
-                                           &par_metrics);
+  Dataset par_out = MustOk(executor.LocalHashJoin(build, probe, keys, keys,
+                                                  &par_metrics));
   Dataset ref_out = reference::LocalHashJoin(build, probe, keys, keys,
                                              cluster(), &ref_metrics);
   ASSERT_EQ(par_out.NumRows(), 10u);
@@ -362,8 +371,8 @@ TEST_F(ExchangeTest, AnnotatedInputShuffleMetersIdentically) {
   JobExecutor onepass = MakeExecutor();
   for (JobExecutor* executor : {&onepass, &scatter}) {
     ExecMetrics par_metrics;
-    ShuffleResult parts =
-        executor->Repartition(CopyDataset(input), keys, &par_metrics);
+    ShuffleResult parts = MustOk(
+        executor->Repartition(CopyDataset(input), keys, &par_metrics));
     for (size_t p = 0; p < ref.partitions.size(); ++p) {
       EXPECT_EQ(parts.data.partitions[p], ref.partitions[p]);
     }
@@ -477,7 +486,8 @@ TEST(ThreadPoolStressTest, RepartitionFromWithinPool) {
     Dataset data = MakeDataset(spec);
     JobExecutor executor = engine.MakeExecutor();
     ExecMetrics metrics;
-    ShuffleResult out = executor.Repartition(std::move(data), {0}, &metrics);
+    ShuffleResult out =
+        MustOk(executor.Repartition(std::move(data), {0}, &metrics));
     if (out.data.NumRows() == 200) done.fetch_add(1);
   });
   EXPECT_EQ(done.load(), 3);

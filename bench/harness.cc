@@ -166,6 +166,10 @@ void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
   record->num_retries = metrics.num_retries;
   record->speculative_executions = metrics.speculative_executions;
   record->corrupted_blocks = metrics.corrupted_blocks;
+  record->peak_memory_bytes = metrics.peak_memory_bytes;
+  record->spilled_bytes = metrics.spilled_bytes;
+  record->spill_partitions = metrics.spill_partitions;
+  record->queue_wait_seconds = metrics.queue_wait_seconds;
 }
 
 void AddRecord(Record record) {
@@ -225,6 +229,10 @@ std::string RecordsToJson() {
        << "\"num_retries\": " << r.num_retries << ", "
        << "\"speculative_executions\": " << r.speculative_executions << ", "
        << "\"corrupted_blocks\": " << r.corrupted_blocks << ", "
+       << "\"peak_memory_bytes\": " << r.peak_memory_bytes << ", "
+       << "\"spilled_bytes\": " << r.spilled_bytes << ", "
+       << "\"spill_partitions\": " << r.spill_partitions << ", "
+       << "\"queue_wait_seconds\": " << r.queue_wait_seconds << ", "
        << "\"rows\": " << r.rows << ", "
        << "\"plan\": \"" << JsonEscape(r.plan) << "\"}";
     first = false;

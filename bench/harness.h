@@ -65,12 +65,18 @@ struct Record {
   uint64_t num_retries = 0;
   uint64_t speculative_executions = 0;
   uint64_t corrupted_blocks = 0;
+  // Memory-governance outcomes (ExecMetrics memory counters); all zero
+  // when no QueryContext / join budget is configured.
+  uint64_t peak_memory_bytes = 0;
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_partitions = 0;
+  double queue_wait_seconds = 0;
   uint64_t rows = 0;
   std::string plan;
 };
 
-/// Copies the per-operator-class wall clocks and the fault counters out of
-/// `metrics` into `record`.
+/// Copies the per-operator-class wall clocks, the fault counters and the
+/// memory-governance counters out of `metrics` into `record`.
 void SetWallBreakdown(Record* record, const ExecMetrics& metrics);
 
 void AddRecord(Record record);

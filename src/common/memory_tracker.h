@@ -1,0 +1,188 @@
+#ifndef DYNOPT_COMMON_MEMORY_TRACKER_H_
+#define DYNOPT_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dynopt {
+
+/// Hierarchical, lock-free memory accountant: engine budget -> per-query
+/// reservation -> per-operator accounting. Every tracker counts bytes
+/// reserved against an optional budget (0 == unlimited) and forwards each
+/// reservation to its parent, so the engine-level tracker always sees the
+/// sum of every live query's working set and a single query cannot starve
+/// the rest of the fleet unnoticed.
+///
+/// TryReserve fails *softly*: it returns false and leaves the tracker
+/// unchanged. Callers pick the degradation themselves — the hash join
+/// spills to disk, the admission controller keeps the query queued — so a
+/// memory shortage degrades a query instead of killing it.
+class MemoryTracker {
+ public:
+  /// `budget_bytes` == 0 means unlimited (pure accounting). `parent` may be
+  /// null (root tracker). The parent must outlive this tracker.
+  explicit MemoryTracker(uint64_t budget_bytes = 0,
+                         MemoryTracker* parent = nullptr,
+                         std::string label = "")
+      : budget_(budget_bytes), parent_(parent), label_(std::move(label)) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  ~MemoryTracker() {
+    // Whatever is still accounted here was forwarded to the parent when it
+    // was reserved; hand it back so a destroyed query tracker cannot leak
+    // engine-level budget.
+    uint64_t leftover = used_.load(std::memory_order_relaxed);
+    if (leftover > 0 && parent_ != nullptr) parent_->Release(leftover);
+  }
+
+  /// Attempts to reserve `bytes` here and (recursively) in every ancestor.
+  /// On any budget violation along the chain nothing is reserved anywhere
+  /// and false is returned.
+  bool TryReserve(uint64_t bytes) {
+    if (bytes == 0) return true;
+    if (!TryReserveLocal(bytes)) return false;
+    if (parent_ != nullptr && !parent_->TryReserve(bytes)) {
+      ReleaseLocal(bytes);
+      return false;
+    }
+    return true;
+  }
+
+  /// Unconditional accounting (never fails, may exceed the budget). Used
+  /// for working sets the executor will hold regardless — the budget then
+  /// shows as over-subscription in used() rather than being silently wrong.
+  void ReserveUnchecked(uint64_t bytes) {
+    if (bytes == 0) return;
+    AddLocal(bytes);
+    if (parent_ != nullptr) parent_->ReserveUnchecked(bytes);
+  }
+
+  /// Returns `bytes` previously reserved (through either path).
+  void Release(uint64_t bytes) {
+    if (bytes == 0) return;
+    ReleaseLocal(bytes);
+    if (parent_ != nullptr) parent_->Release(bytes);
+  }
+
+  uint64_t used() const { return used_.load(std::memory_order_relaxed); }
+  uint64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+  uint64_t budget() const { return budget_.load(std::memory_order_relaxed); }
+  /// 0-budget trackers report UINT64_MAX available.
+  uint64_t available() const {
+    uint64_t b = budget();
+    if (b == 0) return ~uint64_t{0};
+    uint64_t u = used();
+    return u >= b ? 0 : b - u;
+  }
+  void set_budget(uint64_t budget_bytes) {
+    budget_.store(budget_bytes, std::memory_order_relaxed);
+  }
+  void ResetPeak() { peak_.store(used(), std::memory_order_relaxed); }
+
+  MemoryTracker* parent() const { return parent_; }
+  const std::string& label() const { return label_; }
+
+ private:
+  bool TryReserveLocal(uint64_t bytes) {
+    uint64_t b = budget();
+    uint64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (b != 0 && cur + bytes > b) return false;
+      if (used_.compare_exchange_weak(cur, cur + bytes,
+                                      std::memory_order_relaxed)) {
+        UpdatePeak(cur + bytes);
+        return true;
+      }
+    }
+  }
+
+  void AddLocal(uint64_t bytes) {
+    uint64_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    UpdatePeak(now);
+  }
+
+  void ReleaseLocal(uint64_t bytes) {
+    // Saturating subtract: a mismatched release clamps at zero instead of
+    // wrapping into an absurd used() that would wedge every TryReserve.
+    uint64_t cur = used_.load(std::memory_order_relaxed);
+    for (;;) {
+      uint64_t next = cur >= bytes ? cur - bytes : 0;
+      if (used_.compare_exchange_weak(cur, next, std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  void UpdatePeak(uint64_t now) {
+    uint64_t p = peak_.load(std::memory_order_relaxed);
+    while (now > p &&
+           !peak_.compare_exchange_weak(p, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> peak_{0};
+  std::atomic<uint64_t> budget_;
+  MemoryTracker* parent_;
+  std::string label_;
+};
+
+/// RAII reservation against one tracker: releases what it holds on
+/// destruction. Movable, not copyable.
+class MemoryReservation {
+ public:
+  MemoryReservation() = default;
+  explicit MemoryReservation(MemoryTracker* tracker) : tracker_(tracker) {}
+  MemoryReservation(MemoryReservation&& other) noexcept
+      : tracker_(other.tracker_), bytes_(other.bytes_) {
+    other.tracker_ = nullptr;
+    other.bytes_ = 0;
+  }
+  MemoryReservation& operator=(MemoryReservation&& other) noexcept {
+    if (this != &other) {
+      ReleaseAll();
+      tracker_ = other.tracker_;
+      bytes_ = other.bytes_;
+      other.tracker_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  MemoryReservation(const MemoryReservation&) = delete;
+  MemoryReservation& operator=(const MemoryReservation&) = delete;
+  ~MemoryReservation() { ReleaseAll(); }
+
+  /// Grows the reservation by `bytes`; false (and no change) on refusal.
+  bool TryGrow(uint64_t bytes) {
+    if (tracker_ == nullptr) return true;  // Ungoverned: vacuously granted.
+    if (!tracker_->TryReserve(bytes)) return false;
+    bytes_ += bytes;
+    return true;
+  }
+
+  /// Grows unconditionally (accounting-only callers).
+  void GrowUnchecked(uint64_t bytes) {
+    if (tracker_ == nullptr) return;
+    tracker_->ReserveUnchecked(bytes);
+    bytes_ += bytes;
+  }
+
+  void ReleaseAll() {
+    if (tracker_ != nullptr && bytes_ > 0) tracker_->Release(bytes_);
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  MemoryTracker* tracker() const { return tracker_; }
+
+ private:
+  MemoryTracker* tracker_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_MEMORY_TRACKER_H_

@@ -1,0 +1,144 @@
+#ifndef DYNOPT_COMMON_QUERY_CONTEXT_H_
+#define DYNOPT_COMMON_QUERY_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "common/status.h"
+
+namespace dynopt {
+
+/// Cooperative cancellation flag shared between a query's driver thread and
+/// whoever wants the query gone (a client disconnect, a deadline watchdog,
+/// an operator). Checking is a relaxed atomic load, so kernels can afford
+/// to test it at every partition-task boundary; the reason string is only
+/// touched on the (cold) cancel path.
+class CancellationToken {
+ public:
+  void Cancel(std::string reason = "cancelled") {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (reason_.empty()) reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+  }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  std::string reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reason_;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+/// Per-query execution context threaded from the submitting caller through
+/// the optimizer driver loops into every executor kernel: a process-unique
+/// id (names this query's spill files), a cooperative CancellationToken, an
+/// optional wall-clock deadline, and the query-level MemoryTracker (child
+/// of the engine tracker when admitted through the AdmissionController).
+///
+/// Everything is optional-by-default: an executor with no context behaves
+/// exactly like the pre-governance engine.
+class QueryContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit QueryContext(std::string label = "")
+      : id_(next_id_.fetch_add(1, std::memory_order_relaxed)),
+        label_(std::move(label)) {}
+
+  QueryContext(const QueryContext&) = delete;
+  QueryContext& operator=(const QueryContext&) = delete;
+
+  uint64_t id() const { return id_; }
+  const std::string& label() const { return label_; }
+
+  CancellationToken& cancellation() { return token_; }
+  const CancellationToken& cancellation() const { return token_; }
+  void Cancel(std::string reason = "cancelled") {
+    token_.Cancel(std::move(reason));
+  }
+  bool cancelled() const { return token_.cancelled(); }
+
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  /// Deadline `seconds` of wall-clock from now (<= 0 expires immediately).
+  void set_timeout(double seconds) {
+    set_deadline(Clock::now() +
+                 std::chrono::duration_cast<Clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  bool deadline_expired() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// The cooperative check every task boundary runs: kCancelled when the
+  /// token fired or the deadline passed, OK otherwise. An expired deadline
+  /// latches the token so later checks are a single atomic load and the
+  /// reason survives.
+  Status CheckAlive() {
+    if (token_.cancelled()) {
+      return Status::Cancelled("query " + std::to_string(id_) +
+                               " cancelled: " + token_.reason());
+    }
+    if (deadline_expired()) {
+      token_.Cancel("deadline exceeded");
+      return Status::Cancelled("query " + std::to_string(id_) +
+                               " cancelled: deadline exceeded");
+    }
+    return Status::OK();
+  }
+
+  /// Query-level memory tracker. Ungoverned (no parent, no budget) until
+  /// AttachMemory re-homes it under the engine tracker at admission.
+  MemoryTracker& memory() { return *memory_; }
+
+  /// Re-parents the query tracker under `parent` with `budget_bytes`
+  /// (0 == unlimited). Call before the query starts executing (the old
+  /// tracker must hold no reservations).
+  void AttachMemory(MemoryTracker* parent, uint64_t budget_bytes) {
+    memory_ = std::make_unique<MemoryTracker>(
+        budget_bytes, parent, "query-" + std::to_string(id_));
+  }
+
+  /// Prefix of every spill file this query writes under spill_directory;
+  /// recovery sweeps it after terminal failures.
+  std::string SpillFilePrefix() const {
+    return "__spill_q" + std::to_string(id_) + "_";
+  }
+
+  /// Wall-clock seconds this query waited in the admission queue (set by
+  /// AdmissionController::Admit; surfaces in ExecMetrics).
+  double queue_wait_seconds = 0;
+
+ private:
+  static inline std::atomic<uint64_t> next_id_{1};
+
+  uint64_t id_;
+  std::string label_;
+  CancellationToken token_;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::unique_ptr<MemoryTracker> memory_ =
+      std::make_unique<MemoryTracker>(0, nullptr, "query");
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_QUERY_CONTEXT_H_

@@ -29,6 +29,10 @@ const char* CodeName(StatusCode code) {
       return "Transient";
     case StatusCode::kDataCorruption:
       return "DataCorruption";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -26,12 +26,24 @@ enum class StatusCode {
   /// Detected corruption of stored bytes (checksum mismatch): the data must
   /// be re-materialized; retrying the read alone cannot help.
   kDataCorruption,
+  /// The query was cancelled cooperatively (explicit CancellationToken or
+  /// an expired deadline). Terminal by definition: the caller asked for the
+  /// work to stop, so recovery machinery must never re-drive it.
+  kCancelled,
+  /// A resource governor refused the work: admission queue overflow or
+  /// timeout, or an engine memory budget that cannot be reserved. Retrying
+  /// immediately would hit the same wall; the caller should shed load or
+  /// wait for capacity, so this is excluded from IsRetryable.
+  kResourceExhausted,
 };
 
 /// True for error categories a caller may recover from by re-executing the
 /// failed work (against a fresh copy of the data for kDataCorruption).
 /// Fatal categories — bad plans, missing tables, logic errors — stay false:
-/// re-running them yields the same failure.
+/// re-running them yields the same failure. kCancelled and
+/// kResourceExhausted are deliberately excluded too: a cancelled query must
+/// never be retried on the user's behalf, and an overloaded engine is not
+/// helped by immediate re-submission (RunWithRecovery relies on both).
 inline bool IsRetryable(StatusCode code) {
   return code == StatusCode::kTransient || code == StatusCode::kDataCorruption;
 }
@@ -79,6 +91,12 @@ class Status {
   }
   static Status DataCorruption(std::string msg) {
     return Status(StatusCode::kDataCorruption, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

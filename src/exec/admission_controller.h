@@ -1,0 +1,177 @@
+#ifndef DYNOPT_EXEC_ADMISSION_CONTROLLER_H_
+#define DYNOPT_EXEC_ADMISSION_CONTROLLER_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/memory_tracker.h"
+#include "common/query_context.h"
+#include "common/status.h"
+#include "exec/cluster.h"
+
+namespace dynopt {
+
+/// Bounded-concurrency gate in front of the engine: at most
+/// `max_concurrent_queries` run at once, each holding a memory reservation
+/// against the engine tracker; at most `max_queue_depth` more wait in FIFO
+/// order. Arrivals beyond the queue bound bounce immediately with
+/// kResourceExhausted (backpressure), waiters give up with the same code
+/// after `queue_timeout_seconds`, and a query cancelled while queued leaves
+/// with kCancelled. Admission attaches the query's MemoryTracker under the
+/// engine tracker, completing the engine -> query -> operator hierarchy.
+///
+/// The wait loop polls in short slices instead of relying purely on
+/// condition-variable signals: an external Cancel() on the waiting query's
+/// token has no way to notify this controller, and slices keep that case
+/// responsive within milliseconds.
+class AdmissionController {
+ public:
+  /// `engine_memory` must outlive the controller (Engine owns both).
+  /// `query_reservation_bytes` is reserved per admitted query (0 reserves
+  /// nothing — slot counting only).
+  AdmissionController(const AdmissionConfig& config,
+                      MemoryTracker* engine_memory,
+                      uint64_t query_reservation_bytes)
+      : config_(config),
+        engine_memory_(engine_memory),
+        reservation_bytes_(query_reservation_bytes) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// RAII admission grant: releases the slot and the memory reservation
+  /// when destroyed (or Release()d), waking the next waiter.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept
+        : owner_(other.owner_), reservation_(std::move(other.reservation_)) {
+      other.owner_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        owner_ = other.owner_;
+        reservation_ = std::move(other.reservation_);
+        other.owner_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    bool admitted() const { return owner_ != nullptr; }
+
+    void Release() {
+      if (owner_ == nullptr) return;
+      reservation_.ReleaseAll();
+      owner_->FinishQuery();
+      owner_ = nullptr;
+    }
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* owner, MemoryReservation reservation)
+        : owner_(owner), reservation_(std::move(reservation)) {}
+
+    AdmissionController* owner_ = nullptr;
+    MemoryReservation reservation_;
+  };
+
+  /// Blocks until this query holds a slot (and its memory reservation), the
+  /// queue bound/timeout refuses it (kResourceExhausted), or `ctx` is
+  /// cancelled/expires while waiting (kCancelled). `ctx` may be null (no
+  /// cancellation, no tracker re-homing). On success the wait time is
+  /// recorded in ctx->queue_wait_seconds and the query tracker is attached
+  /// under the engine tracker with the reservation as its budget.
+  Result<Ticket> Admit(QueryContext* ctx) {
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (static_cast<int>(waiting_.size()) >= config_.max_queue_depth) {
+      return Status::ResourceExhausted(
+          "admission queue full (" + std::to_string(waiting_.size()) + "/" +
+          std::to_string(config_.max_queue_depth) + " waiting, " +
+          std::to_string(running_) + " running)");
+    }
+    const uint64_t seq = next_seq_++;
+    waiting_.push_back(seq);
+    auto leave_queue = [&]() {
+      waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq));
+      cv_.notify_all();
+    };
+    for (;;) {
+      if (ctx != nullptr) {
+        Status alive = ctx->CheckAlive();
+        if (!alive.ok()) {
+          leave_queue();
+          return alive;
+        }
+      }
+      if (waiting_.front() == seq && running_ < config_.max_concurrent_queries) {
+        MemoryReservation reservation(engine_memory_);
+        if (reservation.TryGrow(reservation_bytes_)) {
+          waiting_.pop_front();
+          ++running_;
+          if (ctx != nullptr) {
+            ctx->queue_wait_seconds =
+                std::chrono::duration<double>(Clock::now() - start).count();
+            ctx->AttachMemory(engine_memory_, reservation_bytes_);
+          }
+          cv_.notify_all();
+          return Ticket(this, std::move(reservation));
+        }
+        // Slot free but the engine budget cannot back the reservation yet:
+        // stay queued until a finishing query releases memory (or timeout).
+      }
+      const double waited =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      if (waited >= config_.queue_timeout_seconds) {
+        leave_queue();
+        return Status::ResourceExhausted(
+            "admission timed out after " + std::to_string(waited) +
+            "s (max " + std::to_string(config_.queue_timeout_seconds) + "s)");
+      }
+      cv_.wait_for(lock, std::chrono::milliseconds(5));
+    }
+  }
+
+  int running() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return running_;
+  }
+  int queued() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int>(waiting_.size());
+  }
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  void FinishQuery() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+    }
+    cv_.notify_all();
+  }
+
+  AdmissionConfig config_;
+  MemoryTracker* engine_memory_;
+  uint64_t reservation_bytes_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<uint64_t> waiting_;  ///< FIFO of waiter sequence numbers.
+  uint64_t next_seq_ = 0;
+  int running_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_ADMISSION_CONTROLLER_H_

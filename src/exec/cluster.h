@@ -51,6 +51,46 @@ struct FaultInjectionConfig {
   int max_query_failures = 1;
 };
 
+/// Memory-governance knobs: budgets for the hierarchical MemoryTracker and
+/// the real grace-hash-join spill path. All zero by default — a zero budget
+/// means "unlimited", so the executor's metering (and the legacy
+/// spill_penalty_passes accounting for oversized broadcasts) is
+/// byte-for-byte identical to a build without memory governance.
+struct MemoryGovernanceConfig {
+  /// Engine-wide budget across all concurrently admitted queries
+  /// (0 == unlimited). Backs the AdmissionController's reservations.
+  uint64_t engine_budget_bytes = 0;
+  /// Reserved per admitted query against the engine budget; admission
+  /// blocks (then times out) while the reservation cannot be granted.
+  uint64_t query_reservation_bytes = 0;
+  /// Per-node join build-side memory (0 == unlimited). A build partition
+  /// exceeding this triggers the real grace hash join: build and probe are
+  /// partitioned to checksummed spill files under `spill_directory` and
+  /// joined recursively, replacing the flat spill_penalty_passes charge.
+  uint64_t join_memory_budget_bytes = 0;
+  /// Recursion depth cap for grace-join sub-partitioning. A sub-partition
+  /// still over budget at this depth joins in memory anyway (accounted as
+  /// over-subscription, never refused) — a single query must always
+  /// complete.
+  int max_spill_recursion = 4;
+  /// Sub-partitions per spill pass (fan-out of each recursive split).
+  int max_spill_fanout = 32;
+};
+
+/// Admission-control knobs for concurrent queries. Defaults allow modest
+/// concurrency without queuing surprises; zero slots would refuse all
+/// queries, so `max_concurrent_queries` must stay >= 1.
+struct AdmissionConfig {
+  /// Queries allowed to execute simultaneously.
+  int max_concurrent_queries = 4;
+  /// Queries allowed to wait for a slot; arrivals beyond this bounce
+  /// immediately with kResourceExhausted (backpressure).
+  int max_queue_depth = 16;
+  /// Max wall-clock a query waits in the queue before giving up with
+  /// kResourceExhausted.
+  double queue_timeout_seconds = 10.0;
+};
+
 /// Configuration of the simulated shared-nothing cluster, standing in for
 /// the paper's 10-node AWS deployment. Datasets are hash-partitioned across
 /// `num_nodes` simulated nodes; physical operators are actually executed
@@ -123,6 +163,11 @@ struct ClusterConfig {
   /// an injector from this config (Engine::ArmFaultInjection); executors
   /// then draw task failures, stragglers and file corruption from it.
   FaultInjectionConfig fault;
+
+  /// Memory budgets + grace-join spill (all unlimited/off by default).
+  MemoryGovernanceConfig memory;
+  /// Concurrent-query admission control (Engine::admission().Admit).
+  AdmissionConfig admission;
 };
 
 }  // namespace dynopt

@@ -4,7 +4,10 @@
 #include <memory>
 #include <vector>
 
+#include "common/memory_tracker.h"
+#include "common/query_context.h"
 #include "common/thread_pool.h"
+#include "exec/admission_controller.h"
 #include "exec/cluster.h"
 #include "exec/executor.h"
 #include "plan/udf.h"
@@ -35,9 +38,39 @@ class Engine {
   /// A fresh executor bound to this engine's state (executors are cheap,
   /// stateless objects). When fault injection is armed, the executor draws
   /// faults from the engine-owned injector.
-  JobExecutor MakeExecutor() {
+  /// With a non-null `ctx` the executor is bound to that per-query context:
+  /// its kernels check the context's cancellation token/deadline at every
+  /// task boundary and account memory against the context's tracker. `ctx`
+  /// must outlive the executor's jobs.
+  JobExecutor MakeExecutor(QueryContext* ctx = nullptr) {
     return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_,
-                       faults_.get());
+                       faults_.get(), ctx);
+  }
+
+  /// Engine-level memory tracker: the root of the engine -> query ->
+  /// operator hierarchy. Its budget mirrors cluster().memory
+  /// .engine_budget_bytes (applied by RearmAdmission, 0 == unlimited).
+  MemoryTracker& memory() { return memory_; }
+
+  /// The concurrent-query gate, built lazily from cluster().admission /
+  /// cluster().memory on first use. Typical flow:
+  ///   QueryContext ctx;
+  ///   DYNOPT_ASSIGN_OR_RETURN(auto ticket, engine.admission().Admit(&ctx));
+  ///   ... run the query with MakeExecutor(&ctx) ...
+  ///   // ticket destructor releases the slot + memory reservation.
+  AdmissionController& admission() {
+    if (admission_ == nullptr) RearmAdmission();
+    return *admission_;
+  }
+
+  /// (Re)builds the admission controller and the engine memory budget from
+  /// the current cluster().admission / cluster().memory. Call after editing
+  /// mutable_cluster() and before admitting queries; must not race with
+  /// in-flight admissions.
+  void RearmAdmission() {
+    memory_.set_budget(cluster_.memory.engine_budget_bytes);
+    admission_ = std::make_unique<AdmissionController>(
+        cluster_.admission, &memory_, cluster_.memory.query_reservation_bytes);
   }
 
   /// (Re)builds the fault injector from `cluster().fault`, resetting its
@@ -74,6 +107,8 @@ class Engine {
   UdfRegistry udfs_;
   ThreadPool pool_;
   std::unique_ptr<FaultInjector> faults_;
+  MemoryTracker memory_{0, nullptr, "engine"};
+  std::unique_ptr<AdmissionController> admission_;
 };
 
 }  // namespace dynopt

@@ -48,13 +48,15 @@ double SecondsSince(WallClock::time_point start) {
 
 JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
                          const UdfRegistry* udfs, const ClusterConfig& cluster,
-                         ThreadPool* pool, FaultInjector* faults)
+                         ThreadPool* pool, FaultInjector* faults,
+                         QueryContext* ctx)
     : catalog_(catalog),
       stats_(stats),
       udfs_(udfs),
       cluster_(cluster),
       pool_(pool),
-      faults_(faults) {
+      faults_(faults),
+      ctx_(ctx) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
 }
 
@@ -189,12 +191,19 @@ Result<JobResult> JobExecutor::Execute(
   DYNOPT_ASSIGN_OR_RETURN(result.data,
                           ExecNode(root, params, &result.metrics));
   result.metrics.rows_out = result.data.NumRows();
+  if (ctx_ != nullptr) {
+    result.metrics.peak_memory_bytes = std::max(
+        result.metrics.peak_memory_bytes, ctx_->memory().peak());
+  }
   return result;
 }
 
 Result<Dataset> JobExecutor::ExecNode(
     const PlanNode& node, const std::map<std::string, Value>& params,
     ExecMetrics* metrics) {
+  // Cooperative cancellation: every operator boundary is a check point, so
+  // a cancel/deadline terminates within one operator's work.
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
   switch (node.kind) {
     case PlanNode::Kind::kScan:
       return ExecScan(node, metrics);
@@ -388,6 +397,7 @@ Result<Dataset> JobExecutor::ExecProject(
 Result<ShuffleResult> JobExecutor::Repartition(
     Dataset&& input, const std::vector<int>& key_indices,
     ExecMetrics* metrics) {
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
   const auto wall_start = WallClock::now();
   const size_t n = cluster_.num_nodes;
   const size_t src_parts = input.partitions.size();
@@ -624,6 +634,175 @@ Result<ShuffleResult> JobExecutor::Repartition(
   return result;
 }
 
+void JobExecutor::LeafHashJoin(const std::vector<Row>& build_rows,
+                               const std::vector<Row>& probe_rows,
+                               const std::vector<int>& build_keys,
+                               const std::vector<int>& probe_keys,
+                               uint64_t* work, std::vector<Row>* dest,
+                               std::vector<uint64_t>* dest_sizes) {
+  JoinHashTable table;
+  table.Build(build_rows, build_keys, nullptr);
+  constexpr uint32_t kEnd = JoinHashTable::kEnd;
+  const uint32_t* heads = table.heads();
+  const uint32_t* next = table.next();
+  const uint64_t* table_hashes = table.hashes();
+  const size_t mask = table.mask();
+  uint64_t local_work = build_rows.size() + probe_rows.size();
+  for (const Row& probe_row : probe_rows) {
+    if (AnyJoinKeyNull(probe_row, probe_keys)) continue;
+    const uint64_t h = HashRowKey(probe_row, probe_keys);
+    for (uint32_t i = heads[h & mask]; i != kEnd; i = next[i]) {
+      if (table_hashes[i] != h) continue;
+      const Row& build_row = build_rows[i];
+      if (!JoinKeysEqual(build_row, build_keys, probe_row, probe_keys)) {
+        continue;
+      }
+      dest->emplace_back();
+      Row& joined = dest->back();
+      joined.reserve(build_row.size() + probe_row.size());
+      joined.insert(joined.end(), build_row.begin(), build_row.end());
+      joined.insert(joined.end(), probe_row.begin(), probe_row.end());
+      if (dest_sizes != nullptr) {
+        // Joined-row size annotation, same formula as the in-memory probe:
+        // both payloads, one 8-byte row header.
+        dest_sizes->push_back(RowSizeBytesInline(build_row) +
+                              RowSizeBytesInline(probe_row) - 8);
+      }
+      ++local_work;
+    }
+  }
+  *work += local_work;
+}
+
+Status JobExecutor::GraceJoinPartition(
+    const std::vector<Row>& build_rows, const std::vector<Row>& probe_rows,
+    const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
+    int depth, uint64_t salt, size_t part, uint64_t* work,
+    std::vector<Row>* dest, std::vector<uint64_t>* dest_sizes,
+    SpillStats* stats) {
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  const uint64_t budget = cluster_.memory.join_memory_budget_bytes;
+  uint64_t build_size = 0;
+  for (const Row& row : build_rows) build_size += RowSizeBytesInline(row);
+  // In-memory leaf: the build side fits the budget, cannot be split
+  // further, or the recursion cap is reached — then the join runs over
+  // budget rather than refuse (a single query always completes; the
+  // tracker records the over-subscription).
+  if (budget == 0 || build_size <= budget || build_rows.size() <= 1 ||
+      depth >= cluster_.memory.max_spill_recursion) {
+    MemoryReservation leaf_mem(ctx_ != nullptr ? &ctx_->memory() : nullptr);
+    leaf_mem.GrowUnchecked(build_size);
+    LeafHashJoin(build_rows, probe_rows, build_keys, probe_keys, work, dest,
+                 dest_sizes);
+    return Status::OK();
+  }
+
+  // Split both sides by a re-salted key hash — decorrelated from the node
+  // routing (h % num_nodes) and from parent splits, so keys that clustered
+  // at this level spread out below. NULL join keys never match, so their
+  // rows are dropped at split time instead of being spilled.
+  const int fanout = std::max(2, cluster_.memory.max_spill_fanout);
+  std::vector<std::vector<Row>> build_sub(fanout);
+  std::vector<std::vector<Row>> probe_sub(fanout);
+  const FastMod mod_f(static_cast<uint64_t>(fanout));
+  for (const Row& row : build_rows) {
+    if (AnyJoinKeyNull(row, build_keys)) continue;
+    const uint64_t h = Mix64(HashRowKeyInline(row, build_keys) ^ salt);
+    build_sub[mod_f(h)].push_back(row);
+  }
+  for (const Row& row : probe_rows) {
+    if (AnyJoinKeyNull(row, probe_keys)) continue;
+    const uint64_t h = Mix64(HashRowKeyInline(row, probe_keys) ^ salt);
+    probe_sub[mod_f(h)].push_back(row);
+  }
+  stats->repartition_rows += build_rows.size() + probe_rows.size();
+  stats->spill_seconds +=
+      static_cast<double>(build_rows.size() + probe_rows.size()) *
+      cluster_.cpu_seconds_per_tuple;
+
+  // Spill every non-empty sub-partition pair to checksummed files, freeing
+  // each in-memory copy as it is written: from here on, the partition's
+  // resident set is one sub-partition pair at a time. Every spilled byte is
+  // written once and read back once, charged at the disk rates.
+  const uint64_t serial =
+      spill_serial_.fetch_add(1, std::memory_order_relaxed);
+  const std::string base =
+      cluster_.spill_directory + "/" +
+      (ctx_ != nullptr ? ctx_->SpillFilePrefix()
+                       : std::string("__spill_q0_")) +
+      "s" + std::to_string(serial) + "_p" + std::to_string(part) + "_d" +
+      std::to_string(depth) + "_k";
+  std::vector<std::string> files;
+  files.reserve(static_cast<size_t>(fanout) * 2);
+  auto cleanup = [&files]() {
+    for (const std::string& f : files) std::remove(f.c_str());
+  };
+  std::vector<char> live(fanout, 0);
+  for (int k = 0; k < fanout; ++k) {
+    if (build_sub[k].empty() && probe_sub[k].empty()) continue;
+    live[k] = 1;
+    uint64_t pair_bytes = 0;
+    for (const Row& row : build_sub[k]) pair_bytes += RowSizeBytesInline(row);
+    for (const Row& row : probe_sub[k]) pair_bytes += RowSizeBytesInline(row);
+    const std::string bpath = base + std::to_string(k) + ".build.drb";
+    const std::string ppath = base + std::to_string(k) + ".probe.drb";
+    files.push_back(bpath);
+    files.push_back(ppath);
+    Status st = WriteRowsFile(bpath, build_sub[k]);
+    if (st.ok()) st = WriteRowsFile(ppath, probe_sub[k]);
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+    stats->spilled_bytes += pair_bytes;
+    stats->spill_seconds += static_cast<double>(pair_bytes) *
+                            (cluster_.disk_write_seconds_per_byte +
+                             cluster_.disk_read_seconds_per_byte);
+    ++stats->spill_partitions;
+    build_sub[k] = std::vector<Row>();
+    probe_sub[k] = std::vector<Row>();
+  }
+  build_sub.clear();
+  probe_sub.clear();
+
+  // Join each sub-partition pair: read both sides back, drop the files,
+  // recurse (a still-oversized sub-partition splits again under a fresh
+  // salt, up to max_spill_recursion).
+  for (int k = 0; k < fanout; ++k) {
+    if (!live[k]) continue;
+    Status alive = CheckAlive();
+    if (!alive.ok()) {
+      cleanup();
+      return alive;
+    }
+    const std::string bpath = base + std::to_string(k) + ".build.drb";
+    const std::string ppath = base + std::to_string(k) + ".probe.drb";
+    auto sub_build = ReadRowsFile(bpath);
+    if (!sub_build.ok()) {
+      cleanup();
+      return sub_build.status();
+    }
+    auto sub_probe = ReadRowsFile(ppath);
+    if (!sub_probe.ok()) {
+      cleanup();
+      return sub_probe.status();
+    }
+    std::remove(bpath.c_str());
+    std::remove(ppath.c_str());
+    const uint64_t next_salt = Mix64(
+        salt ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(k + 1)));
+    Status st = GraceJoinPartition(sub_build.value(), sub_probe.value(),
+                                   build_keys, probe_keys, depth + 1,
+                                   next_salt, part, work, dest, dest_sizes,
+                                   stats);
+    if (!st.ok()) {
+      cleanup();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
 Result<Dataset> JobExecutor::LocalHashJoin(
     const Dataset& build, const Dataset& probe,
     const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
@@ -631,6 +810,7 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     const std::vector<std::vector<uint64_t>>* build_hashes,
     const std::vector<std::vector<uint64_t>>* probe_hashes) {
   DYNOPT_CHECK(build.partitions.size() == probe.partitions.size());
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
   const size_t num_parts = build.partitions.size();
   std::vector<std::string> out_columns = build.columns;
   out_columns.insert(out_columns.end(), probe.columns.begin(),
@@ -646,12 +826,57 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     if (emit_sizes) out.row_sizes[p] = TakeHashVec();
   }
 
+  // Per-node join-memory governance: size every build partition (cheap sum
+  // of the producer's annotations when present) and mark the ones exceeding
+  // the join budget for the grace-join spill path. With a zero budget
+  // (default) nothing is sized and nothing spills — the in-memory path and
+  // its metering are untouched.
+  const uint64_t join_budget = cluster_.memory.join_memory_budget_bytes;
+  const bool governed = join_budget > 0 || ctx_ != nullptr;
+  std::vector<uint64_t> build_bytes;
+  std::vector<char> spill(num_parts, 0);
+  bool any_spill = false;
+  if (governed) {
+    build_bytes.assign(num_parts, 0);
+    const bool build_has_sizes = build.HasRowSizes();
+    pool_->ParallelFor(num_parts, [&](size_t p) {
+      uint64_t bytes = 0;
+      if (build_has_sizes) {
+        for (uint64_t b : build.row_sizes[p]) bytes += b;
+      } else {
+        for (const Row& row : build.partitions[p]) {
+          bytes += RowSizeBytesInline(row);
+        }
+      }
+      build_bytes[p] = bytes;
+    });
+    if (join_budget > 0) {
+      for (size_t p = 0; p < num_parts; ++p) {
+        if (build_bytes[p] > join_budget && build.partitions[p].size() > 1) {
+          spill[p] = 1;
+          any_spill = true;
+        }
+      }
+    }
+  }
+  // Account the resident build side against the query's tracker for the
+  // duration of the join (spilled partitions account their sub-joins inside
+  // GraceJoinPartition instead).
+  MemoryReservation join_mem(ctx_ != nullptr ? &ctx_->memory() : nullptr);
+  if (ctx_ != nullptr) {
+    for (size_t p = 0; p < num_parts; ++p) {
+      if (!spill[p]) join_mem.GrowUnchecked(build_bytes[p]);
+    }
+  }
+
   // Build phase: one flat table per partition, reusing the executor's
-  // pooled tables (their vectors keep capacity between joins).
+  // pooled tables (their vectors keep capacity between joins). Spilled
+  // partitions never build a full-partition table — that is the point.
   auto wall_start = WallClock::now();
   if (join_tables_.size() < num_parts) join_tables_.resize(num_parts);
   std::vector<JoinHashTable>& tables = join_tables_;
   pool_->ParallelFor(num_parts, [&](size_t p) {
+    if (spill[p]) return;
     tables[p].Build(build.partitions[p], build_keys,
                     build_hashes != nullptr ? &(*build_hashes)[p] : nullptr);
   });
@@ -668,10 +893,27 @@ Result<Dataset> JobExecutor::LocalHashJoin(
         ApplyFaults(FaultSite::kBuild, build_seconds, metrics));
   }
 
-  // Probe phase.
+  // Probe phase. Spilled partitions take the grace-join route inside the
+  // same ParallelFor: partition both sides to disk and join recursively,
+  // emitting into the same output slot. Their failures (spill I/O, a
+  // cancellation observed mid-spill) land in part_status, merged after the
+  // loop.
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
   wall_start = WallClock::now();
   std::vector<uint64_t> work(num_parts, 0);
+  std::vector<Status> part_status(num_parts);
+  std::vector<SpillStats> part_spill(any_spill ? num_parts : 0);
   pool_->ParallelFor(num_parts, [&](size_t p) {
+    if (spill[p]) {
+      uint64_t local_work = 0;
+      part_status[p] = GraceJoinPartition(
+          build.partitions[p], probe.partitions[p], build_keys, probe_keys,
+          /*depth=*/0, /*salt=*/0xc2b2ae3d27d4eb4fULL, p, &local_work,
+          &out.partitions[p], emit_sizes ? &out.row_sizes[p] : nullptr,
+          &part_spill[p]);
+      work[p] = local_work;
+      return;
+    }
     const auto& build_rows = build.partitions[p];
     const auto& probe_rows = probe.partitions[p];
     const JoinHashTable& table = tables[p];
@@ -748,12 +990,33 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     work[p] = local_work;
   });
   metrics->wall_probe_seconds += SecondsSince(wall_start);
+  for (const Status& st : part_status) {
+    DYNOPT_RETURN_IF_ERROR(st);
+  }
 
   uint64_t total_work = 0;
   for (uint64_t w : work) total_work += w;
   metrics->tuples_processed += total_work;
   metrics->simulated_seconds +=
       static_cast<double>(MaxOver(work)) * cluster_.cpu_seconds_per_tuple;
+  if (any_spill) {
+    // Spill cost: each spilled partition's disk passes + repartition CPU run
+    // on that partition's node, concurrently across nodes — so simulated
+    // time takes the max over partitions while the byte/partition counters
+    // sum.
+    double max_spill_seconds = 0.0;
+    for (size_t p = 0; p < num_parts; ++p) {
+      const SpillStats& s = part_spill[p];
+      max_spill_seconds = std::max(max_spill_seconds, s.spill_seconds);
+      metrics->spilled_bytes += s.spilled_bytes;
+      metrics->spill_partitions += s.spill_partitions;
+    }
+    metrics->simulated_seconds += max_spill_seconds;
+    if (ctx_ != nullptr) {
+      metrics->peak_memory_bytes =
+          std::max(metrics->peak_memory_bytes, ctx_->memory().peak());
+    }
+  }
   if (FaultsArmed()) {
     // Probe-stage fault overlay: node p's clean task time is its probe +
     // emission work (work[p] minus the build rows already charged above).
@@ -819,7 +1082,11 @@ Result<Dataset> JobExecutor::ExecJoin(
   // A build side larger than the per-node join memory overflows to disk:
   // the dynamic hash join re-partitions the overflow in extra passes. An
   // optimizer that broadcast a dataset it wrongly believed small pays here.
-  if (build_bytes > cluster_.broadcast_threshold_bytes) {
+  // This flat-penalty model only applies while no join-memory budget is
+  // configured; with a budget, the overflow takes the *real* grace-join
+  // spill path inside LocalHashJoin and is metered from executed passes.
+  if (cluster_.memory.join_memory_budget_bytes == 0 &&
+      build_bytes > cluster_.broadcast_threshold_bytes) {
     double overflow = static_cast<double>(build_bytes -
                                           cluster_.broadcast_threshold_bytes);
     metrics->simulated_seconds +=
@@ -971,6 +1238,7 @@ Result<SinkResult> JobExecutor::Materialize(
     Dataset&& data, const std::string& prefix,
     const std::vector<std::string>& stats_columns, bool collect_stats,
     ExecMetrics* metrics) {
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
   const auto wall_start = WallClock::now();
   // Build the temp table schema: stored column names are the (already
   // qualified) dataset column names; types are inferred from data in one
@@ -1050,6 +1318,10 @@ Result<SinkResult> JobExecutor::Materialize(
     total_bytes += part_bytes[p];
     total_rows += data.partitions[p].size();
   }
+  // Account the sink buffer against the query tracker while it is resident
+  // here (released once the rows are handed to the catalog).
+  MemoryReservation sink_mem(ctx_ != nullptr ? &ctx_->memory() : nullptr);
+  sink_mem.GrowUnchecked(total_bytes);
   // Fault overlay for the sink write stage, applied before anything is
   // registered or charged so an injected whole-query abort leaves no
   // half-materialized table behind. One stage id covers the whole sink;
@@ -1175,6 +1447,10 @@ Result<SinkResult> JobExecutor::Materialize(
       write_seconds + cluster_.reopt_fixed_seconds;
   metrics->num_reopt_points += 1;
   metrics->wall_materialize_seconds += SecondsSince(wall_start);
+  if (ctx_ != nullptr) {
+    metrics->peak_memory_bytes =
+        std::max(metrics->peak_memory_bytes, ctx_->memory().peak());
+  }
   return result;
 }
 

@@ -1,12 +1,14 @@
 #ifndef DYNOPT_EXEC_EXECUTOR_H_
 #define DYNOPT_EXEC_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/cluster.h"
@@ -61,9 +63,16 @@ struct ShuffleResult {
 /// identical to a fault-free build.
 class JobExecutor {
  public:
+  /// `ctx` attaches the per-query context (cancellation token + deadline +
+  /// memory tracker). Null (the default) runs ungoverned: no cancellation
+  /// checks fire and memory is not accounted, exactly the pre-governance
+  /// engine. The context must outlive the executor's jobs.
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
               const ClusterConfig& cluster, ThreadPool* pool,
-              FaultInjector* faults = nullptr);
+              FaultInjector* faults = nullptr, QueryContext* ctx = nullptr);
+
+  void set_context(QueryContext* ctx) { ctx_ = ctx; }
+  QueryContext* context() const { return ctx_; }
 
   /// Runs one job tree and returns its output dataset plus metrics.
   Result<JobResult> Execute(const PlanNode& root,
@@ -124,6 +133,46 @@ class JobExecutor {
   /// True when an enabled fault injector is attached.
   bool FaultsArmed() const { return faults_ != nullptr && faults_->enabled(); }
 
+  /// Cooperative cancellation check, run at every kernel/stage boundary.
+  /// OK when no context is attached.
+  Status CheckAlive() {
+    return ctx_ != nullptr ? ctx_->CheckAlive() : Status::OK();
+  }
+
+  /// Per-ParallelFor-body accumulator of one grace-join spill partition.
+  /// Merged serially after the join's probe loop (max-over-nodes for the
+  /// simulated seconds, sums for the byte/partition counters).
+  struct SpillStats {
+    uint64_t spilled_bytes = 0;     ///< Bytes written to spill files.
+    uint64_t spill_partitions = 0;  ///< Sub-partition pairs spilled.
+    uint64_t repartition_rows = 0;  ///< Rows passed through spill splits.
+    double spill_seconds = 0;       ///< Simulated disk+CPU cost of spilling.
+  };
+
+  /// Grace hash join of one overflowing partition: recursively splits build
+  /// and probe by a re-salted key hash into checksummed spill files under
+  /// spill_directory, then joins each sub-partition pair (in memory once it
+  /// fits the budget, or unconditionally at max_spill_recursion — a single
+  /// query always completes). Emits into `dest`/`dest_sizes` (sizes skipped
+  /// when null) and accounts everything in `stats`. Spill files are removed
+  /// as consumed and on error.
+  Status GraceJoinPartition(const std::vector<Row>& build_rows,
+                            const std::vector<Row>& probe_rows,
+                            const std::vector<int>& build_keys,
+                            const std::vector<int>& probe_keys, int depth,
+                            uint64_t salt, size_t part, uint64_t* work,
+                            std::vector<Row>* dest,
+                            std::vector<uint64_t>* dest_sizes,
+                            SpillStats* stats);
+
+  /// In-memory leaf join used by GraceJoinPartition (single partition, own
+  /// throwaway hash table; NULL build/probe keys never match).
+  void LeafHashJoin(const std::vector<Row>& build_rows,
+                    const std::vector<Row>& probe_rows,
+                    const std::vector<int>& build_keys,
+                    const std::vector<int>& probe_keys, uint64_t* work,
+                    std::vector<Row>* dest, std::vector<uint64_t>* dest_sizes);
+
   /// Overlays injected faults on one completed kernel stage whose clean
   /// per-node task times are `per_node_seconds`. Draws a fresh stage id
   /// (unless the caller pre-drew one), then simulates task retries with
@@ -158,6 +207,12 @@ class JobExecutor {
   ClusterConfig cluster_;
   ThreadPool* pool_;
   FaultInjector* faults_;  ///< Engine-owned; may be null (no injection).
+  QueryContext* ctx_ = nullptr;  ///< Caller-owned; may be null (ungoverned).
+
+  /// Process-wide serial for spill-file names: two executors (or two joins
+  /// of one query) can spill concurrently into the same directory without
+  /// colliding.
+  static inline std::atomic<uint64_t> spill_serial_{0};
 
   std::mutex scratch_mutex_;
   std::vector<std::vector<Row>> row_vec_pool_;

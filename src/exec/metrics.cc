@@ -22,6 +22,12 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   num_retries += other.num_retries;
   speculative_executions += other.speculative_executions;
   corrupted_blocks += other.corrupted_blocks;
+  if (other.peak_memory_bytes > peak_memory_bytes) {
+    peak_memory_bytes = other.peak_memory_bytes;
+  }
+  spilled_bytes += other.spilled_bytes;
+  spill_partitions += other.spill_partitions;
+  queue_wait_seconds += other.queue_wait_seconds;
   wall_shuffle_seconds += other.wall_shuffle_seconds;
   wall_build_seconds += other.wall_build_seconds;
   wall_probe_seconds += other.wall_probe_seconds;
@@ -43,6 +49,12 @@ std::string ExecMetrics::ToString() const {
     os << " faults[retries=" << num_retries
        << " speculative=" << speculative_executions
        << " corrupted_blocks=" << corrupted_blocks << "]";
+  }
+  if (peak_memory_bytes > 0 || spilled_bytes > 0 || spill_partitions > 0 ||
+      queue_wait_seconds > 0) {
+    os << " mem[peak=" << peak_memory_bytes << "B spilled=" << spilled_bytes
+       << "B spill_parts=" << spill_partitions
+       << " queue_wait=" << queue_wait_seconds << "s]";
   }
   os
      << " wall[shuffle=" << wall_shuffle_seconds

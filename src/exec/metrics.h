@@ -45,6 +45,21 @@ struct ExecMetrics {
   /// Materialized partition files whose checksum verification failed.
   uint64_t corrupted_blocks = 0;
 
+  // --- Memory governance (zero unless budgets are configured) ------------
+
+  /// High-water mark of the query's MemoryTracker (bytes). Max-merged in
+  /// Add(): concurrent jobs of one query share the tracker, so summing
+  /// per-job peaks would double-count.
+  uint64_t peak_memory_bytes = 0;
+  /// Bytes written to grace-join spill files (each byte is also read back,
+  /// charged via the disk constants into simulated_seconds).
+  uint64_t spilled_bytes = 0;
+  /// Grace-join partitions that went through the spill path (recursive
+  /// splits counted individually).
+  uint64_t spill_partitions = 0;
+  /// Wall-clock the query spent waiting in the admission queue.
+  double queue_wait_seconds = 0;
+
   // --- Host wall-clock per kernel class ---------------------------------
   //
   // Real elapsed time (std::chrono::steady_clock) spent inside the

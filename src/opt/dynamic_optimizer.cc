@@ -134,7 +134,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     DynamicCheckpoint state) {
   const auto start = std::chrono::steady_clock::now();
   last_checkpoint_.reset();
-  JobExecutor executor = engine_->MakeExecutor();
+  JobExecutor executor = engine_->MakeExecutor(ctx_);
   std::ostringstream trace;
   trace << state.trace;
 
@@ -189,6 +189,10 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     std::vector<std::string> aliases;
     for (const auto& ref : state.spec.tables) aliases.push_back(ref.alias);
     for (size_t i = state.pushdown_next_index; i < aliases.size(); ++i) {
+      // Stage boundary: a cancelled/expired query stops here with
+      // kCancelled; the cleanup guard (still armed — kCancelled is not
+      // retryable) reclaims the temp tables already materialized.
+      DYNOPT_RETURN_IF_ERROR(CheckContext());
       state.pushdown_next_index = i;
       const std::string& alias = aliases[i];
       std::vector<ExprPtr> preds = state.spec.PredicatesFor(alias);
@@ -267,6 +271,10 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
 
   // ---- Stage 2: re-optimization loop (Algorithm 1 lines 11-15) ----------
   while (state.spec.joins.size() > 2) {
+    // Re-optimization point: the natural cancellation boundary (the paper's
+    // materialization points are exactly where mid-query decisions — here,
+    // stopping — are safe).
+    DYNOPT_RETURN_IF_ERROR(CheckContext());
     StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
     Planner planner(&view, engine_->cluster(), options_.planner);
     DYNOPT_ASSIGN_OR_RETURN(PlannedJoin planned, planner.PickNextJoin());
@@ -323,6 +331,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   }
 
   // ---- Stage 3: final job (Algorithm 1 lines 17-18) ---------------------
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
   StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
   Planner planner(&view, engine_->cluster(), options_.planner);
   DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<const JoinTree> final_tree,

@@ -24,6 +24,13 @@ class IngresLikeOptimizer : public Optimizer {
   std::string name() const override { return "ingres-like"; }
   Result<OptimizerRunResult> Run(const QuerySpec& query) override;
 
+  /// Cancellation/deadline checks happen inside the wrapped dynamic
+  /// optimizer's decomposition loop, so forward the context there too.
+  void set_context(QueryContext* ctx) override {
+    Optimizer::set_context(ctx);
+    inner_.set_context(ctx);
+  }
+
   /// Decomposition materializes every intermediate, so the wrapped dynamic
   /// optimizer's checkpoints work unchanged here.
   bool CanResume() const override { return inner_.CanResume(); }

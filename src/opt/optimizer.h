@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/query_context.h"
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/metrics.h"
@@ -51,6 +52,22 @@ class Optimizer {
   virtual Result<OptimizerRunResult> ResumeFromLastCheckpoint() {
     return Status::Unimplemented(name() + " cannot resume from a checkpoint");
   }
+
+  /// Attaches a per-query context: every driver loop checks its
+  /// cancellation token/deadline at stage and re-optimization boundaries,
+  /// and executors account memory against its tracker. Null (the default)
+  /// runs ungoverned. The context must outlive Run()/Resume(). Wrapping
+  /// strategies (ingres-like) forward this to their inner optimizer.
+  virtual void set_context(QueryContext* ctx) { ctx_ = ctx; }
+  QueryContext* context() const { return ctx_; }
+
+ protected:
+  /// Cooperative cancellation check for driver loops; OK without a context.
+  Status CheckContext() {
+    return ctx_ != nullptr ? ctx_->CheckAlive() : Status::OK();
+  }
+
+  QueryContext* ctx_ = nullptr;
 };
 
 /// Sorts rows lexicographically — canonical form for comparing result sets

@@ -20,6 +20,7 @@ Result<OptimizerRunResult> WorstOrderOptimizer::Run(const QuerySpec& query) {
   if (spec.tables.size() < 2) {
     return Status::InvalidArgument("worst-order needs at least one join");
   }
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
   StatsView view(&spec, &engine_->stats(), &engine_->catalog());
   CardinalityEstimator estimator(&view, options_.estimation);
 
@@ -76,7 +77,7 @@ Result<OptimizerRunResult> WorstOrderOptimizer::Run(const QuerySpec& query) {
   }
   std::string trace = "[worst-order] plan: " + tree->ToString() + "\n";
   return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
-                                std::move(trace));
+                                std::move(trace), ctx_);
 }
 
 BestOrderOptimizer::BestOrderOptimizer(Engine* engine,
@@ -101,7 +102,7 @@ Result<OptimizerRunResult> BestOrderOptimizer::Run(const QuerySpec& query) {
         "best-order hint aliases do not match the query");
   }
   std::string trace = "[best-order] plan: " + hint_->ToString() + "\n";
-  return ExecuteTreeAsSingleJob(engine_, spec, hint_, std::move(trace));
+  return ExecuteTreeAsSingleJob(engine_, spec, hint_, std::move(trace), ctx_);
 }
 
 }  // namespace dynopt

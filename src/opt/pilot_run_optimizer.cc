@@ -47,6 +47,7 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   QuerySpec spec = query;
   spec.NormalizeJoins();
   DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
 
   OptimizerRunResult result;
   std::ostringstream trace;
@@ -166,7 +167,7 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
 
   if (spec.joins.size() <= 1) {
     auto final =
-        ExecuteTreeAsSingleJob(engine_, spec, initial_tree, trace.str());
+        ExecuteTreeAsSingleJob(engine_, spec, initial_tree, trace.str(), ctx_);
     if (final.ok()) {
       final.value().metrics.Add(result.metrics);
       final.value().wall_seconds =
@@ -178,7 +179,8 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   }
 
   // ---- Stage 3: execute the first join, re-optimization point -----------
-  JobExecutor executor = engine_->MakeExecutor();
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
+  JobExecutor executor = engine_->MakeExecutor(ctx_);
   const JoinTree* first = FindFirstJoin(*initial_tree);
   if (first == nullptr) {
     return Status::Internal("initial plan has no innermost join");
@@ -254,6 +256,7 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
                            out_columns);
 
   // ---- Stage 4: re-optimize the remaining plan with fresh statistics ----
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
   // Planning copy: predicates of overridden aliases are already folded into
   // the pilot statistics, so drop them to avoid double-counting.
   QuerySpec remaining_planning = remaining;

@@ -3,6 +3,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/serde.h"
+
 namespace dynopt {
 
 Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
@@ -43,14 +45,23 @@ Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
       r->wasted_seconds += now - aborted_mark;
       aborted_mark = now;
     }
+    // kCancelled and kResourceExhausted are terminal by design: a
+    // cancelled/over-deadline/rejected query must not burn more attempts.
     if (!last.retryable()) break;
   }
 
   // The query is not going to finish; reclaim whatever intermediates the
-  // attempts left behind so a failed query does not leak temp tables.
+  // attempts left behind so a failed query does not leak temp tables, and
+  // sweep any grace-join spill runs still sitting in the spill directory
+  // (a cancel can land between a partition's write and its read-back).
   std::vector<std::string> dropped =
       engine->catalog().DropTempTablesWithPrefix("");
   for (const std::string& name : dropped) engine->stats().Remove(name);
+  const std::string spill_prefix =
+      optimizer->context() != nullptr
+          ? optimizer->context()->SpillFilePrefix()
+          : std::string("__spill_");
+  (void)RemoveFilesWithPrefix(engine->cluster().spill_directory, spill_prefix);
   r->total_paid_seconds = r->wasted_seconds;
   return last;
 }

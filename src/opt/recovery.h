@@ -41,8 +41,10 @@ struct RecoveryReport {
 /// unrecoverable corruption of a materialized block) are re-driven: via
 /// ResumeFromLastCheckpoint() when the strategy checkpoints (dynamic,
 /// ingres-like), by a whole-query restart otherwise. Fatal errors and
-/// retry exhaustion propagate after dropping every temp table the attempts
-/// left behind (assumes one recovered query in flight at a time).
+/// retry exhaustion — including kCancelled/kResourceExhausted, which are
+/// never retried — propagate after dropping every temp table and spill
+/// file the attempts left behind (assumes one recovered query in flight
+/// at a time).
 Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
                                            Engine* engine,
                                            const QuerySpec& query,

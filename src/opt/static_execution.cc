@@ -9,9 +9,13 @@ namespace dynopt {
 
 Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
     Engine* engine, const QuerySpec& spec,
-    std::shared_ptr<const JoinTree> tree, std::string plan_trace) {
+    std::shared_ptr<const JoinTree> tree, std::string plan_trace,
+    QueryContext* ctx) {
   const auto start = std::chrono::steady_clock::now();
-  JobExecutor executor = engine->MakeExecutor();
+  if (ctx != nullptr) {
+    DYNOPT_RETURN_IF_ERROR(ctx->CheckAlive());
+  }
+  JobExecutor executor = engine->MakeExecutor(ctx);
   OptimizerRunResult result;
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                           BuildPhysicalPlan(spec, *tree, true));

@@ -14,10 +14,12 @@ namespace dynopt {
 /// Executes a fully decided join tree as one pipelined job (no
 /// re-optimization points, no materialization) — the execution mode of all
 /// static strategies (cost-based, best-order, worst-order and the tail of
-/// pilot-run).
+/// pilot-run). A non-null `ctx` makes the job cancellable at its operator
+/// boundaries and accounts memory against the context's tracker.
 Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
     Engine* engine, const QuerySpec& spec,
-    std::shared_ptr<const JoinTree> tree, std::string plan_trace);
+    std::shared_ptr<const JoinTree> tree, std::string plan_trace,
+    QueryContext* ctx = nullptr);
 
 }  // namespace dynopt
 

@@ -223,13 +223,14 @@ Result<OptimizerRunResult> StaticCostBasedOptimizer::Run(
   QuerySpec spec = query;
   spec.NormalizeJoins();
   DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  DYNOPT_RETURN_IF_ERROR(CheckContext());
   StatsView view(&spec, &engine_->stats(), &engine_->catalog());
   DYNOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const JoinTree> tree,
       PlanWithDp(spec, view, engine_->cluster(), options_));
   std::string trace = "[cost-based] plan: " + tree->ToString() + "\n";
   return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
-                                std::move(trace));
+                                std::move(trace), ctx_);
 }
 
 }  // namespace dynopt

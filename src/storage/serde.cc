@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <system_error>
 
 #include "common/hash.h"
 
@@ -272,6 +274,35 @@ Result<std::vector<Row>> ReadRowsFile(const std::string& path) {
   }
   std::fclose(f);
   return DecodeRowsChecksummed(buffer);
+}
+
+int RemoveFilesWithPrefix(const std::string& dir, const std::string& prefix) {
+  namespace fs = std::filesystem;
+  int removed = 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    if (fs::remove(entry.path(), ec) && !ec) ++removed;
+  }
+  return removed;
+}
+
+int CountFilesWithPrefix(const std::string& dir, const std::string& prefix) {
+  namespace fs = std::filesystem;
+  int count = 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec) || ec) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
 }
 
 Status CorruptByteInFile(const std::string& path, uint64_t offset) {

@@ -62,6 +62,17 @@ Result<std::vector<Row>> ReadRowsFile(const std::string& path);
 /// injector's physical corruption primitive (and available to tests).
 Status CorruptByteInFile(const std::string& path, uint64_t offset);
 
+/// Deletes every regular file directly under `dir` whose name starts with
+/// `prefix`; returns how many were removed. A missing or unreadable
+/// directory removes nothing. The spill janitor: recovery sweeps a query's
+/// grace-join spill files ("__spill_q<id>_*") with this after cancellation
+/// or terminal failure, and tests assert zero leaks with the counter below.
+int RemoveFilesWithPrefix(const std::string& dir, const std::string& prefix);
+
+/// Counts regular files directly under `dir` whose name starts with
+/// `prefix` (0 for a missing directory).
+int CountFilesWithPrefix(const std::string& dir, const std::string& prefix);
+
 }  // namespace dynopt
 
 #endif  // DYNOPT_STORAGE_SERDE_H_

@@ -23,6 +23,7 @@
 #include "opt/recovery.h"
 #include "opt/static_optimizer.h"
 #include "storage/catalog.h"
+#include "storage/serde.h"
 #include "workloads/tpcds.h"
 #include "workloads/tpch.h"
 
@@ -68,10 +69,12 @@ class ChaosTest : public ::testing::Test {
   }
 
   void TearDown() override {
-    // Every test leaves the shared engine fault-free and disk-less again.
+    // Every test leaves the shared engine fault-free, disk-less and
+    // ungoverned again.
     engine_->DisarmFaultInjection();
     engine_->mutable_cluster().fault = FaultInjectionConfig();
     engine_->mutable_cluster().materialize_to_disk = false;
+    engine_->mutable_cluster().memory = MemoryGovernanceConfig();
   }
 
   /// Arms the engine with `cfg` (enabled is forced on).
@@ -427,6 +430,54 @@ TEST_F(ChaosTest, StragglersTriggerSpeculativeExecution) {
   }
   EXPECT_TRUE(speculated)
       << "no seed produced a speculative backup; loosen the sweep";
+}
+
+TEST_F(ChaosTest, FaultsUnderTightMemoryBudgetStillMatchReference) {
+  // Chaos and memory pressure together: injected task failures, stragglers
+  // and corrupted temp files while every hash join is squeezed through the
+  // spill-to-disk grace path. Recovery must still reconstruct the exact
+  // fault-free result, and neither temp tables nor spill files may leak.
+  auto query = TpcdsQ17(engine_);
+  ASSERT_TRUE(query.ok());
+  const Reference& reference = Q17Reference();
+  engine_->mutable_cluster().materialize_to_disk = true;
+  // The sf-0.15 fixture has tiny per-partition build sides, so the budget
+  // must sit far below the bench default to actually force spilling here.
+  engine_->mutable_cluster().memory.join_memory_budget_bytes = 512;
+
+  bool spilled = false;
+  for (const char* name : {"dynamic", "cost-based", "ingres-like"}) {
+    const size_t tables_before = engine_->catalog().TableNames().size();
+    FaultInjectionConfig cfg;
+    cfg.seed = 0xbadbeef;
+    cfg.task_failure_probability = 0.08;
+    cfg.straggler_probability = 0.15;
+    cfg.straggler_multiplier = 3.0;
+    cfg.corruption_probability = 0.10;
+    Arm(cfg);
+
+    QueryContext ctx(name);
+    auto optimizer = MakeOptimizer(engine_, name, reference.tree);
+    optimizer->set_context(&ctx);
+    RecoveryReport report;
+    auto result = RunWithRecovery(optimizer.get(), engine_, query.value(),
+                                  RecoveryPolicy(), &report);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    std::vector<Row> rows = result->rows;
+    SortRows(&rows);
+    EXPECT_EQ(rows, reference.sorted_rows)
+        << name << ": diverged under faults + memory pressure";
+    if (result->metrics.spilled_bytes > 0) spilled = true;
+
+    engine_->DisarmFaultInjection();
+    EXPECT_EQ(engine_->catalog().TableNames().size(), tables_before)
+        << name << " leaked temp tables";
+    EXPECT_EQ(CountFilesWithPrefix(engine_->cluster().spill_directory,
+                                   ctx.SpillFilePrefix()),
+              0)
+        << name << " leaked spill files";
+  }
+  EXPECT_TRUE(spilled) << "the budget never forced a spill; tighten it";
 }
 
 TEST_F(ChaosTest, DropTempTablesWithPrefixIsSelective) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/hash.h"
@@ -267,6 +268,46 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
     pool.ParallelFor(50, [&](size_t) { total.fetch_add(1); });
   }
   EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // Inner loops launched from inside worker tasks: block-claiming plus the
+  // caller draining its own loop means this must complete even when every
+  // worker is already occupied by an outer task.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&](size_t) {
+    pool.ParallelFor(16, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForFromManyThreads) {
+  // The multi-query scenario: several external threads (admitted queries)
+  // drive overlapping ParallelFor calls through ONE shared pool. Every
+  // index of every loop must run exactly once; run under TSan in CI.
+  ThreadPool pool(3);
+  constexpr int kCallers = 8;
+  constexpr int kRounds = 25;
+  constexpr size_t kWidth = 64;
+  std::vector<std::atomic<int>> hits(kCallers);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&, c]() {
+      for (int round = 0; round < kRounds; ++round) {
+        pool.ParallelFor(kWidth, [&](size_t) {
+          hits[static_cast<size_t>(c)].fetch_add(1);
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    EXPECT_EQ(hits[static_cast<size_t>(c)].load(),
+              kRounds * static_cast<int>(kWidth))
+        << "caller " << c;
+  }
 }
 
 }  // namespace

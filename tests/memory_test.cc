@@ -1,0 +1,293 @@
+// Memory governance:
+//  - MemoryTracker hierarchy semantics (soft-fail TryReserve with rollback,
+//    unchecked over-subscription, saturating release, peak watermark);
+//  - grace hash join: a per-node join budget forces a spill to disk, the
+//    result is identical to the in-memory join, spill files are reclaimed;
+//  - metering identity: with no budget configured, attaching a QueryContext
+//    must not change the simulated cost by a single bit.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "common/memory_tracker.h"
+#include "common/query_context.h"
+#include "common/random.h"
+#include "exec/engine.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/optimizer.h"
+#include "opt/static_optimizer.h"
+#include "storage/serde.h"
+
+namespace dynopt {
+namespace {
+
+TEST(MemoryTrackerTest, BudgetEnforcedAndReleased) {
+  MemoryTracker t(100);
+  EXPECT_TRUE(t.TryReserve(60));
+  EXPECT_EQ(t.used(), 60u);
+  EXPECT_EQ(t.available(), 40u);
+  EXPECT_FALSE(t.TryReserve(50));
+  EXPECT_EQ(t.used(), 60u);  // Failed reserve leaves nothing behind.
+  t.Release(60);
+  EXPECT_TRUE(t.TryReserve(100));
+  EXPECT_EQ(t.available(), 0u);
+}
+
+TEST(MemoryTrackerTest, ZeroBudgetIsUnlimited) {
+  MemoryTracker t(0);
+  EXPECT_TRUE(t.TryReserve(uint64_t{1} << 50));
+  EXPECT_EQ(t.available(), ~uint64_t{0});
+}
+
+TEST(MemoryTrackerTest, HierarchyPropagatesAndRollsBack) {
+  MemoryTracker engine(100, nullptr, "engine");
+  MemoryTracker q1(0, &engine, "q1");
+  MemoryTracker q2(0, &engine, "q2");
+  EXPECT_TRUE(q1.TryReserve(80));
+  EXPECT_EQ(engine.used(), 80u);
+  // q2 is unlimited locally but the engine budget refuses; q2 must stay
+  // untouched (local reservation rolled back).
+  EXPECT_FALSE(q2.TryReserve(30));
+  EXPECT_EQ(q2.used(), 0u);
+  EXPECT_EQ(engine.used(), 80u);
+  q1.Release(80);
+  EXPECT_TRUE(q2.TryReserve(30));
+  EXPECT_EQ(engine.used(), 30u);
+}
+
+TEST(MemoryTrackerTest, UncheckedOversubscriptionIsVisible) {
+  MemoryTracker t(10);
+  t.ReserveUnchecked(25);
+  EXPECT_EQ(t.used(), 25u);    // Over budget, on purpose, and visible.
+  EXPECT_EQ(t.available(), 0u);
+  EXPECT_FALSE(t.TryReserve(1));
+  t.Release(25);
+  EXPECT_EQ(t.used(), 0u);
+}
+
+TEST(MemoryTrackerTest, PeakWatermarkAndSaturatingRelease) {
+  MemoryTracker t(0);
+  t.ReserveUnchecked(40);
+  t.Release(10);
+  t.ReserveUnchecked(5);
+  EXPECT_EQ(t.used(), 35u);
+  EXPECT_EQ(t.peak(), 40u);
+  t.Release(1000);  // Mismatched release clamps at zero, never wraps.
+  EXPECT_EQ(t.used(), 0u);
+  EXPECT_EQ(t.peak(), 40u);
+  t.ResetPeak();
+  EXPECT_EQ(t.peak(), 0u);
+}
+
+TEST(MemoryTrackerTest, DestructorReturnsLeftoverToParent) {
+  MemoryTracker engine(0, nullptr, "engine");
+  {
+    MemoryTracker q(0, &engine, "q");
+    q.ReserveUnchecked(64);
+    EXPECT_EQ(engine.used(), 64u);
+  }
+  EXPECT_EQ(engine.used(), 0u);
+}
+
+TEST(MemoryReservationTest, RaiiReleasesOnScopeExit) {
+  MemoryTracker t(100);
+  {
+    MemoryReservation r(&t);
+    EXPECT_TRUE(r.TryGrow(70));
+    EXPECT_FALSE(r.TryGrow(70));
+    EXPECT_EQ(r.bytes(), 70u);
+    EXPECT_EQ(t.used(), 70u);
+  }
+  EXPECT_EQ(t.used(), 0u);
+}
+
+TEST(MemoryReservationTest, NullTrackerIsVacuouslyGranted) {
+  MemoryReservation r(nullptr);
+  EXPECT_TRUE(r.TryGrow(uint64_t{1} << 60));
+  r.GrowUnchecked(123);
+  EXPECT_EQ(r.bytes(), 0u);
+}
+
+/// Fixture for spill tests: two unpartitioned tables joined on `k`, with a
+/// dedicated spill directory so leftover files are detectable.
+class GraceJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spill_dir_ = ::testing::TempDir() + "dynopt_spill_test";
+    std::filesystem::create_directories(spill_dir_);
+    engine_ = std::make_unique<Engine>();
+    engine_->mutable_cluster().spill_directory = spill_dir_;
+    Rng rng(23);
+    auto make = [&](const std::string& name, int rows, int domain) {
+      auto t = std::make_shared<Table>(
+          name,
+          Schema({{"k", ValueType::kInt64}, {"pad", ValueType::kString}}),
+          engine_->cluster().num_nodes);
+      for (int i = 0; i < rows; ++i) {
+        t->AppendRow({Value(rng.NextInt64(0, domain - 1)),
+                      Value("payload_" + std::to_string(i % 53))});
+      }
+      ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
+    };
+    make("b", 4000, 700);
+    make("p", 8000, 700);
+  }
+
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(spill_dir_, ec);
+  }
+
+  Result<JobResult> RunJoin(uint64_t join_budget, QueryContext* ctx,
+                            int fanout = 32) {
+    engine_->mutable_cluster().memory.join_memory_budget_bytes = join_budget;
+    engine_->mutable_cluster().memory.max_spill_fanout = fanout;
+    auto plan = PlanNode::Join(JoinMethod::kHashShuffle,
+                               PlanNode::Scan("b", "b"),
+                               PlanNode::Scan("p", "p"), {{"b.k", "p.k"}});
+    JobExecutor executor = engine_->MakeExecutor(ctx);
+    return executor.Execute(*plan, {});
+  }
+
+  std::string spill_dir_;
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(GraceJoinTest, SpilledJoinMatchesInMemoryJoin) {
+  auto unlimited = RunJoin(0, nullptr);
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+  EXPECT_EQ(unlimited->metrics.spilled_bytes, 0u);
+
+  QueryContext ctx("spilled");
+  auto spilled = RunJoin(16 * 1024, &ctx);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_GT(spilled->metrics.spilled_bytes, 0u);
+  EXPECT_GT(spilled->metrics.spill_partitions, 0u);
+  EXPECT_GT(spilled->metrics.peak_memory_bytes, 0u);
+  // Spilling costs simulated disk time; it must never be free.
+  EXPECT_GT(spilled->metrics.simulated_seconds,
+            unlimited->metrics.simulated_seconds);
+
+  std::vector<Row> a = unlimited->data.GatherRows();
+  std::vector<Row> b = spilled->data.GatherRows();
+  SortRows(&a);
+  SortRows(&b);
+  EXPECT_EQ(a, b);
+
+  // Every spill run was read back and deleted.
+  EXPECT_EQ(CountFilesWithPrefix(spill_dir_, "__spill_"), 0);
+}
+
+TEST_F(GraceJoinTest, TinyBudgetForcesRecursionAndStillMatches) {
+  auto unlimited = RunJoin(0, nullptr);
+  ASSERT_TRUE(unlimited.ok()) << unlimited.status().ToString();
+
+  // A 1KB budget with fanout 2 cannot fit any partition after one split,
+  // so the join recurses several levels before leafing out.
+  QueryContext ctx("recursive");
+  auto spilled = RunJoin(1024, &ctx, /*fanout=*/2);
+  ASSERT_TRUE(spilled.ok()) << spilled.status().ToString();
+  EXPECT_GT(spilled->metrics.spill_partitions, 1u);
+
+  std::vector<Row> a = unlimited->data.GatherRows();
+  std::vector<Row> b = spilled->data.GatherRows();
+  SortRows(&a);
+  SortRows(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(CountFilesWithPrefix(spill_dir_, "__spill_"), 0);
+}
+
+TEST_F(GraceJoinTest, DuplicateHeavyKeyDegradesToInMemory) {
+  // All build rows share one key: partitioning can never shrink the run,
+  // so recursion must bottom out at max_spill_recursion and finish the
+  // join in memory rather than looping forever.
+  auto t = std::make_shared<Table>(
+      "dup", Schema({{"k", ValueType::kInt64}, {"pad", ValueType::kString}}),
+      engine_->cluster().num_nodes);
+  for (int i = 0; i < 600; ++i) {
+    t->AppendRow({Value(int64_t{7}), Value("x" + std::to_string(i % 31))});
+  }
+  ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
+
+  engine_->mutable_cluster().memory.join_memory_budget_bytes = 1024;
+  engine_->mutable_cluster().memory.max_spill_fanout = 2;
+  auto plan = PlanNode::Join(JoinMethod::kHashShuffle,
+                             PlanNode::Scan("dup", "d"),
+                             PlanNode::Scan("dup", "e"), {{"d.k", "e.k"}});
+  QueryContext ctx("dup-key");
+  JobExecutor executor = engine_->MakeExecutor(&ctx);
+  auto result = executor.Execute(*plan, {});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->data.NumRows(), uint64_t{600} * 600);
+  EXPECT_EQ(CountFilesWithPrefix(spill_dir_, "__spill_"), 0);
+}
+
+TEST_F(GraceJoinTest, UngovernedContextDoesNotChangeMetering) {
+  auto bare = RunJoin(0, nullptr);
+  ASSERT_TRUE(bare.ok());
+
+  QueryContext ctx("accounting-only");
+  auto tracked = RunJoin(0, &ctx);
+  ASSERT_TRUE(tracked.ok());
+
+  // Bit-identical simulated cost; the context only adds accounting.
+  EXPECT_EQ(bare->metrics.simulated_seconds,
+            tracked->metrics.simulated_seconds);
+  EXPECT_EQ(bare->metrics.bytes_shuffled, tracked->metrics.bytes_shuffled);
+  EXPECT_EQ(tracked->metrics.spilled_bytes, 0u);
+  EXPECT_GT(tracked->metrics.peak_memory_bytes, 0u);
+  EXPECT_EQ(bare->metrics.peak_memory_bytes, 0u);
+}
+
+TEST_F(GraceJoinTest, OptimizerRunsUnderTightBudgetMatchUnlimited) {
+  // End-to-end: the dynamic and static optimizers produce identical rows
+  // with and without a budget that forces their joins through the spill
+  // path (single query: spilling degrades, never refuses).
+  for (const char* name : {"r", "s"}) {
+    auto t = std::make_shared<Table>(
+        name, Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}),
+        engine_->cluster().num_nodes);
+    Rng rng(name[0]);
+    ASSERT_TRUE(t->SetPartitionKey({"k"}).ok());
+    for (int i = 0; i < 2000; ++i) {
+      t->AppendRow({Value(rng.NextInt64(0, 99)), Value(rng.NextInt64(0, 9))});
+    }
+    ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
+    ASSERT_TRUE(engine_->CollectBaseStats(name, {"k", "v"}).ok());
+  }
+  QuerySpec spec;
+  spec.tables = {{"r", "r", false, false, {}}, {"s", "s", false, false, {}}};
+  spec.joins = {{"r", "s", {{"r.k", "s.k"}}}};
+  spec.projections = {"r.v", "s.v"};
+  spec.NormalizeJoins();
+
+  engine_->mutable_cluster().memory.join_memory_budget_bytes = 0;
+  DynamicOptimizer dyn_free(engine_.get());
+  auto baseline = dyn_free.Run(spec);
+  ASSERT_TRUE(baseline.ok()) << baseline.status().ToString();
+  SortRows(&baseline->rows);
+
+  engine_->mutable_cluster().memory.join_memory_budget_bytes = 4 * 1024;
+  for (int which = 0; which < 2; ++which) {
+    QueryContext ctx("tight");
+    std::unique_ptr<Optimizer> opt;
+    if (which == 0) {
+      opt = std::make_unique<DynamicOptimizer>(engine_.get());
+    } else {
+      opt = std::make_unique<StaticCostBasedOptimizer>(engine_.get());
+    }
+    opt->set_context(&ctx);
+    auto run = opt->Run(spec);
+    ASSERT_TRUE(run.ok()) << opt->name() << ": " << run.status().ToString();
+    SortRows(&run->rows);
+    EXPECT_EQ(run->rows, baseline->rows) << opt->name();
+    EXPECT_GT(run->metrics.spilled_bytes, 0u) << opt->name();
+  }
+  EXPECT_EQ(CountFilesWithPrefix(spill_dir_, "__spill_"), 0);
+}
+
+}  // namespace
+}  // namespace dynopt

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <map>
 #include <memory>
 #include <set>
@@ -166,6 +167,12 @@ struct Generated {
 Generated Generate(uint64_t seed) {
   Generated g;
   g.engine = std::make_unique<Engine>();
+  // The small-budget ctest variant re-runs this whole corpus with every
+  // hash join forced through the grace spill path; results must not change.
+  if (const char* budget = std::getenv("DYNOPT_JOIN_MEMORY_BUDGET")) {
+    g.engine->mutable_cluster().memory.join_memory_budget_bytes =
+        std::strtoull(budget, nullptr, 10);
+  }
   Rng rng(seed);
   (void)g.engine->udfs().Register("p_even", [](const std::vector<Value>& a) {
     return Value(a[0].AsInt64() % 2 == 0);

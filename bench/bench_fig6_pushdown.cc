@@ -61,6 +61,7 @@ void RunCase(benchmark::State& state, const std::string& query, int paper_sf,
       record.paper_sf = paper_sf;
       record.optimizer = "predicate-push-down";
       record.sim_seconds = total;
+      SetWallBreakdown(&record, result->metrics);
       AddRecord(std::move(record));
     }
     state.SetIterationTime(total);

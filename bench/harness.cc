@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 #include "opt/dynamic_optimizer.h"
 #include "opt/ingres_optimizer.h"
 #include "opt/order_baselines.h"
@@ -170,6 +171,8 @@ void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
   record->spilled_bytes = metrics.spilled_bytes;
   record->spill_partitions = metrics.spill_partitions;
   record->queue_wait_seconds = metrics.queue_wait_seconds;
+  record->max_q_error = metrics.max_q_error;
+  record->num_decisions = metrics.num_decisions;
 }
 
 void AddRecord(Record record) {
@@ -233,6 +236,8 @@ std::string RecordsToJson() {
        << "\"spilled_bytes\": " << r.spilled_bytes << ", "
        << "\"spill_partitions\": " << r.spill_partitions << ", "
        << "\"queue_wait_seconds\": " << r.queue_wait_seconds << ", "
+       << "\"max_q_error\": " << r.max_q_error << ", "
+       << "\"num_decisions\": " << r.num_decisions << ", "
        << "\"rows\": " << r.rows << ", "
        << "\"plan\": \"" << JsonEscape(r.plan) << "\"}";
     first = false;
@@ -245,6 +250,13 @@ bool WriteRecordsJson(const std::string& path) {
   std::ofstream out(path);
   if (!out) return false;
   out << "{\n  \"records\": " << RecordsToJson() << "\n}\n";
+  return static_cast<bool>(out);
+}
+
+bool WriteMetricsSnapshot(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << MetricsRegistry::Global().TextSnapshot();
   return static_cast<bool>(out);
 }
 

@@ -71,12 +71,17 @@ struct Record {
   uint64_t spilled_bytes = 0;
   uint64_t spill_partitions = 0;
   double queue_wait_seconds = 0;
+  // Optimizer decision telemetry (ExecMetrics::max_q_error/num_decisions):
+  // the worst estimate-vs-actual ratio across this run's logged decisions.
+  double max_q_error = 0;
+  uint64_t num_decisions = 0;
   uint64_t rows = 0;
   std::string plan;
 };
 
-/// Copies the per-operator-class wall clocks, the fault counters and the
-/// memory-governance counters out of `metrics` into `record`.
+/// Copies the per-operator-class wall clocks, the fault counters, the
+/// memory-governance counters and the decision telemetry out of `metrics`
+/// into `record`.
 void SetWallBreakdown(Record* record, const ExecMetrics& metrics);
 
 void AddRecord(Record record);
@@ -89,6 +94,11 @@ std::string RecordsToJson();
 /// Writes RecordsToJson() wrapped in {"records": [...]} to `path`.
 /// Returns false when the file cannot be written.
 bool WriteRecordsJson(const std::string& path);
+
+/// Writes MetricsRegistry::Global().TextSnapshot() to `path` (one
+/// "name value" line per metric). Returns false when the file cannot be
+/// written.
+bool WriteMetricsSnapshot(const std::string& path);
 
 /// Prints records of `figure` grouped like the paper's figures: one block
 /// per scale factor, queries as rows, strategies as columns.

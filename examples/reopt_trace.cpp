@@ -3,15 +3,19 @@
 // runtime dynamic optimizer, and narrates every stage: predicate push-down
 // jobs, each re-optimization point's chosen join + algorithm, estimated vs
 // actual cardinalities, and the final plan — the workflow of Figure 2
-// (right) in the paper.
+// (right) in the paper. The dynamic run executes with tracing enabled, so
+// it also prints EXPLAIN ANALYZE (per-decision est-vs-actual + q-error)
+// and exports a Chrome-trace JSON loadable in Perfetto.
 //
-//   ./build/examples/reopt_trace [sf]
+//   ./build/examples/reopt_trace [sf] [trace.json]
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/tracer.h"
 #include "exec/engine.h"
 #include "opt/dynamic_optimizer.h"
+#include "opt/explain.h"
 #include "opt/order_baselines.h"
 #include "opt/static_optimizer.h"
 #include "workloads/tpcds.h"
@@ -20,7 +24,7 @@ using namespace dynopt;
 
 namespace {
 
-Status Run(double sf) {
+Status Run(double sf, const char* trace_path) {
   Engine engine;
   TpcdsOptions options;
   options.sf = sf;
@@ -29,8 +33,10 @@ Status Run(double sf) {
 
   std::printf("Query (bound):\n%s\n\n", query.ToString().c_str());
 
+  Tracer::Global().Enable();
   DynamicOptimizer dynamic(&engine);
   DYNOPT_ASSIGN_OR_RETURN(OptimizerRunResult dyn, dynamic.Run(query));
+  Tracer::Global().Disable();
   std::printf("=== runtime dynamic optimization ===\n%s",
               dyn.plan_trace.c_str());
   std::printf("effective plan: %s\n", dyn.join_tree->ToString().c_str());
@@ -40,6 +46,17 @@ Status Run(double sf) {
               100.0 * dyn.metrics.reopt_seconds /
                   dyn.metrics.simulated_seconds,
               dyn.metrics.stats_seconds);
+
+  DYNOPT_ASSIGN_OR_RETURN(std::string analyzed,
+                          ExplainAnalyze(&engine, query, dyn));
+  std::printf("%s\n", analyzed.c_str());
+
+  if (dyn.profile != nullptr && !dyn.profile->trace.empty()) {
+    DYNOPT_RETURN_IF_ERROR(WriteChromeTrace(trace_path, dyn.profile->trace));
+    std::printf("wrote %s (%zu spans) — open in Perfetto or "
+                "chrome://tracing\n\n",
+                trace_path, dyn.profile->trace.size());
+  }
 
   // Contrast with the static strategies.
   StaticCostBasedOptimizer cost_based(&engine);
@@ -60,7 +77,8 @@ Status Run(double sf) {
 
 int main(int argc, char** argv) {
   double sf = argc > 1 ? std::atof(argv[1]) : 1.0;
-  Status status = Run(sf);
+  const char* trace_path = argc > 2 ? argv[2] : "reopt_trace_q17.json";
+  Status status = Run(sf, trace_path);
   if (!status.ok()) {
     std::fprintf(stderr, "reopt_trace failed: %s\n",
                  status.ToString().c_str());

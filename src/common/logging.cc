@@ -1,11 +1,22 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <cstdlib>
 
 namespace dynopt {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+int InitialLogLevel() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("DYNOPT_LOG_LEVEL")) {
+    ParseLogLevel(env, &level);
+  }
+  return static_cast<int>(level);
+}
+
+std::atomic<int> g_log_level{-1};  // -1: not yet initialized from the env
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -22,10 +33,42 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() {
+  int level = g_log_level.load();
+  if (level < 0) {
+    // First use: adopt the env override (or the default). A concurrent
+    // SetLogLevel wins the race — compare-exchange only replaces the
+    // uninitialized sentinel.
+    int initial = InitialLogLevel();
+    if (g_log_level.compare_exchange_strong(level, initial)) {
+      level = initial;
+    }
+  }
+  return static_cast<LogLevel>(level);
+}
 
 void SetLogLevel(LogLevel level) {
   g_log_level.store(static_cast<int>(level));
+}
+
+bool ParseLogLevel(const char* name, LogLevel* out) {
+  if (name == nullptr) return false;
+  std::string lower;
+  for (const char* p = name; *p; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower == "debug" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning" || lower == "2") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {

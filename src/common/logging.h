@@ -11,9 +11,17 @@ namespace dynopt {
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Process-wide minimum level; messages below it are dropped. Defaults to
-/// kWarn so library users are not spammed; benches/examples raise it.
+/// kWarn so library users are not spammed; benches/examples raise it. Both
+/// accessors are thread-safe (a single atomic underneath). The environment
+/// variable DYNOPT_LOG_LEVEL ("debug"/"info"/"warn"/"error" or 0-3), read
+/// once at first use, overrides the default so benches/CI can raise
+/// verbosity without code edits; SetLogLevel still wins after that.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error" (case-insensitive) or "0"-"3".
+/// Returns false and leaves `out` untouched on anything else.
+bool ParseLogLevel(const char* name, LogLevel* out);
 
 namespace internal {
 

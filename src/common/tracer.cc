@@ -1,0 +1,175 @@
+#include "common/tracer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+namespace dynopt {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string FormatNumber(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+uint64_t Tracer::NowNs() const { return SteadyNowNs() - epoch_ns_; }
+
+Tracer::ThreadBuffer* Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> t_buffer;
+  if (t_buffer == nullptr) {
+    auto buffer = std::make_shared<ThreadBuffer>();
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      buffer->tid = next_tid_++;
+      buffers_.push_back(buffer);
+    }
+    t_buffer = std::move(buffer);
+  }
+  return t_buffer.get();
+}
+
+void Tracer::Record(TraceEvent event) {
+  ThreadBuffer* buffer = LocalBuffer();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    buffers = buffers_;
+  }
+  std::vector<TraceEvent> all;
+  for (auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    for (auto& event : buffer->events) all.push_back(std::move(event));
+    buffer->events.clear();
+  }
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+              return a.depth < b.depth;
+            });
+  return all;
+}
+
+int Tracer::CurrentDepth() { return LocalBuffer()->depth; }
+
+TraceSpan::TraceSpan(std::string name, std::string category) {
+  Tracer& tracer = Tracer::Global();
+  if (!tracer.enabled()) return;
+  active_ = true;
+  event_.name = std::move(name);
+  event_.category = std::move(category);
+  event_.start_ns = tracer.NowNs();
+  Tracer::ThreadBuffer* buffer = tracer.LocalBuffer();
+  event_.depth = buffer->depth++;
+}
+
+void TraceSpan::AddArg(const std::string& key, double value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, FormatNumber(value));
+}
+
+void TraceSpan::AddArg(const std::string& key, const std::string& value) {
+  if (!active_) return;
+  event_.args.emplace_back(key, JsonQuote(value));
+}
+
+void TraceSpan::End() {
+  if (!active_) return;
+  active_ = false;
+  Tracer& tracer = Tracer::Global();
+  event_.dur_ns = tracer.NowNs() - event_.start_ns;
+  tracer.LocalBuffer()->depth--;
+  tracer.Record(std::move(event_));
+}
+
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": " << JsonQuote(e.name) << ", \"cat\": "
+       << JsonQuote(e.category) << ", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": " << FormatNumber(e.start_ns / 1000.0)
+       << ", \"dur\": " << FormatNumber(e.dur_ns / 1000.0);
+    os << ", \"args\": {\"depth\": " << e.depth;
+    for (const auto& [key, value] : e.args) {
+      os << ", " << JsonQuote(key) << ": " << value;
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open trace file: " + path);
+  }
+  std::string json = ChromeTraceJson(events);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (written != json.size()) {
+    return Status::ExecutionError("short write to trace file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dynopt

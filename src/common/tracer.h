@@ -1,0 +1,131 @@
+#ifndef DYNOPT_COMMON_TRACER_H_
+#define DYNOPT_COMMON_TRACER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dynopt {
+
+/// One completed span. Timestamps are nanoseconds on the steady clock,
+/// relative to the tracer's epoch (process start), so subtracting two spans'
+/// start_ns is meaningful within a process and Chrome/Perfetto render them on
+/// a shared timeline.
+struct TraceEvent {
+  std::string name;      // "query:dynamic", "reopt-2", "join-build", ...
+  std::string category;  // "query" | "opt" | "job" | "stage" | "kernel"
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;  // small per-thread integer assigned on first use
+  int depth = 0;     // nesting depth on this thread when the span opened
+  /// Extra annotations rendered into the Chrome-trace "args" object. Values
+  /// are pre-encoded JSON fragments (numbers bare, strings quoted) so the
+  /// exporter can splice them in verbatim.
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Process-wide span collector. Spans append to a per-thread buffer (no
+/// cross-thread contention on the hot path; each buffer has its own mutex so
+/// Drain() from another thread is race-free under TSan) and are collected
+/// with Drain() at query end.
+///
+/// Disabled (the default) the tracer is a no-op: TraceSpan's constructor is
+/// one relaxed atomic load and nothing is allocated or recorded, and tracing
+/// never touches ExecMetrics — so `simulated_seconds` and all other metering
+/// stay byte-for-byte identical whether tracing is on or off (pinned by
+/// tests/tracer_test.cc).
+///
+/// Drain() collects every buffered span in the process, so the intended use
+/// is profiling one query at a time (the bench harness and EXPLAIN ANALYZE
+/// both follow enable -> run -> drain -> disable).
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Nanoseconds since the tracer epoch (steady clock).
+  uint64_t NowNs() const;
+
+  /// Appends a completed event to the calling thread's buffer.
+  void Record(TraceEvent event);
+
+  /// Moves all buffered events out of every thread buffer, sorted by
+  /// start_ns. Spans still open stay with their TraceSpan and are lost if
+  /// the tracer is disabled before they end.
+  std::vector<TraceEvent> Drain();
+
+  /// Current nesting depth of the calling thread (spans opened, not yet
+  /// ended). Exposed for tests.
+  int CurrentDepth();
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+    uint32_t tid = 0;
+    int depth = 0;  // touched only by the owning thread
+  };
+
+  Tracer();
+  ThreadBuffer* LocalBuffer();
+
+  std::atomic<bool> enabled_{false};
+  uint64_t epoch_ns_ = 0;  // steady-clock ns at construction
+  std::mutex registry_mu_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII scoped span. Construction samples the clock and bumps the thread's
+/// nesting depth; End() (or the destructor) samples again and records the
+/// completed event. All methods are no-ops when the tracer was disabled at
+/// construction time.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, std::string category);
+  ~TraceSpan() { End(); }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  bool active() const { return active_; }
+
+  /// Attach a numeric annotation (rendered bare in the Chrome-trace args).
+  void AddArg(const std::string& key, double value);
+  /// Attach a string annotation (quoted + escaped by the exporter).
+  void AddArg(const std::string& key, const std::string& value);
+  /// Convenience for the standard simulated-seconds annotation.
+  void SetSimSeconds(double seconds) { AddArg("sim_seconds", seconds); }
+
+  /// Ends the span early (idempotent). Lets a query-level span close before
+  /// the tracer is drained at query end.
+  void End();
+
+ private:
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+/// Renders events as a Chrome-trace ("chrome://tracing" / Perfetto) JSON
+/// document: {"displayTimeUnit":"ms","traceEvents":[...]} with complete
+/// ("ph":"X") events and microsecond timestamps.
+std::string ChromeTraceJson(const std::vector<TraceEvent>& events);
+
+/// Writes ChromeTraceJson(events) to `path`.
+Status WriteChromeTrace(const std::string& path,
+                        const std::vector<TraceEvent>& events);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_TRACER_H_

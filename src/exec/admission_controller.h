@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/query_context.h"
 #include "common/status.h"
 #include "exec/cluster.h"
@@ -95,6 +96,7 @@ class AdmissionController {
     const auto start = Clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     if (static_cast<int>(waiting_.size()) >= config_.max_queue_depth) {
+      MetricsRegistry::Global().counter("admission.rejected")->Increment();
       return Status::ResourceExhausted(
           "admission queue full (" + std::to_string(waiting_.size()) + "/" +
           std::to_string(config_.max_queue_depth) + " waiting, " +
@@ -102,8 +104,14 @@ class AdmissionController {
     }
     const uint64_t seq = next_seq_++;
     waiting_.push_back(seq);
+    MetricsRegistry::Global()
+        .gauge("admission.queue_depth")
+        ->Set(static_cast<int64_t>(waiting_.size()));
     auto leave_queue = [&]() {
       waiting_.erase(std::find(waiting_.begin(), waiting_.end(), seq));
+      MetricsRegistry::Global()
+          .gauge("admission.queue_depth")
+          ->Set(static_cast<int64_t>(waiting_.size()));
       cv_.notify_all();
     };
     for (;;) {
@@ -119,11 +127,18 @@ class AdmissionController {
         if (reservation.TryGrow(reservation_bytes_)) {
           waiting_.pop_front();
           ++running_;
+          const double wait_s =
+              std::chrono::duration<double>(Clock::now() - start).count();
           if (ctx != nullptr) {
-            ctx->queue_wait_seconds =
-                std::chrono::duration<double>(Clock::now() - start).count();
+            ctx->queue_wait_seconds = wait_s;
             ctx->AttachMemory(engine_memory_, reservation_bytes_);
           }
+          auto& registry = MetricsRegistry::Global();
+          registry.counter("admission.admitted")->Increment();
+          registry.gauge("admission.queue_depth")
+              ->Set(static_cast<int64_t>(waiting_.size()));
+          registry.histogram("admission.queue_wait_us")
+              ->Record(static_cast<uint64_t>(wait_s * 1e6));
           cv_.notify_all();
           return Ticket(this, std::move(reservation));
         }
@@ -134,6 +149,7 @@ class AdmissionController {
           std::chrono::duration<double>(Clock::now() - start).count();
       if (waited >= config_.queue_timeout_seconds) {
         leave_queue();
+        MetricsRegistry::Global().counter("admission.timeouts")->Increment();
         return Status::ResourceExhausted(
             "admission timed out after " + std::to_string(waited) +
             "s (max " + std::to_string(config_.queue_timeout_seconds) + "s)");

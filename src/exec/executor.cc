@@ -6,6 +6,8 @@
 
 #include "common/hash.h"
 #include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/tracer.h"
 #include "exec/join_hash_table.h"
 #include "exec/row_kernels.h"
 #include "storage/schema.h"
@@ -145,6 +147,10 @@ Status JobExecutor::ApplyFaults(FaultSite site,
   }
   metrics->num_retries += retries;
   metrics->speculative_executions += speculative;
+  MetricsRegistry::Global().counter("exec.retries")->Increment(retries);
+  MetricsRegistry::Global()
+      .counter("exec.speculative")
+      ->Increment(speculative);
   return Status::OK();
 }
 
@@ -186,6 +192,8 @@ void JobExecutor::RecycleShuffleResult(ShuffleResult&& parts) {
 
 Result<JobResult> JobExecutor::Execute(
     const PlanNode& root, const std::map<std::string, Value>& params) {
+  TraceSpan span("job", "job");
+  MetricsRegistry::Global().counter("exec.jobs")->Increment();
   JobResult result;
   result.metrics.num_jobs = 1;
   DYNOPT_ASSIGN_OR_RETURN(result.data,
@@ -195,6 +203,8 @@ Result<JobResult> JobExecutor::Execute(
     result.metrics.peak_memory_bytes = std::max(
         result.metrics.peak_memory_bytes, ctx_->memory().peak());
   }
+  span.AddArg("rows_out", static_cast<double>(result.metrics.rows_out));
+  span.SetSimSeconds(result.metrics.simulated_seconds);
   return result;
 }
 
@@ -222,6 +232,7 @@ Result<Dataset> JobExecutor::ExecNode(
 
 Result<Dataset> JobExecutor::ExecScan(const PlanNode& node,
                                       ExecMetrics* metrics) {
+  TraceSpan span("scan:" + node.table, "kernel");
   DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                           catalog_->GetTable(node.table));
   const Schema& schema = table->schema();
@@ -398,6 +409,7 @@ Result<ShuffleResult> JobExecutor::Repartition(
     Dataset&& input, const std::vector<int>& key_indices,
     ExecMetrics* metrics) {
   DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  TraceSpan span("shuffle", "kernel");
   const auto wall_start = WallClock::now();
   const size_t n = cluster_.num_nodes;
   const size_t src_parts = input.partitions.size();
@@ -872,6 +884,7 @@ Result<Dataset> JobExecutor::LocalHashJoin(
   // Build phase: one flat table per partition, reusing the executor's
   // pooled tables (their vectors keep capacity between joins). Spilled
   // partitions never build a full-partition table — that is the point.
+  TraceSpan build_span("join-build", "kernel");
   auto wall_start = WallClock::now();
   if (join_tables_.size() < num_parts) join_tables_.resize(num_parts);
   std::vector<JoinHashTable>& tables = join_tables_;
@@ -892,6 +905,7 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     DYNOPT_RETURN_IF_ERROR(
         ApplyFaults(FaultSite::kBuild, build_seconds, metrics));
   }
+  build_span.End();
 
   // Probe phase. Spilled partitions take the grace-join route inside the
   // same ParallelFor: partition both sides to disk and join recursively,
@@ -899,6 +913,7 @@ Result<Dataset> JobExecutor::LocalHashJoin(
   // cancellation observed mid-spill) land in part_status, merged after the
   // loop.
   DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  TraceSpan probe_span("join-probe", "kernel");
   wall_start = WallClock::now();
   std::vector<uint64_t> work(num_parts, 0);
   std::vector<Status> part_status(num_parts);
@@ -1005,12 +1020,22 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     // time takes the max over partitions while the byte/partition counters
     // sum.
     double max_spill_seconds = 0.0;
+    uint64_t call_spilled_bytes = 0;
+    uint64_t call_spill_partitions = 0;
     for (size_t p = 0; p < num_parts; ++p) {
       const SpillStats& s = part_spill[p];
       max_spill_seconds = std::max(max_spill_seconds, s.spill_seconds);
-      metrics->spilled_bytes += s.spilled_bytes;
-      metrics->spill_partitions += s.spill_partitions;
+      call_spilled_bytes += s.spilled_bytes;
+      call_spill_partitions += s.spill_partitions;
     }
+    metrics->spilled_bytes += call_spilled_bytes;
+    metrics->spill_partitions += call_spill_partitions;
+    MetricsRegistry::Global()
+        .counter("exec.spill_bytes")
+        ->Increment(call_spilled_bytes);
+    MetricsRegistry::Global()
+        .counter("exec.spill_partitions")
+        ->Increment(call_spill_partitions);
     metrics->simulated_seconds += max_spill_seconds;
     if (ctx_ != nullptr) {
       metrics->peak_memory_bytes =
@@ -1114,6 +1139,7 @@ Result<Dataset> JobExecutor::ExecJoin(
 Result<Dataset> JobExecutor::ExecIndexNestedLoopJoin(
     const PlanNode& node, const std::map<std::string, Value>& params,
     ExecMetrics* metrics) {
+  TraceSpan span("inlj", "kernel");
   if (node.keys.size() != 1) {
     return Status::ExecutionError(
         "indexed nested loop join supports exactly one key pair");
@@ -1239,6 +1265,7 @@ Result<SinkResult> JobExecutor::Materialize(
     const std::vector<std::string>& stats_columns, bool collect_stats,
     ExecMetrics* metrics) {
   DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  TraceSpan span("materialize", "kernel");
   const auto wall_start = WallClock::now();
   // Build the temp table schema: stored column names are the (already
   // qualified) dataset column names; types are inferred from data in one
@@ -1390,11 +1417,21 @@ Result<SinkResult> JobExecutor::Materialize(
     });
     if (inject) {
       double extra = 0.0;
+      uint64_t call_retries = 0;
+      uint64_t call_corrupted = 0;
       for (size_t p = 0; p < num_parts; ++p) {
         extra = std::max(extra, extra_seconds[p]);
-        metrics->num_retries += part_retries[p];
-        metrics->corrupted_blocks += part_corrupted[p];
+        call_retries += part_retries[p];
+        call_corrupted += part_corrupted[p];
       }
+      metrics->num_retries += call_retries;
+      metrics->corrupted_blocks += call_corrupted;
+      MetricsRegistry::Global()
+          .counter("exec.retries")
+          ->Increment(call_retries);
+      MetricsRegistry::Global()
+          .counter("exec.corrupted_blocks")
+          ->Increment(call_corrupted);
       if (extra > 0.0) {
         metrics->simulated_seconds += extra;
         metrics->recovery_seconds += extra;

@@ -32,6 +32,8 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   wall_build_seconds += other.wall_build_seconds;
   wall_probe_seconds += other.wall_probe_seconds;
   wall_materialize_seconds += other.wall_materialize_seconds;
+  if (other.max_q_error > max_q_error) max_q_error = other.max_q_error;
+  num_decisions += other.num_decisions;
 }
 
 std::string ExecMetrics::ToString() const {
@@ -45,17 +47,16 @@ std::string ExecMetrics::ToString() const {
      << " reopts=" << num_reopt_points << " sim_s=" << simulated_seconds
      << " (reopt_s=" << reopt_seconds << ", stats_s=" << stats_seconds
      << ", recovery_s=" << recovery_seconds << ")";
-  if (num_retries > 0 || speculative_executions > 0 || corrupted_blocks > 0) {
-    os << " faults[retries=" << num_retries
-       << " speculative=" << speculative_executions
-       << " corrupted_blocks=" << corrupted_blocks << "]";
-  }
-  if (peak_memory_bytes > 0 || spilled_bytes > 0 || spill_partitions > 0 ||
-      queue_wait_seconds > 0) {
-    os << " mem[peak=" << peak_memory_bytes << "B spilled=" << spilled_bytes
-       << "B spill_parts=" << spill_partitions
-       << " queue_wait=" << queue_wait_seconds << "s]";
-  }
+  // Every group renders unconditionally so the string never drifts from the
+  // struct again (zero sections read as zeros, not as missing data).
+  os << " faults[retries=" << num_retries
+     << " speculative=" << speculative_executions
+     << " corrupted_blocks=" << corrupted_blocks << "]";
+  os << " mem[peak=" << peak_memory_bytes << "B spilled=" << spilled_bytes
+     << "B spill_parts=" << spill_partitions
+     << " queue_wait=" << queue_wait_seconds << "s]";
+  os << " opt[decisions=" << num_decisions << " max_q_error=" << max_q_error
+     << "]";
   os
      << " wall[shuffle=" << wall_shuffle_seconds
      << "s build=" << wall_build_seconds << "s probe=" << wall_probe_seconds

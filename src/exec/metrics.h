@@ -77,6 +77,17 @@ struct ExecMetrics {
   /// Sink materialization (schema inference, stats, write-back).
   double wall_materialize_seconds = 0;
 
+  // --- Optimizer decision telemetry -------------------------------------
+
+  /// Worst per-decision q-error, max(est/actual, actual/est) with one-row
+  /// floors, over the optimizer's decision log entries that were
+  /// back-patched with actual materialized cardinalities. 0 when no
+  /// decision has an actual yet; >= 1 otherwise. Max-merged in Add().
+  double max_q_error = 0;
+  /// Join-order/algorithm decisions the optimizer recorded for this query
+  /// (see opt/decision_log.h for the full per-decision QueryProfile).
+  uint64_t num_decisions = 0;
+
   void Add(const ExecMetrics& other);
   std::string ToString() const;
 };

@@ -1,0 +1,93 @@
+#ifndef DYNOPT_OPT_DECISION_LOG_H_
+#define DYNOPT_OPT_DECISION_LOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/tracer.h"
+#include "exec/job.h"
+#include "exec/metrics.h"
+
+namespace dynopt {
+
+/// A plan alternative the optimizer considered and rejected, with the cost
+/// it was rejected at (estimated rows for join-order choices, estimated
+/// exec-cost seconds for algorithm choices).
+struct PlanAlternative {
+  std::string description;
+  double cost = 0;
+
+  std::string ToString() const;
+};
+
+/// One join-order/algorithm decision: what the optimizer chose at one
+/// decision point, what it estimated, and — back-patched once the subtree
+/// materializes — what actually came out, so per-decision q-error is
+/// computable. Logged by all six strategies.
+struct PlanDecision {
+  int id = -1;            // index in the owning DecisionLog
+  std::string point;      // "pushdown:d1", "reopt-2", "final", "initial-plan"
+  std::string chosen;     // human-readable choice, e.g. the planned join
+  JoinMethod method = JoinMethod::kHashShuffle;
+  std::string build_alias;       // empty when not a single-join decision
+  double estimated_rows = -1;    // <0: no cardinality estimate applies
+  double estimated_cost = -1;    // <0: no exec-cost estimate applies
+  double actual_rows = -1;       // <0: never materialized / back-patched
+  std::vector<PlanAlternative> rejected;
+
+  bool has_actual() const { return actual_rows >= 0; }
+  /// q-error = max(est/actual, actual/est) with one-row floors; 0 when the
+  /// decision has no estimate or no actual.
+  double QError() const;
+  std::string ToString() const;
+};
+
+/// Append-only per-query log of PlanDecisions. Record() returns the
+/// decision id so the optimizer can SetActual() it after materialization.
+class DecisionLog {
+ public:
+  int Record(PlanDecision decision);
+  void SetActual(int id, double rows);
+
+  const std::vector<PlanDecision>& decisions() const { return decisions_; }
+  size_t NumWithActuals() const;
+  /// Worst QError() over decisions with actuals (0 when there are none).
+  double MaxQError() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<PlanDecision> decisions_;
+};
+
+/// Canonical key for a join subtree: its sorted alias set joined with '+'.
+/// Used to attach actual materialized cardinalities to plan-tree nodes.
+std::string SubtreeKey(const std::set<std::string>& aliases);
+
+/// Everything observed about one optimizer run: the decision log, the
+/// actual cardinality of every materialized subtree, the final metrics and
+/// (when tracing was enabled) the drained span timeline. Attached to
+/// OptimizerRunResult::profile and rendered by ExplainAnalyze().
+struct QueryProfile {
+  std::string optimizer;  // "dynamic", "cost-based", ...
+  DecisionLog decisions;
+  /// SubtreeKey -> actual materialized row count. Single-alias keys are
+  /// filtered base tables (predicate push-down sinks).
+  std::map<std::string, uint64_t> subtree_actual_rows;
+  ExecMetrics metrics;
+  std::vector<TraceEvent> trace;
+};
+
+/// Standard optimizer epilogue: folds the decision log into
+/// `metrics->max_q_error`/`num_decisions`, snapshots `*metrics` into the
+/// profile, ends `query_span` annotated with simulated seconds, and drains
+/// the tracer timeline into the profile when tracing is enabled.
+void FinalizeProfile(QueryProfile* profile, ExecMetrics* metrics,
+                     TraceSpan* query_span);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_DECISION_LOG_H_

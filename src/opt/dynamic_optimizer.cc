@@ -134,6 +134,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     DynamicCheckpoint state) {
   const auto start = std::chrono::steady_clock::now();
   last_checkpoint_.reset();
+  TraceSpan query_span("query:" + options_.profile_label, "query");
   JobExecutor executor = engine_->MakeExecutor(ctx_);
   std::ostringstream trace;
   trace << state.trace;
@@ -206,6 +207,13 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       std::vector<std::string> needed =
           RequiredColumns(state.spec, alias, false);
       auto plan = PlanNode::Project(std::move(leaf), needed);
+      // Estimate before executing: this is exactly what a static optimizer
+      // would have believed about the filtered table.
+      StatsView pd_view(&state.spec, &engine_->stats(), &engine_->catalog());
+      CardinalityEstimator pd_estimator(&pd_view,
+                                        options_.planner.estimation);
+      const double pd_est_rows = pd_estimator.EstimateFilteredSize(alias);
+      TraceSpan stage_span("pushdown:" + alias, "stage");
       DynamicCheckpoint stage_start = state;
       auto job_or = executor.Execute(*plan, state.spec.params);
       if (!job_or.ok()) {
@@ -224,6 +232,16 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       state.temp_tables.push_back(sink.table_name);
       trace << "[pushdown] " << alias << " -> " << sink.table_name << " ("
             << sink.stats.row_count << " rows)\n";
+      PlanDecision decision;
+      decision.point = "pushdown:" + alias;
+      decision.chosen = "materialize filtered " + alias;
+      decision.estimated_rows = pd_est_rows;
+      decision.actual_rows = static_cast<double>(sink.stats.row_count);
+      state.decisions.Record(std::move(decision));
+      state.subtree_actual_rows[SubtreeKey({alias})] = sink.stats.row_count;
+      stage_span.AddArg("actual_rows",
+                        static_cast<double>(sink.stats.row_count));
+      stage_span.End();
       state.spec = ReplaceWithFiltered(state.spec, alias, sink.table_name,
                                        std::move(needed));
       state.pushdown_next_index = i + 1;
@@ -237,6 +255,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   // Temp tables are dropped by the cleanup guard on scope exit (success
   // and fatal failure alike), honoring options_.drop_temp_tables.
   auto finish = [&](OptimizerRunResult result) -> OptimizerRunResult {
+    auto profile = std::make_shared<QueryProfile>();
+    profile->optimizer = options_.profile_label;
+    profile->decisions = state.decisions;
+    profile->subtree_actual_rows = state.subtree_actual_rows;
+    FinalizeProfile(profile.get(), &result.metrics, &query_span);
+    result.profile = std::move(profile);
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -247,10 +271,13 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   // ---- Figure-6 ablation: push-down only, then one static job -----------
   if (options_.stop_after_pushdown) {
     StatsView pd_view(&state.spec, &engine_->stats(), &engine_->catalog());
+    double dp_rows = -1;
+    double dp_cost = -1;
     DYNOPT_ASSIGN_OR_RETURN(
         std::shared_ptr<const JoinTree> tree,
         StaticCostBasedOptimizer::PlanWithDp(
-            state.spec, pd_view, engine_->cluster(), options_.planner));
+            state.spec, pd_view, engine_->cluster(), options_.planner,
+            &dp_rows, &dp_cost));
     DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                             BuildPhysicalPlan(state.spec, *tree, true));
     auto job_or = executor.Execute(*plan, state.spec.params);
@@ -260,6 +287,15 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     result.metrics = state.metrics;
     result.metrics.Add(job.metrics);
     trace << "[pushdown-only] static plan: " << tree->ToString() << "\n";
+    PlanDecision decision;
+    decision.point = "static-rest";
+    decision.chosen = tree->ToString();
+    decision.estimated_rows = dp_rows;
+    decision.estimated_cost = dp_cost;
+    decision.actual_rows = static_cast<double>(job.data.NumRows());
+    state.decisions.Record(std::move(decision));
+    state.subtree_actual_rows[SubtreeKey(
+        ExpandTree(tree, state.subtrees)->Aliases())] = job.data.NumRows();
     result.columns = job.data.columns;
     result.rows = job.data.GatherRows();
     DYNOPT_RETURN_IF_ERROR(
@@ -275,6 +311,8 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     // materialization points are exactly where mid-query decisions — here,
     // stopping — are safe).
     DYNOPT_RETURN_IF_ERROR(CheckContext());
+    TraceSpan round_span("reopt-" + std::to_string(state.join_counter),
+                         "opt");
     StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
     Planner planner(&view, engine_->cluster(), options_.planner);
     DYNOPT_ASSIGN_OR_RETURN(PlannedJoin planned, planner.PickNextJoin());
@@ -314,6 +352,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     SinkResult sink = std::move(sink_or).value();
     state.temp_tables.push_back(sink.table_name);
 
+    const int round = state.join_counter;
     std::string new_alias = "__j" + std::to_string(state.join_counter++);
     trace << "[join] " << planned.ToString() << " -> " << sink.table_name
           << " (" << sink.stats.row_count << " rows, est "
@@ -322,6 +361,22 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         state.subtrees.at(build), state.subtrees.at(probe), planned.method);
     state.subtrees.erase(build);
     state.subtrees.erase(probe);
+    PlanDecision decision;
+    decision.point = "reopt-" + std::to_string(round);
+    decision.chosen = planned.ToString();
+    decision.method = planned.method;
+    decision.build_alias = planned.build_alias;
+    decision.estimated_rows = planned.estimated_cardinality;
+    decision.estimated_cost = planned.estimated_cost;
+    decision.rejected = planned.rejected;
+    decision.actual_rows = static_cast<double>(sink.stats.row_count);
+    state.decisions.Record(std::move(decision));
+    state.subtree_actual_rows[SubtreeKey(
+        state.subtrees.at(new_alias)->Aliases())] = sink.stats.row_count;
+    round_span.AddArg("actual_rows",
+                      static_cast<double>(sink.stats.row_count));
+    round_span.AddArg("est_rows", planned.estimated_cardinality);
+    round_span.End();
     state.spec = ReconstructAfterJoin(state.spec, planned.edge,
                                       sink.table_name, new_alias,
                                       std::move(out_columns));
@@ -332,10 +387,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
 
   // ---- Stage 3: final job (Algorithm 1 lines 17-18) ---------------------
   DYNOPT_RETURN_IF_ERROR(CheckContext());
+  TraceSpan final_span("final", "stage");
   StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
   Planner planner(&view, engine_->cluster(), options_.planner);
+  std::vector<PlannedJoin> final_steps;
   DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<const JoinTree> final_tree,
-                          planner.PlanRemaining());
+                          planner.PlanRemaining(&final_steps));
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> final_plan,
                           BuildPhysicalPlan(state.spec, *final_tree, true));
   auto job_or = executor.Execute(*final_plan, state.spec.params);
@@ -345,6 +402,40 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   result.metrics = state.metrics;
   result.metrics.Add(job.metrics);
   trace << "[final] " << final_tree->ToString() << "\n";
+
+  // The final job's output (before post-processing) is the actual for the
+  // last planning decision; the inner of a two-join tail never
+  // materializes separately, so it is logged estimate-only.
+  if (final_steps.size() == 2) {
+    PlanDecision inner;
+    inner.point = "final-inner";
+    inner.chosen = final_steps[0].ToString();
+    inner.method = final_steps[0].method;
+    inner.build_alias = final_steps[0].build_alias;
+    inner.estimated_rows = final_steps[0].estimated_cardinality;
+    inner.estimated_cost = final_steps[0].estimated_cost;
+    inner.rejected = final_steps[0].rejected;
+    state.decisions.Record(std::move(inner));
+  }
+  {
+    PlanDecision decision;
+    decision.point = "final";
+    decision.chosen = final_tree->ToString();
+    if (!final_steps.empty()) {
+      const PlannedJoin& last = final_steps.back();
+      decision.method = last.method;
+      decision.build_alias = last.build_alias;
+      decision.estimated_rows = last.estimated_cardinality;
+      decision.estimated_cost = last.estimated_cost;
+      decision.rejected = last.rejected;
+    }
+    decision.actual_rows = static_cast<double>(job.data.NumRows());
+    state.decisions.Record(std::move(decision));
+  }
+  state.subtree_actual_rows[SubtreeKey(
+      ExpandTree(final_tree, state.subtrees)->Aliases())] = job.data.NumRows();
+  final_span.AddArg("actual_rows", static_cast<double>(job.data.NumRows()));
+  final_span.End();
 
   result.columns = job.data.columns;
   result.rows = job.data.GatherRows();

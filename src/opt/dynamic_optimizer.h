@@ -38,6 +38,9 @@ struct DynamicOptimizerOptions {
   /// (with a retryable Transient error and a recoverable checkpoint) after
   /// this many completed stages. Negative disables injection.
   int inject_failure_after_stages = -1;
+  /// Optimizer name stamped on QueryProfile/trace spans; the ingres-like
+  /// wrapper overrides it so its profiles are attributed correctly.
+  std::string profile_label = "dynamic";
 };
 
 /// Serializable progress of a dynamic-optimization run — the
@@ -58,6 +61,11 @@ struct DynamicCheckpoint {
   int completed_stages = 0;
   ExecMetrics metrics;  ///< Work already paid for (not redone on resume).
   std::string trace;
+  /// Decisions logged so far (each recorded after its stage materializes,
+  /// so a resumed run never duplicates entries).
+  DecisionLog decisions;
+  /// SubtreeKey -> actual materialized rows of completed stages.
+  std::map<std::string, uint64_t> subtree_actual_rows;
 };
 
 /// The paper's contribution (Algorithm 1): INGRES-style runtime dynamic

@@ -1,6 +1,9 @@
 #include "opt/explain.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -33,10 +36,28 @@ struct SubtreeEstimate {
   double bytes = 0;
 };
 
+/// Renders " actual_rows=N q_error=Q" when the run recorded an actual
+/// cardinality for this subtree (keyed by SubtreeKey of its alias set).
+void AppendActual(const std::map<std::string, uint64_t>* actuals,
+                  const std::set<std::string>& aliases, double est_rows,
+                  std::ostringstream* out) {
+  if (actuals == nullptr) return;
+  auto it = actuals->find(SubtreeKey(aliases));
+  if (it == actuals->end()) return;
+  double actual = static_cast<double>(it->second);
+  double est = std::max(est_rows, 1.0);
+  double act = std::max(actual, 1.0);
+  char q[32];
+  std::snprintf(q, sizeof(q), "%.2f", std::max(est / act, act / est));
+  *out << " actual_rows=" << it->second << " q_error=" << q;
+}
+
 SubtreeEstimate Annotate(const QuerySpec& spec,
                          const CardinalityEstimator& estimator,
                          const JoinTree& tree, int indent,
-                         std::ostringstream* out) {
+                         std::ostringstream* out,
+                         const std::map<std::string, uint64_t>* actuals =
+                             nullptr) {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   if (tree.IsLeaf()) {
     SubtreeEstimate est;
@@ -51,7 +72,9 @@ SubtreeEstimate Annotate(const QuerySpec& spec,
     }
     if (filtered) *out << " (filtered)";
     *out << " est_rows=" << std::llround(est.rows)
-         << " est_bytes=" << HumanBytes(est.bytes) << "\n";
+         << " est_bytes=" << HumanBytes(est.bytes);
+    AppendActual(actuals, {tree.alias}, est.rows, out);
+    *out << "\n";
     return est;
   }
 
@@ -59,9 +82,9 @@ SubtreeEstimate Annotate(const QuerySpec& spec,
   // stream so estimates (computed bottom-up) can be printed top-down.
   std::ostringstream left_out, right_out;
   SubtreeEstimate left =
-      Annotate(spec, estimator, *tree.left, indent + 1, &left_out);
+      Annotate(spec, estimator, *tree.left, indent + 1, &left_out, actuals);
   SubtreeEstimate right =
-      Annotate(spec, estimator, *tree.right, indent + 1, &right_out);
+      Annotate(spec, estimator, *tree.right, indent + 1, &right_out, actuals);
 
   // Result estimate: pseudo-edge over the crossing keys, sizes overridden
   // by the child estimates.
@@ -90,9 +113,22 @@ SubtreeEstimate Annotate(const QuerySpec& spec,
     }
   }
   *out << " est_rows=" << std::llround(est.rows)
-       << " est_bytes=" << HumanBytes(est.bytes) << "\n"
-       << left_out.str() << right_out.str();
+       << " est_bytes=" << HumanBytes(est.bytes);
+  AppendActual(actuals, tree.Aliases(), est.rows, out);
+  *out << "\n" << left_out.str() << right_out.str();
   return est;
+}
+
+void AppendPostProcessing(const QuerySpec& spec, std::ostringstream* out) {
+  if (!spec.HasPostProcessing()) return;
+  if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+    *out << "then GROUP BY (" << spec.group_by.size() << " keys, "
+         << spec.aggregates.size() << " aggregates)\n";
+  }
+  if (!spec.order_by.empty()) {
+    *out << "then ORDER BY (" << spec.order_by.size() << " keys)\n";
+  }
+  if (spec.limit >= 0) *out << "then LIMIT " << spec.limit << "\n";
 }
 
 }  // namespace
@@ -103,16 +139,71 @@ Result<std::string> ExplainTree(Engine* engine, const QuerySpec& spec,
   CardinalityEstimator estimator(&view);
   std::ostringstream out;
   Annotate(spec, estimator, tree, 0, &out);
-  if (spec.HasPostProcessing()) {
-    if (!spec.aggregates.empty() || !spec.group_by.empty()) {
-      out << "then GROUP BY (" << spec.group_by.size() << " keys, "
-          << spec.aggregates.size() << " aggregates)\n";
-    }
-    if (!spec.order_by.empty()) {
-      out << "then ORDER BY (" << spec.order_by.size() << " keys)\n";
-    }
-    if (spec.limit >= 0) out << "then LIMIT " << spec.limit << "\n";
+  AppendPostProcessing(spec, &out);
+  return out.str();
+}
+
+Result<double> EstimateTreeCardinality(Engine* engine, const QuerySpec& spec,
+                                       const JoinTree& tree) {
+  StatsView view(&spec, &engine->stats(), &engine->catalog());
+  CardinalityEstimator estimator(&view);
+  std::ostringstream sink;
+  return Annotate(spec, estimator, tree, 0, &sink).rows;
+}
+
+Result<std::string> ExplainAnalyze(Engine* engine, const QuerySpec& query,
+                                   const OptimizerRunResult& run) {
+  if (run.profile == nullptr) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE needs a run profile (produced by every optimizer "
+        "Run())");
   }
+  QuerySpec spec = query;
+  spec.NormalizeJoins();
+  DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  const QueryProfile& profile = *run.profile;
+  std::ostringstream out;
+  out << "EXPLAIN ANALYZE (" << profile.optimizer << ")\n";
+
+  StatsView view(&spec, &engine->stats(), &engine->catalog());
+  CardinalityEstimator estimator(&view);
+  std::shared_ptr<const JoinTree> tree = run.join_tree;
+  if (tree == nullptr && spec.tables.size() == 1) {
+    tree = JoinTree::Leaf(spec.tables[0].alias);
+  }
+  if (tree != nullptr) {
+    Annotate(spec, estimator, *tree, 0, &out, &profile.subtree_actual_rows);
+  }
+  AppendPostProcessing(spec, &out);
+
+  const DecisionLog& log = profile.decisions;
+  out << "-- decisions: " << log.decisions().size() << " ("
+      << log.NumWithActuals() << " with actuals, max q_error ";
+  {
+    char q[32];
+    std::snprintf(q, sizeof(q), "%.2f", log.MaxQError());
+    out << q;
+  }
+  out << ") --\n" << log.ToString();
+
+  // Deterministic execution counters only: host wall-clock and
+  // queue-wait times vary run to run and would break golden comparisons.
+  const ExecMetrics& m = profile.metrics;
+  out << "-- counters --\n"
+      << "rows_out=" << m.rows_out << " tuples=" << m.tuples_processed
+      << " jobs=" << m.num_jobs << " reopts=" << m.num_reopt_points << "\n"
+      << "scanned=" << m.bytes_scanned << "B shuffled=" << m.bytes_shuffled
+      << "B broadcast=" << m.bytes_broadcast
+      << "B materialized=" << m.bytes_materialized
+      << "B reread=" << m.bytes_intermediate_read << "B\n"
+      << "sim_s=" << m.simulated_seconds << " reopt_s=" << m.reopt_seconds
+      << " stats_s=" << m.stats_seconds
+      << " recovery_s=" << m.recovery_seconds << "\n"
+      << "retries=" << m.num_retries
+      << " speculative=" << m.speculative_executions
+      << " corrupted_blocks=" << m.corrupted_blocks
+      << " spilled=" << m.spilled_bytes << "B spill_parts="
+      << m.spill_partitions << " peak_mem=" << m.peak_memory_bytes << "B\n";
   return out.str();
 }
 

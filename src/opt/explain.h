@@ -6,6 +6,7 @@
 
 #include "exec/engine.h"
 #include "opt/join_tree.h"
+#include "opt/optimizer.h"
 #include "plan/query_spec.h"
 
 namespace dynopt {
@@ -31,6 +32,24 @@ Result<std::string> ExplainStatic(Engine* engine, const QuerySpec& query);
 /// statistics (used to pretty-print recorded dynamic plans too).
 Result<std::string> ExplainTree(Engine* engine, const QuerySpec& spec,
                                 const JoinTree& tree);
+
+/// Estimated output cardinality of `tree` under the current statistics
+/// (bottom-up, same model ExplainTree prints). Used to log plan-level
+/// estimates for strategies that pick a tree without costing it edge by
+/// edge (best-order, worst-order).
+Result<double> EstimateTreeCardinality(Engine* engine, const QuerySpec& spec,
+                                       const JoinTree& tree);
+
+/// EXPLAIN ANALYZE: renders the executed run's effective join tree with
+/// both estimated and actual per-subtree cardinalities (q-error where both
+/// are known), followed by the optimizer's full decision log (estimates,
+/// chosen algorithm, rejected alternatives, back-patched actuals) and the
+/// run's deterministic execution counters (simulated seconds, spill/retry/
+/// memory). Requires run.profile (always set by the six strategies); host
+/// wall-clock values are deliberately excluded so the output is stable
+/// across machines (golden-tested on TPC-H Q9).
+Result<std::string> ExplainAnalyze(Engine* engine, const QuerySpec& query,
+                                   const OptimizerRunResult& run);
 
 }  // namespace dynopt
 

@@ -13,6 +13,7 @@ DynamicOptimizerOptions MakeIngresOptions(const PlannerOptions& base) {
   options.pushdown_simple_predicates = true;
   // Only exact cardinalities of intermediates are fed back; no sketches.
   options.collect_online_stats = false;
+  options.profile_label = "ingres-like";
   return options;
 }
 

@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/value.h"
 #include "exec/metrics.h"
+#include "opt/decision_log.h"
 #include "opt/join_tree.h"
 #include "plan/query_spec.h"
 
@@ -25,6 +26,11 @@ struct OptimizerRunResult {
   std::shared_ptr<const JoinTree> join_tree;
   /// Human-readable stage-by-stage narrative.
   std::string plan_trace;
+  /// Full observability record: decision log with estimated-vs-actual
+  /// cardinalities, per-subtree actual rows, and (when tracing is enabled)
+  /// the drained span timeline. Always non-null after a successful Run();
+  /// rendered by ExplainAnalyze() and exportable via WriteChromeTrace().
+  std::shared_ptr<QueryProfile> profile;
 };
 
 /// Common interface of the six optimization strategies compared in the

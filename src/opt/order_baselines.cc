@@ -4,6 +4,7 @@
 #include <set>
 
 #include "opt/cardinality.h"
+#include "opt/explain.h"
 #include "opt/static_execution.h"
 #include "opt/stats_view.h"
 
@@ -76,8 +77,16 @@ Result<OptimizerRunResult> WorstOrderOptimizer::Run(const QuerySpec& query) {
     chain_rows = best_card;
   }
   std::string trace = "[worst-order] plan: " + tree->ToString() + "\n";
+  auto profile = std::make_shared<QueryProfile>();
+  profile->optimizer = name();
+  PlanDecision decision;
+  decision.point = "initial-plan";
+  decision.chosen = tree->ToString();
+  decision.estimated_rows = chain_rows;  // Greedy chain's final estimate.
+  int decision_id = profile->decisions.Record(std::move(decision));
   return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
-                                std::move(trace), ctx_);
+                                std::move(trace), ctx_, std::move(profile),
+                                decision_id);
 }
 
 BestOrderOptimizer::BestOrderOptimizer(Engine* engine,
@@ -102,7 +111,16 @@ Result<OptimizerRunResult> BestOrderOptimizer::Run(const QuerySpec& query) {
         "best-order hint aliases do not match the query");
   }
   std::string trace = "[best-order] plan: " + hint_->ToString() + "\n";
-  return ExecuteTreeAsSingleJob(engine_, spec, hint_, std::move(trace), ctx_);
+  auto profile = std::make_shared<QueryProfile>();
+  profile->optimizer = name();
+  PlanDecision decision;
+  decision.point = "hinted-plan";
+  decision.chosen = hint_->ToString();
+  DYNOPT_ASSIGN_OR_RETURN(decision.estimated_rows,
+                          EstimateTreeCardinality(engine_, spec, *hint_));
+  int decision_id = profile->decisions.Record(std::move(decision));
+  return ExecuteTreeAsSingleJob(engine_, spec, hint_, std::move(trace), ctx_,
+                                std::move(profile), decision_id);
 }
 
 }  // namespace dynopt

@@ -52,6 +52,9 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   OptimizerRunResult result;
   std::ostringstream trace;
   const ClusterConfig& cluster = engine_->cluster();
+  TraceSpan query_span("query:" + name(), "query");
+  auto profile = std::make_shared<QueryProfile>();
+  profile->optimizer = name();
 
   // ---- Stage 1: pilot runs over samples of every base dataset -----------
   std::map<std::string, TableStats> overrides;
@@ -159,17 +162,32 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   // ---- Stage 2: complete initial plan from pilot statistics -------------
   StatsView view(&planning_spec, &engine_->stats(), &engine_->catalog());
   view.SetAliasOverrides(&overrides);
+  TraceSpan plan_span("plan-dp", "opt");
+  double initial_rows = -1;
+  double initial_cost = -1;
   DYNOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const JoinTree> initial_tree,
       StaticCostBasedOptimizer::PlanWithDp(planning_spec, view,
-                                           cluster, options_.planner));
+                                           cluster, options_.planner,
+                                           &initial_rows, &initial_cost));
+  plan_span.End();
   trace << "[pilot-run] initial plan: " << initial_tree->ToString() << "\n";
+  PlanDecision initial_decision;
+  initial_decision.point = "initial-plan";
+  initial_decision.chosen = initial_tree->ToString();
+  initial_decision.estimated_rows = initial_rows;
+  initial_decision.estimated_cost = initial_cost;
+  const int initial_id =
+      profile->decisions.Record(std::move(initial_decision));
 
   if (spec.joins.size() <= 1) {
-    auto final =
-        ExecuteTreeAsSingleJob(engine_, spec, initial_tree, trace.str(), ctx_);
+    query_span.End();  // ExecuteTreeAsSingleJob opens its own query span.
+    auto final = ExecuteTreeAsSingleJob(engine_, spec, initial_tree,
+                                        trace.str(), ctx_, std::move(profile),
+                                        initial_id);
     if (final.ok()) {
       final.value().metrics.Add(result.metrics);
+      final.value().profile->metrics = final.value().metrics;
       final.value().wall_seconds =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
@@ -227,6 +245,12 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
       }
     }
   }
+  // Pilot-statistics estimate of the executed join (what the initial plan
+  // believed), recorded against the materialized actual below.
+  CardinalityEstimator pilot_estimator(&view, options_.planner.estimation);
+  const double pilot_est_rows =
+      pilot_estimator.EstimateJoinCardinality(executed);
+  TraceSpan pilot_span("pilot-join", "stage");
   auto projected = PlanNode::Project(std::move(join_plan), out_columns);
   DYNOPT_ASSIGN_OR_RETURN(JobResult job,
                           executor.Execute(*projected, spec.params));
@@ -247,6 +271,22 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   } sink_cleanup{engine_, &sink.table_name};
   trace << "[pilot-run] executed " << executed.ToString() << " -> "
         << sink.table_name << " (" << sink.stats.row_count << " rows)\n";
+  {
+    PlanDecision decision;
+    decision.point = "pilot-join";
+    decision.chosen = executed.ToString() +
+                      " [" + JoinMethodName(first->method) + "]";
+    decision.method = first->method;
+    decision.build_alias = build;
+    decision.estimated_rows = pilot_est_rows;
+    decision.actual_rows = static_cast<double>(sink.stats.row_count);
+    profile->decisions.Record(std::move(decision));
+  }
+  profile->subtree_actual_rows[SubtreeKey({build, probe})] =
+      sink.stats.row_count;
+  pilot_span.AddArg("actual_rows",
+                    static_cast<double>(sink.stats.row_count));
+  pilot_span.End();
 
   const std::string new_alias = "__p0";
   overrides.erase(build);
@@ -277,20 +317,43 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
                   &engine_->catalog());
   view2.SetAliasOverrides(&overrides);
   std::shared_ptr<const JoinTree> rest_tree;
+  double rest_rows = -1;
+  double rest_cost = -1;
   if (remaining.joins.empty()) {
     rest_tree = JoinTree::Leaf(new_alias);
   } else {
+    TraceSpan replan_span("replan-dp", "opt");
     DYNOPT_ASSIGN_OR_RETURN(
         rest_tree,
         StaticCostBasedOptimizer::PlanWithDp(remaining_planning, view2,
-                                             cluster, options_.planner));
+                                             cluster, options_.planner,
+                                             &rest_rows, &rest_cost));
   }
   trace << "[pilot-run] adjusted plan: " << rest_tree->ToString() << "\n";
+  PlanDecision rest_decision;
+  rest_decision.point = "adjusted-plan";
+  rest_decision.chosen = rest_tree->ToString();
+  rest_decision.estimated_rows = rest_rows;
+  rest_decision.estimated_cost = rest_cost;
+  const int rest_id = profile->decisions.Record(std::move(rest_decision));
+  TraceSpan rest_span("final", "stage");
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> rest_plan,
                           BuildPhysicalPlan(remaining, *rest_tree, true));
   DYNOPT_ASSIGN_OR_RETURN(JobResult rest_job,
                           executor.Execute(*rest_plan, remaining.params));
   result.metrics.Add(rest_job.metrics);
+  const uint64_t final_rows = rest_job.data.NumRows();
+  // Both the whole-query initial estimate and the adjusted plan are judged
+  // against the final pre-post-processing output.
+  profile->decisions.SetActual(initial_id, static_cast<double>(final_rows));
+  profile->decisions.SetActual(rest_id, static_cast<double>(final_rows));
+  {
+    std::set<std::string> all_aliases;
+    for (const auto& ref : spec.tables) all_aliases.insert(ref.alias);
+    profile->subtree_actual_rows[SubtreeKey(all_aliases)] = final_rows;
+  }
+  rest_span.AddArg("actual_rows", static_cast<double>(final_rows));
+  rest_span.End();
 
   result.columns = rest_job.data.columns;
   result.rows = rest_job.data.GatherRows();
@@ -298,6 +361,8 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
       ApplyPostProcessing(spec, cluster, &result));
   result.join_tree = ReplaceSubtree(rest_tree, new_alias, step_tree);
   result.plan_trace = trace.str();
+  FinalizeProfile(profile.get(), &result.metrics, &query_span);
+  result.profile = std::move(profile);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

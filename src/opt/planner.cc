@@ -86,7 +86,15 @@ PlannedJoin Planner::DecorateWithMethod(const JoinEdge& edge, double card,
   in.out_bytes = planned.estimated_bytes;
 
   // Hash join is the default (Section 3); the build side is the smaller
-  // input either way.
+  // input either way. Every costed-but-not-chosen method lands in
+  // `rejected` so the decision log can show the full algorithm choice.
+  auto method_alternative = [&](JoinMethod method, double cost) {
+    PlanAlternative alt;
+    alt.description = std::string("method: ") + JoinMethodName(method) +
+                      " (build=" + small_alias + ")";
+    alt.cost = cost;
+    return alt;
+  };
   planned.method = JoinMethod::kHashShuffle;
   planned.build_alias = small_alias;
   double best_cost =
@@ -101,21 +109,32 @@ PlannedJoin Planner::DecorateWithMethod(const JoinEdge& edge, double card,
     double cost =
         EstimateJoinExecCost(JoinMethod::kBroadcast, in, cluster_, 0.0);
     if (cost < best_cost) {
+      planned.rejected.push_back(
+          method_alternative(planned.method, best_cost));
       best_cost = cost;
       planned.method = JoinMethod::kBroadcast;
       planned.build_alias = small_alias;
+    } else {
+      planned.rejected.push_back(
+          method_alternative(JoinMethod::kBroadcast, cost));
     }
     if (InljApplicable(edge, small_alias, large_alias)) {
       // Probing the index skips the inner scan; credit that saving.
       double cost_inlj = EstimateJoinExecCost(JoinMethod::kIndexNestedLoop,
                                               in, cluster_, large_bytes);
       if (cost_inlj < best_cost) {
+        planned.rejected.push_back(
+            method_alternative(planned.method, best_cost));
         best_cost = cost_inlj;
         planned.method = JoinMethod::kIndexNestedLoop;
         planned.build_alias = small_alias;
+      } else {
+        planned.rejected.push_back(
+            method_alternative(JoinMethod::kIndexNestedLoop, cost_inlj));
       }
     }
   }
+  planned.estimated_cost = best_cost;
   return planned;
 }
 
@@ -124,23 +143,33 @@ Result<PlannedJoin> Planner::PickNextJoin() const {
   if (spec.joins.empty()) {
     return Status::InvalidArgument("no joins left to plan");
   }
-  bool found = false;
-  PlannedJoin best;
-  for (const auto& edge : spec.joins) {
-    double card = estimator_.EstimateJoinCardinality(edge);
-    if (!found || card < best.estimated_cardinality) {
-      best = DecorateWithMethod(
-          edge, card, estimator_.EstimateFilteredSize(edge.left_alias),
-          estimator_.EstimateFilteredBytes(edge.left_alias),
-          estimator_.EstimateFilteredSize(edge.right_alias),
-          estimator_.EstimateFilteredBytes(edge.right_alias));
-      found = true;
-    }
+  // Estimate all edges first, then decorate the winner; losing edges are
+  // recorded as join-order alternatives (cost = estimated result rows).
+  std::vector<double> cards;
+  cards.reserve(spec.joins.size());
+  size_t best_index = 0;
+  for (size_t i = 0; i < spec.joins.size(); ++i) {
+    cards.push_back(estimator_.EstimateJoinCardinality(spec.joins[i]));
+    if (cards[i] < cards[best_index]) best_index = i;
+  }
+  const JoinEdge& edge = spec.joins[best_index];
+  PlannedJoin best = DecorateWithMethod(
+      edge, cards[best_index], estimator_.EstimateFilteredSize(edge.left_alias),
+      estimator_.EstimateFilteredBytes(edge.left_alias),
+      estimator_.EstimateFilteredSize(edge.right_alias),
+      estimator_.EstimateFilteredBytes(edge.right_alias));
+  for (size_t i = 0; i < spec.joins.size(); ++i) {
+    if (i == best_index) continue;
+    PlanAlternative alt;
+    alt.description = "join-order: " + spec.joins[i].ToString();
+    alt.cost = cards[i];
+    best.rejected.push_back(std::move(alt));
   }
   return best;
 }
 
-Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining() const {
+Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining(
+    std::vector<PlannedJoin>* steps) const {
   const QuerySpec& spec = view_->spec();
   if (spec.joins.size() > 2) {
     return Status::InvalidArgument(
@@ -159,7 +188,10 @@ Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining() const {
   auto inner_tree = JoinTree::Join(JoinTree::Leaf(build),
                                    JoinTree::Leaf(probe), first.method);
 
-  if (spec.joins.size() == 1) return inner_tree;
+  if (spec.joins.size() == 1) {
+    if (steps != nullptr) steps->push_back(std::move(first));
+    return inner_tree;
+  }
 
   // Two joins / three datasets: attach the remaining dataset on top,
   // ordered by result cardinality (the smaller join goes innermost, which
@@ -221,10 +253,14 @@ Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining() const {
       pair_is_build = true;
     }
   }
-  if (pair_is_build) {
-    return JoinTree::Join(inner_tree, third_leaf, outer.method);
+  std::shared_ptr<const JoinTree> full =
+      pair_is_build ? JoinTree::Join(inner_tree, third_leaf, outer.method)
+                    : JoinTree::Join(third_leaf, inner_tree, outer.method);
+  if (steps != nullptr) {
+    steps->push_back(std::move(first));
+    steps->push_back(std::move(outer));
   }
-  return JoinTree::Join(third_leaf, inner_tree, outer.method);
+  return full;
 }
 
 }  // namespace dynopt

@@ -4,9 +4,12 @@
 #include <memory>
 #include <string>
 
+#include <vector>
+
 #include "common/status.h"
 #include "exec/cluster.h"
 #include "opt/cardinality.h"
+#include "opt/decision_log.h"
 #include "opt/join_tree.h"
 #include "plan/query_spec.h"
 #include "storage/catalog.h"
@@ -30,6 +33,14 @@ struct PlannedJoin {
   JoinMethod method = JoinMethod::kHashShuffle;
   /// Alias of the side used as hash build / broadcast / INLJ outer.
   std::string build_alias;
+  /// Estimated exec-cost (simulated seconds) of the chosen method; <0 when
+  /// the planner did not cost it.
+  double estimated_cost = -1;
+  /// Alternatives considered and rejected while planning this step:
+  /// "method: ..." entries (cost = exec-cost seconds) from the algorithm
+  /// choice, "join-order: ..." entries (cost = estimated rows) from the
+  /// edge choice. Feeds the optimizer decision log.
+  std::vector<PlanAlternative> rejected;
 
   std::string ToString() const;
 };
@@ -47,8 +58,11 @@ class Planner {
   Result<PlannedJoin> PickNextJoin() const;
 
   /// Called when at most two joins remain: produces the complete join tree
-  /// for the rest of the query (min-cardinality join innermost).
-  Result<std::shared_ptr<const JoinTree>> PlanRemaining() const;
+  /// for the rest of the query (min-cardinality join innermost). With a
+  /// non-null `steps`, appends the planned join step(s) in execution order
+  /// (inner first) so callers can log the decisions.
+  Result<std::shared_ptr<const JoinTree>> PlanRemaining(
+      std::vector<PlannedJoin>* steps = nullptr) const;
 
   /// Applies the join-algorithm rules (Section 6.1.2) to one edge given
   /// the estimated sizes of its two inputs. `left/right_bytes` are

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/tracer.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
 
@@ -10,23 +11,37 @@ namespace dynopt {
 Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
     Engine* engine, const QuerySpec& spec,
     std::shared_ptr<const JoinTree> tree, std::string plan_trace,
-    QueryContext* ctx) {
+    QueryContext* ctx, std::shared_ptr<QueryProfile> profile,
+    int root_decision) {
   const auto start = std::chrono::steady_clock::now();
   if (ctx != nullptr) {
     DYNOPT_RETURN_IF_ERROR(ctx->CheckAlive());
   }
+  if (profile == nullptr) profile = std::make_shared<QueryProfile>();
+  TraceSpan query_span("query:" + (profile->optimizer.empty()
+                                       ? std::string("static")
+                                       : profile->optimizer),
+                       "query");
   JobExecutor executor = engine->MakeExecutor(ctx);
   OptimizerRunResult result;
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                           BuildPhysicalPlan(spec, *tree, true));
   DYNOPT_ASSIGN_OR_RETURN(JobResult job, executor.Execute(*plan, spec.params));
   result.metrics.Add(job.metrics);
+  // Output cardinality of the join tree itself (post-processing reshapes
+  // rows below): this is the "actual" every static plan estimate is judged
+  // against.
+  const uint64_t actual_rows = job.data.NumRows();
+  profile->decisions.SetActual(root_decision, static_cast<double>(actual_rows));
+  profile->subtree_actual_rows[SubtreeKey(tree->Aliases())] = actual_rows;
   result.columns = job.data.columns;
   result.rows = job.data.GatherRows();
   DYNOPT_RETURN_IF_ERROR(
       ApplyPostProcessing(spec, engine->cluster(), &result));
   result.join_tree = std::move(tree);
   result.plan_trace = std::move(plan_trace);
+  FinalizeProfile(profile.get(), &result.metrics, &query_span);
+  result.profile = std::move(profile);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -16,10 +16,18 @@ namespace dynopt {
 /// static strategies (cost-based, best-order, worst-order and the tail of
 /// pilot-run). A non-null `ctx` makes the job cancellable at its operator
 /// boundaries and accounts memory against the context's tracker.
+///
+/// With a non-null `profile`, the job's output cardinality (before
+/// post-processing) back-patches decision `root_decision` in the profile's
+/// log and is recorded under the tree's SubtreeKey; the finalized profile
+/// (q-error metrics folded in, trace drained) is attached to the result.
+/// Callers without a profile get one synthesized on the fly so every
+/// OptimizerRunResult carries a non-null profile.
 Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
     Engine* engine, const QuerySpec& spec,
     std::shared_ptr<const JoinTree> tree, std::string plan_trace,
-    QueryContext* ctx = nullptr);
+    QueryContext* ctx = nullptr,
+    std::shared_ptr<QueryProfile> profile = nullptr, int root_decision = -1);
 
 }  // namespace dynopt
 

@@ -54,7 +54,7 @@ StaticCostBasedOptimizer::StaticCostBasedOptimizer(
 
 Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
     const QuerySpec& spec, const StatsView& view, const ClusterConfig& cluster,
-    const PlannerOptions& options) {
+    const PlannerOptions& options, double* est_rows, double* est_cost) {
   CardinalityEstimator estimator(&view, options.estimation);
   const size_t k = spec.tables.size();
   if (k == 0) return Status::InvalidArgument("empty FROM clause");
@@ -215,6 +215,8 @@ Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
     return Status::InvalidArgument(
         "DP found no connected plan (disconnected join graph?)");
   }
+  if (est_rows != nullptr) *est_rows = dp[full].rows;
+  if (est_cost != nullptr) *est_cost = dp[full].cost;
   return dp[full].tree;
 }
 
@@ -225,12 +227,27 @@ Result<OptimizerRunResult> StaticCostBasedOptimizer::Run(
   DYNOPT_RETURN_IF_ERROR(spec.Validate());
   DYNOPT_RETURN_IF_ERROR(CheckContext());
   StatsView view(&spec, &engine_->stats(), &engine_->catalog());
+  TraceSpan plan_span("plan-dp", "opt");
+  double est_rows = -1;
+  double est_cost = -1;
   DYNOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const JoinTree> tree,
-      PlanWithDp(spec, view, engine_->cluster(), options_));
+      PlanWithDp(spec, view, engine_->cluster(), options_, &est_rows,
+                 &est_cost));
+  plan_span.End();
   std::string trace = "[cost-based] plan: " + tree->ToString() + "\n";
+
+  auto profile = std::make_shared<QueryProfile>();
+  profile->optimizer = name();
+  PlanDecision decision;
+  decision.point = "initial-plan";
+  decision.chosen = tree->ToString();
+  decision.estimated_rows = est_rows;
+  decision.estimated_cost = est_cost;
+  int decision_id = profile->decisions.Record(std::move(decision));
   return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
-                                std::move(trace), ctx_);
+                                std::move(trace), ctx_, std::move(profile),
+                                decision_id);
 }
 
 }  // namespace dynopt

@@ -27,9 +27,12 @@ class StaticCostBasedOptimizer : public Optimizer {
 
   /// Plans without executing (exposed for tests and pilot-run reuse).
   /// Produces the minimum-cost join tree for `spec` under `view`'s stats.
+  /// Non-null `est_rows`/`est_cost` receive the winning plan's estimated
+  /// output cardinality and total plan cost (decision-log inputs).
   static Result<std::shared_ptr<const JoinTree>> PlanWithDp(
       const QuerySpec& spec, const StatsView& view,
-      const ClusterConfig& cluster, const PlannerOptions& options);
+      const ClusterConfig& cluster, const PlannerOptions& options,
+      double* est_rows = nullptr, double* est_cost = nullptr);
 
  private:
   Engine* engine_;

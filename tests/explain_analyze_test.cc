@@ -1,0 +1,139 @@
+// EXPLAIN ANALYZE:
+//  - golden-file comparison on TPC-H Q9 under the dynamic optimizer; the
+//    rendered text includes only deterministic quantities (estimates,
+//    actual rows, q-errors, simulated-cost counters), so any drift is a
+//    real behavior change. Regenerate with DYNOPT_REGEN_GOLDEN=1.
+//  - all six strategies produce a QueryProfile on TPC-DS Q17 whose
+//    decision log carries estimate-vs-actual rows and a q-error.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/explain.h"
+#include "opt/ingres_optimizer.h"
+#include "opt/order_baselines.h"
+#include "opt/pilot_run_optimizer.h"
+#include "opt/static_optimizer.h"
+#include "workloads/tpcds.h"
+#include "workloads/tpch.h"
+
+#ifndef DYNOPT_GOLDEN_DIR
+#define DYNOPT_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace dynopt {
+namespace {
+
+class ExplainAnalyzeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    engine_ = new Engine();
+    TpcdsOptions tpcds;
+    tpcds.sf = 0.2;
+    ASSERT_TRUE(LoadTpcds(engine_, tpcds).ok());
+    TpchOptions tpch;
+    tpch.sf = 0.2;
+    ASSERT_TRUE(LoadTpch(engine_, tpch).ok());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+  static Engine* engine_;
+};
+
+Engine* ExplainAnalyzeTest::engine_ = nullptr;
+
+TEST_F(ExplainAnalyzeTest, GoldenQ9Dynamic) {
+  auto query = TpchQ9(engine_);
+  ASSERT_TRUE(query.ok());
+  DynamicOptimizer optimizer(engine_);
+  auto result = optimizer.Run(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto text = ExplainAnalyze(engine_, query.value(), result.value());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+
+  const std::string golden_path =
+      std::string(DYNOPT_GOLDEN_DIR) + "/explain_analyze_q9.txt";
+  if (std::getenv("DYNOPT_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(golden_path);
+    ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
+    out << text.value();
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  std::ifstream in(golden_path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << golden_path
+                         << " (run once with DYNOPT_REGEN_GOLDEN=1)";
+  std::stringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(text.value(), golden.str())
+      << "EXPLAIN ANALYZE drifted from the golden file; if the change is "
+         "intended, regenerate with DYNOPT_REGEN_GOLDEN=1";
+}
+
+TEST_F(ExplainAnalyzeTest, AllSixStrategiesProfileQ17) {
+  auto query = TpcdsQ17(engine_);
+  ASSERT_TRUE(query.ok());
+
+  // best-order needs a hint: the plan a dynamic run discovers.
+  DynamicOptimizer hint_source(engine_);
+  auto hint_run = hint_source.Run(query.value());
+  ASSERT_TRUE(hint_run.ok());
+  std::shared_ptr<const JoinTree> hint = hint_run->join_tree;
+  ASSERT_NE(hint, nullptr);
+
+  std::unique_ptr<Optimizer> optimizers[6];
+  optimizers[0] = std::make_unique<DynamicOptimizer>(engine_);
+  optimizers[1] = std::make_unique<BestOrderOptimizer>(engine_, hint);
+  optimizers[2] =
+      std::make_unique<StaticCostBasedOptimizer>(engine_, PlannerOptions());
+  optimizers[3] = std::make_unique<PilotRunOptimizer>(engine_);
+  optimizers[4] =
+      std::make_unique<IngresLikeOptimizer>(engine_, PlannerOptions());
+  optimizers[5] =
+      std::make_unique<WorstOrderOptimizer>(engine_, PlannerOptions());
+
+  for (auto& optimizer : optimizers) {
+    SCOPED_TRACE(optimizer->name());
+    auto result = optimizer->Run(query.value());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+    // Every strategy attaches a profile with at least one decision whose
+    // actual cardinality was back-patched.
+    ASSERT_NE(result->profile, nullptr);
+    const DecisionLog& log = result->profile->decisions;
+    EXPECT_GT(log.decisions().size(), 0u);
+    EXPECT_GT(log.NumWithActuals(), 0u);
+    EXPECT_GE(log.MaxQError(), 1.0);
+    EXPECT_EQ(result->metrics.num_decisions, log.decisions().size());
+    EXPECT_EQ(result->metrics.max_q_error, log.MaxQError());
+    EXPECT_FALSE(result->profile->subtree_actual_rows.empty());
+
+    auto text = ExplainAnalyze(engine_, query.value(), result.value());
+    ASSERT_TRUE(text.ok()) << text.status().ToString();
+    EXPECT_NE(text->find("EXPLAIN ANALYZE"), std::string::npos);
+    EXPECT_NE(text->find("est_rows="), std::string::npos) << *text;
+    EXPECT_NE(text->find("actual_rows="), std::string::npos) << *text;
+    EXPECT_NE(text->find("q_error="), std::string::npos) << *text;
+    EXPECT_NE(text->find("-- decisions:"), std::string::npos);
+    EXPECT_NE(text->find("-- counters --"), std::string::npos);
+  }
+}
+
+TEST_F(ExplainAnalyzeTest, RejectsRunWithoutProfile) {
+  auto query = TpchQ9(engine_);
+  ASSERT_TRUE(query.ok());
+  OptimizerRunResult bare;
+  EXPECT_FALSE(ExplainAnalyze(engine_, query.value(), bare).ok());
+}
+
+}  // namespace
+}  // namespace dynopt

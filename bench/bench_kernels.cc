@@ -4,16 +4,23 @@
 // orders and part), every join executed as shuffle-both-sides + local hash
 // join at the cluster's node count.
 //
-// Two implementations run on identical inputs:
+// Three implementations run on identical inputs:
 //  - seed:     the sequential reference kernels (exec/reference_kernels.h —
 //              the pre-parallel-exchange executor, verbatim);
-//  - parallel: the two-phase parallel shuffle exchange + flat-table hash
-//              join with key hashes computed once and threaded through.
+//  - row:      the two-phase parallel shuffle exchange + flat-table hash
+//              join with key hashes computed once and threaded through,
+//              operating row-at-a-time on Row vectors;
+//  - columnar: the vectorized batch engine (exec/vector_kernels.h) —
+//              per-column hash/gather/probe loops over ColumnBatches.
+//
+// Plus a filter-kernel microbenchmark (VecPredicate::EvalBools vs the row
+// engine's Bind + EvalBool loop) and a columnar batch-size sweep
+// (64/256/1024/4096).
 //
 // The report (stdout + BENCH_kernels.json) breaks wall time down per
 // kernel class (shuffle / build / probe) so every future perf PR has a
 // machine-readable trajectory. Simulated seconds are asserted identical
-// between the two implementations — the perf work must not move the paper's
+// between all implementations — the perf work must not move the paper's
 // cost model.
 //
 // Usage: bench_kernels [--sf <paper_sf>] [--iters <n>] [--out <path>]
@@ -27,8 +34,10 @@
 
 #include "bench/harness.h"
 #include "common/logging.h"
+#include "exec/batch.h"
 #include "exec/executor.h"
 #include "exec/reference_kernels.h"
+#include "exec/vector_kernels.h"
 #include "plan/expr.h"
 
 namespace dynopt {
@@ -115,10 +124,157 @@ PipelineResult RunPipeline(JobExecutor* executor,
   return result;
 }
 
+/// Columnar variant of RunPipeline: identical chain, identical metering,
+/// batches flowing between the kernels. Inputs are converted before the
+/// timer (in production the scan produces batches directly); only the
+/// kernels are timed.
+PipelineResult RunPipelineColumnar(JobExecutor* executor,
+                                   const std::vector<Dataset>& build_inputs,
+                                   const Dataset& probe_input,
+                                   const std::vector<JoinStep>& steps,
+                                   size_t batch_size, bool keep_output) {
+  std::vector<ColumnarDataset> builds;
+  builds.reserve(build_inputs.size());
+  for (const Dataset& b : build_inputs) {
+    builds.push_back(FromDataset(b, batch_size));
+  }
+  ColumnarDataset current = FromDataset(probe_input, batch_size);
+
+  PipelineResult result;
+  const auto start = WallClock::now();
+  for (size_t s = 0; s < steps.size(); ++s) {
+    std::vector<int> build_keys;
+    for (const auto& name : steps[s].build_cols) {
+      int idx = builds[s].ColumnIndex(name);
+      DYNOPT_CHECK(idx >= 0);
+      build_keys.push_back(idx);
+    }
+    std::vector<int> probe_keys;
+    for (const auto& name : steps[s].probe_cols) {
+      int idx = current.ColumnIndex(name);
+      DYNOPT_CHECK(idx >= 0);
+      probe_keys.push_back(idx);
+    }
+    auto build_or = executor->RepartitionColumnar(std::move(builds[s]),
+                                                  build_keys, &result.metrics);
+    DYNOPT_CHECK(build_or.ok());
+    ColumnarShuffleResult build_parts = std::move(build_or).value();
+    auto probe_or = executor->RepartitionColumnar(std::move(current),
+                                                  probe_keys, &result.metrics);
+    DYNOPT_CHECK(probe_or.ok());
+    ColumnarShuffleResult probe_parts = std::move(probe_or).value();
+    auto join_or = executor->LocalHashJoinColumnar(
+        build_parts.data, probe_parts.data, build_keys, probe_keys,
+        &result.metrics, &build_parts.hashes, &probe_parts.hashes);
+    DYNOPT_CHECK(join_or.ok());
+    current = std::move(join_or).value();
+  }
+  result.total_wall = SecondsSince(start);
+  result.rows_out = current.NumRows();
+  if (keep_output) result.output = ToDataset(std::move(current));
+  return result;
+}
+
 Dataset MustExec(JobExecutor* executor, std::unique_ptr<PlanNode> plan) {
   auto result = executor->Execute(*plan, {});
   DYNOPT_CHECK(result.ok());
   return std::move(result->data);
+}
+
+/// Filter-kernel microbenchmark: the same predicate evaluated row-at-a-time
+/// (Bind + EvalBool, the row engine's filter loop) and column-at-a-time
+/// (VecPredicate::EvalBools). Returns {row_seconds, columnar_seconds} as
+/// best-of-iters; both sides must select the same rows.
+std::pair<double, double> BenchFilterKernels(const Dataset& data,
+                                             size_t batch_size, int iters) {
+  // l_partkey BETWEEN 100 AND 5000 AND l_suppkey >= 50: numeric
+  // column-vs-constant comparisons, the filter kernel's bread and butter.
+  ExprPtr pred = And({Between(Col("l", "l_partkey"), Lit(Value(100)),
+                              Lit(Value(5000))),
+                      Cmp(CompareOp::kGe, Col("l", "l_suppkey"),
+                          Lit(Value(50)))});
+  BindContext ctx;
+  ctx.resolve_column = [&](const std::string& name) {
+    return data.ColumnIndex(name);
+  };
+  auto bound_or = Bind(pred, ctx);
+  DYNOPT_CHECK(bound_or.ok());
+  BoundExprPtr bound = std::move(bound_or).value();
+  ColumnarDataset columnar = FromDataset(data, batch_size);
+  auto vec_or = VecPredicate::Compile(pred, columnar.columns, nullptr,
+                                      nullptr);
+  DYNOPT_CHECK(vec_or.ok());
+  VecPredicate vec = std::move(vec_or).value();
+
+  uint64_t row_selected = 0, col_selected = 0;
+  double row_best = 1e300, col_best = 1e300;
+  for (int it = 0; it < iters; ++it) {
+    row_selected = 0;
+    auto start = WallClock::now();
+    for (const auto& part : data.partitions) {
+      for (const Row& row : part) {
+        if (bound->EvalBool(row)) ++row_selected;
+      }
+    }
+    double s = SecondsSince(start);
+    if (s < row_best) row_best = s;
+
+    col_selected = 0;
+    std::vector<uint8_t> keep;
+    start = WallClock::now();
+    for (const auto& part : columnar.partitions) {
+      for (const ColumnBatch& b : part) {
+        vec.EvalBools(b, &keep);
+        for (size_t i = 0; i < b.num_rows; ++i) col_selected += keep[i];
+      }
+    }
+    s = SecondsSince(start);
+    if (s < col_best) col_best = s;
+  }
+  DYNOPT_CHECK(row_selected == col_selected);
+  return {row_best, col_best};
+}
+
+/// Hash-kernel microbenchmark: the shuffle/build key hashing done
+/// row-at-a-time (HashRowKey over each Row) and column-at-a-time
+/// (HashKeyColumns over each ColumnBatch) on Q9's composite lineitem key.
+/// Returns {row_seconds, columnar_seconds}; both sides must produce
+/// identical hashes for every row (checked via an XOR accumulator).
+std::pair<double, double> BenchHashKernels(const Dataset& data,
+                                           size_t batch_size, int iters) {
+  std::vector<int> keys = {data.ColumnIndex("l.l_partkey"),
+                           data.ColumnIndex("l.l_suppkey")};
+  DYNOPT_CHECK(keys[0] >= 0 && keys[1] >= 0);
+  ColumnarDataset columnar = FromDataset(data, batch_size);
+  uint64_t row_acc = 0, col_acc = 0;
+  double row_best = 1e300, col_best = 1e300;
+  std::vector<uint64_t> hashes;
+  std::vector<uint8_t> null_scratch;
+  for (int it = 0; it < iters; ++it) {
+    row_acc = 0;
+    auto start = WallClock::now();
+    for (const auto& part : data.partitions) {
+      for (const Row& row : part) row_acc ^= HashRowKey(row, keys);
+    }
+    double s = SecondsSince(start);
+    if (s < row_best) row_best = s;
+
+    col_acc = 0;
+    start = WallClock::now();
+    for (const auto& part : columnar.partitions) {
+      for (const ColumnBatch& b : part) {
+        hashes.resize(b.num_rows);
+        null_scratch.assign(b.num_rows, 0);
+        HashKeyColumns(b, keys.data(), keys.size(), hashes.data(),
+                       null_scratch.data());
+        for (uint64_t h : hashes) col_acc ^= h;
+      }
+    }
+    s = SecondsSince(start);
+    if (s < col_best) col_best = s;
+  }
+  DYNOPT_CHECK(row_acc == col_acc);
+  return {row_best, col_best};
 }
 
 struct Breakdown {
@@ -197,6 +353,8 @@ int Main(int argc, char** argv) {
       {{"n.n_nationkey"}, {"s.s_nationkey"}},
   };
 
+  const size_t default_batch = executor.cluster().exec.max_batch_size;
+
   // Correctness + cost-model guard: one warm-up run of each implementation
   // must produce identical partitions and identical simulated metering.
   PipelineResult seed_check = RunPipeline(&executor, build_inputs, lineitem,
@@ -205,16 +363,28 @@ int Main(int argc, char** argv) {
   PipelineResult par_check = RunPipeline(&executor, build_inputs, lineitem,
                                          steps, /*parallel_kernels=*/true,
                                          /*keep_output=*/true);
+  PipelineResult col_check = RunPipelineColumnar(&executor, build_inputs,
+                                                 lineitem, steps,
+                                                 default_batch,
+                                                 /*keep_output=*/true);
   DYNOPT_CHECK(par_check.output.partitions == seed_check.output.partitions);
+  DYNOPT_CHECK(col_check.output.partitions == seed_check.output.partitions);
   DYNOPT_CHECK(par_check.metrics.simulated_seconds ==
+               seed_check.metrics.simulated_seconds);
+  DYNOPT_CHECK(col_check.metrics.simulated_seconds ==
                seed_check.metrics.simulated_seconds);
   DYNOPT_CHECK(par_check.metrics.bytes_shuffled ==
                seed_check.metrics.bytes_shuffled);
+  DYNOPT_CHECK(col_check.metrics.bytes_shuffled ==
+               seed_check.metrics.bytes_shuffled);
+  DYNOPT_CHECK(col_check.metrics.tuples_processed ==
+               seed_check.metrics.tuples_processed);
 
   // Timed runs: best-of-iters (by kernel time) per implementation,
-  // interleaved so neither side systematically benefits from warm caches.
-  Breakdown seed_best, par_best;
-  seed_best.kernel_total = par_best.kernel_total = 1e300;
+  // interleaved so no side systematically benefits from warm caches.
+  Breakdown seed_best, par_best, col_best;
+  seed_best.kernel_total = par_best.kernel_total = col_best.kernel_total =
+      1e300;
   for (int it = 0; it < iters; ++it) {
     PipelineResult seed = RunPipeline(&executor, build_inputs, lineitem,
                                       steps, false, false);
@@ -224,10 +394,47 @@ int Main(int argc, char** argv) {
                                      steps, true, false);
     Breakdown pb = ToBreakdown(par);
     if (pb.kernel_total < par_best.kernel_total) par_best = pb;
+    PipelineResult col = RunPipelineColumnar(&executor, build_inputs,
+                                             lineitem, steps, default_batch,
+                                             false);
+    Breakdown cb = ToBreakdown(col);
+    if (cb.kernel_total < col_best.kernel_total) col_best = cb;
   }
+
+  // Batch-size sweep: the columnar chain at 64/256/1024/4096-row batches
+  // (simulated metering is invariant; only wall time moves).
+  const std::vector<size_t> sweep_sizes = {64, 256, 1024, 4096};
+  std::vector<Breakdown> sweep_best(sweep_sizes.size());
+  for (auto& b : sweep_best) b.kernel_total = 1e300;
+  for (int it = 0; it < std::max(1, iters / 2); ++it) {
+    for (size_t i = 0; i < sweep_sizes.size(); ++i) {
+      engine->mutable_cluster().exec.max_batch_size = sweep_sizes[i];
+      JobExecutor sweep_exec = engine->MakeExecutor();
+      PipelineResult col = RunPipelineColumnar(&sweep_exec, build_inputs,
+                                               lineitem, steps,
+                                               sweep_sizes[i], false);
+      DYNOPT_CHECK(col.metrics.simulated_seconds ==
+                   seed_check.metrics.simulated_seconds);
+      Breakdown cb = ToBreakdown(col);
+      if (cb.kernel_total < sweep_best[i].kernel_total) sweep_best[i] = cb;
+    }
+  }
+  engine->mutable_cluster().exec.max_batch_size = default_batch;
+
+  // Filter kernel: row Bind+EvalBool loop vs VecPredicate::EvalBools.
+  auto [filter_row_s, filter_col_s] =
+      BenchFilterKernels(lineitem, default_batch, iters);
+  // Hash kernel: per-row HashRowKey vs per-column HashKeyColumns.
+  auto [hash_row_s, hash_col_s] =
+      BenchHashKernels(lineitem, default_batch, iters);
 
   const double speedup_total = seed_best.kernel_total / par_best.kernel_total;
   const double speedup_e2e = seed_best.end_to_end / par_best.end_to_end;
+  const double col_speedup_total =
+      par_best.kernel_total / col_best.kernel_total;
+  const double col_speedup_e2e = par_best.end_to_end / col_best.end_to_end;
+  const double filter_speedup = filter_row_s / filter_col_s;
+  const double hash_speedup = hash_row_s / hash_col_s;
   std::printf("\n=== bench_kernels: TPC-H Q9 hash-join chain ===\n");
   std::printf("paper_sf=%d  generator_sf=%.2f  nodes=%zu  pool_threads=%zu  "
               "iters=%d\n",
@@ -240,12 +447,30 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(par_check.rows_out),
               par_check.metrics.simulated_seconds);
   PrintBreakdown("seed kernels", seed_best);
-  PrintBreakdown("parallel kernels", par_best);
-  std::printf("\nspeedup: shuffle=%.2fx build=%.2fx probe=%.2fx "
+  PrintBreakdown("row kernels", par_best);
+  PrintBreakdown("columnar kernels", col_best);
+  std::printf("\nrow vs seed speedup: shuffle=%.2fx build=%.2fx probe=%.2fx "
               "TOTAL=%.2fx (end_to_end=%.2fx)\n",
               seed_best.shuffle / par_best.shuffle,
               seed_best.build / par_best.build,
               seed_best.probe / par_best.probe, speedup_total, speedup_e2e);
+  std::printf("columnar vs row speedup: shuffle=%.2fx build=%.2fx "
+              "probe=%.2fx TOTAL=%.2fx (end_to_end=%.2fx)\n",
+              par_best.shuffle / col_best.shuffle,
+              par_best.build / col_best.build,
+              par_best.probe / col_best.probe, col_speedup_total,
+              col_speedup_e2e);
+  std::printf("filter kernel: row=%.4fs columnar=%.4fs speedup=%.2fx\n",
+              filter_row_s, filter_col_s, filter_speedup);
+  std::printf("hash kernel:   row=%.4fs columnar=%.4fs speedup=%.2fx\n",
+              hash_row_s, hash_col_s, hash_speedup);
+  std::printf("\nbatch-size sweep (columnar kernels):\n");
+  for (size_t i = 0; i < sweep_sizes.size(); ++i) {
+    std::printf("  batch=%-5zu shuffle=%7.3fs build=%7.3fs probe=%7.3fs "
+                "kernels=%7.3fs\n",
+                sweep_sizes[i], sweep_best[i].shuffle, sweep_best[i].build,
+                sweep_best[i].probe, sweep_best[i].kernel_total);
+  }
 
   std::ofstream json(out_path);
   json << "{\n"
@@ -270,11 +495,39 @@ int Main(int argc, char** argv) {
        << ", \"probe_s\": " << par_best.probe
        << ", \"kernel_total_s\": " << par_best.kernel_total
        << ", \"end_to_end_s\": " << par_best.end_to_end << "},\n"
+       << "  \"columnar_kernels\": {\"shuffle_s\": " << col_best.shuffle
+       << ", \"build_s\": " << col_best.build
+       << ", \"probe_s\": " << col_best.probe
+       << ", \"kernel_total_s\": " << col_best.kernel_total
+       << ", \"end_to_end_s\": " << col_best.end_to_end
+       << ", \"batch_size\": " << default_batch << "},\n"
        << "  \"speedup\": {\"shuffle\": " << seed_best.shuffle / par_best.shuffle
        << ", \"build\": " << seed_best.build / par_best.build
        << ", \"probe\": " << seed_best.probe / par_best.probe
        << ", \"total\": " << speedup_total
-       << ", \"end_to_end\": " << speedup_e2e << "}\n"
+       << ", \"end_to_end\": " << speedup_e2e << "},\n"
+       << "  \"columnar_vs_row_speedup\": {\"shuffle\": "
+       << par_best.shuffle / col_best.shuffle
+       << ", \"build\": " << par_best.build / col_best.build
+       << ", \"probe\": " << par_best.probe / col_best.probe
+       << ", \"total\": " << col_speedup_total
+       << ", \"end_to_end\": " << col_speedup_e2e << "},\n"
+       << "  \"filter_kernel\": {\"row_s\": " << filter_row_s
+       << ", \"columnar_s\": " << filter_col_s
+       << ", \"speedup\": " << filter_speedup << "},\n"
+       << "  \"hash_kernel\": {\"row_s\": " << hash_row_s
+       << ", \"columnar_s\": " << hash_col_s
+       << ", \"speedup\": " << hash_speedup << "},\n"
+       << "  \"batch_size_sweep\": [";
+  for (size_t i = 0; i < sweep_sizes.size(); ++i) {
+    json << (i == 0 ? "\n" : ",\n")
+         << "    {\"batch_size\": " << sweep_sizes[i]
+         << ", \"shuffle_s\": " << sweep_best[i].shuffle
+         << ", \"build_s\": " << sweep_best[i].build
+         << ", \"probe_s\": " << sweep_best[i].probe
+         << ", \"kernel_total_s\": " << sweep_best[i].kernel_total << "}";
+  }
+  json << "\n  ]\n"
        << "}\n";
   std::printf("\nwrote %s\n", out_path.c_str());
   return 0;

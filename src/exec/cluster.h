@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/backoff.h"
+#include "common/status.h"
 
 namespace dynopt {
 
@@ -75,6 +76,25 @@ struct MemoryGovernanceConfig {
   int max_spill_recursion = 4;
   /// Sub-partitions per spill pass (fan-out of each recursive split).
   int max_spill_fanout = 32;
+};
+
+/// Execution-engine knobs independent of the simulated cost model. These
+/// change *how* operators run (vectorized batches vs. row-at-a-time), never
+/// *what* they meter: with any valid setting the deterministic counters and
+/// simulated seconds are byte-for-byte identical.
+struct ExecOptions {
+  /// Capacity of one ColumnBatch (rows) in the vectorized engine. Larger
+  /// batches amortize per-batch dispatch; smaller batches keep the working
+  /// set of a filter/hash kernel L1/L2-resident. Must be >= 1
+  /// (ValidateClusterConfig rejects 0, which would underflow the
+  /// batch-capacity math).
+  size_t max_batch_size = 1024;
+  /// Run scans/filters/projections/shuffle-joins through the columnar batch
+  /// engine (exec/batch.h, exec/vector_kernels.h). Row `Dataset` remains
+  /// the conversion boundary at scan and materialization, so serde, spill
+  /// files and fault-injection checksums are unchanged. Off = the original
+  /// row-at-a-time operators.
+  bool use_columnar = true;
 };
 
 /// Admission-control knobs for concurrent queries. Defaults allow modest
@@ -168,7 +188,33 @@ struct ClusterConfig {
   MemoryGovernanceConfig memory;
   /// Concurrent-query admission control (Engine::admission().Admit).
   AdmissionConfig admission;
+  /// Vectorized-execution knobs (batch size, columnar on/off).
+  ExecOptions exec;
 };
+
+/// Structural validation of a ClusterConfig, run when an Engine or
+/// JobExecutor is constructed (i.e. at config "parse" time, before any
+/// kernel touches the values). Returns kInvalidArgument with a message
+/// naming the offending knob — a zero max_batch_size would otherwise
+/// silently underflow the batch-capacity math deep inside a kernel.
+inline Status ValidateClusterConfig(const ClusterConfig& config) {
+  if (config.num_nodes < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig.num_nodes must be >= 1 (got 0)");
+  }
+  if (config.exec.max_batch_size < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig.exec.max_batch_size must be >= 1 (got 0); a zero "
+        "batch capacity underflows the vectorized engine's chunking math");
+  }
+  if (config.admission.max_concurrent_queries < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig.admission.max_concurrent_queries must be >= 1 (got " +
+        std::to_string(config.admission.max_concurrent_queries) +
+        "); zero slots would refuse every query");
+  }
+  return Status::OK();
+}
 
 }  // namespace dynopt
 

@@ -1,6 +1,7 @@
 #ifndef DYNOPT_EXEC_DATASET_H_
 #define DYNOPT_EXEC_DATASET_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,6 +9,28 @@
 #include "common/value.h"
 
 namespace dynopt {
+
+/// Process-wide count of by-name column lookups (Dataset::ColumnIndex and
+/// ColumnarDataset::ColumnIndex). A name lookup is an O(columns) string
+/// scan, so kernels must resolve every slot once per operator — never
+/// inside a row or batch loop. The counter exists for the regression test
+/// that pins this invariant: the number of lookups a pipeline performs must
+/// be independent of its row count.
+inline std::atomic<uint64_t>& ColumnNameLookupCount() {
+  static std::atomic<uint64_t> count{0};
+  return count;
+}
+
+/// Shared linear-scan implementation behind both ColumnIndex methods;
+/// increments ColumnNameLookupCount().
+inline int LinearColumnIndex(const std::vector<std::string>& columns,
+                             const std::string& name) {
+  ColumnNameLookupCount().fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 /// A runtime, node-partitioned rowset flowing between physical operators.
 /// Columns carry fully qualified names ("ss.ss_item_sk"); intermediate
@@ -40,12 +63,11 @@ struct Dataset {
     return true;
   }
 
-  /// Slot of a qualified column, or -1.
+  /// Slot of a qualified column, or -1. O(columns) — resolve once per
+  /// operator (the instrumented counter backs a regression test that no
+  /// kernel calls this inside a row loop).
   int ColumnIndex(const std::string& name) const {
-    for (size_t i = 0; i < columns.size(); ++i) {
-      if (columns[i] == name) return static_cast<int>(i);
-    }
-    return -1;
+    return LinearColumnIndex(columns, name);
   }
 
   uint64_t NumRows() const {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <iterator>
 
 #include "common/hash.h"
@@ -10,6 +11,7 @@
 #include "common/tracer.h"
 #include "exec/join_hash_table.h"
 #include "exec/row_kernels.h"
+#include "exec/vector_kernels.h"
 #include "storage/schema.h"
 #include "storage/serde.h"
 
@@ -21,6 +23,23 @@ namespace {
 Result<std::vector<int>> ResolveColumns(const Dataset& data,
                                         const std::vector<std::string>& names,
                                         const char* what) {
+  std::vector<int> indices;
+  indices.reserve(names.size());
+  for (const auto& name : names) {
+    int idx = data.ColumnIndex(name);
+    if (idx < 0) {
+      return Status::ExecutionError(std::string(what) + " column " + name +
+                                    " not found in dataset");
+    }
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
+/// Columnar twin of ResolveColumns (same error text).
+Result<std::vector<int>> ResolveColumnsColumnar(
+    const ColumnarDataset& data, const std::vector<std::string>& names,
+    const char* what) {
   std::vector<int> indices;
   indices.reserve(names.size());
   for (const auto& name : names) {
@@ -60,6 +79,14 @@ JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
       faults_(faults),
       ctx_(ctx) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
+  // Config validation at construction time — a zero max_batch_size or node
+  // count would otherwise fail as an underflow deep inside a kernel.
+  const Status valid = ValidateClusterConfig(cluster_);
+  if (!valid.ok()) {
+    std::fprintf(stderr, "dynopt: invalid ClusterConfig: %s\n",
+                 valid.message().c_str());
+    std::abort();
+  }
 }
 
 Status JobExecutor::ApplyFaults(FaultSite site,
@@ -196,8 +223,17 @@ Result<JobResult> JobExecutor::Execute(
   MetricsRegistry::Global().counter("exec.jobs")->Increment();
   JobResult result;
   result.metrics.num_jobs = 1;
-  DYNOPT_ASSIGN_OR_RETURN(result.data,
-                          ExecNode(root, params, &result.metrics));
+  if (cluster_.exec.use_columnar) {
+    // Vectorized path: run the operator tree over column batches, convert
+    // at the root (the materialization boundary — Materialize, DRB serde
+    // and result delivery stay row-oriented).
+    DYNOPT_ASSIGN_OR_RETURN(ColumnarDataset columnar,
+                            ExecNodeColumnar(root, params, &result.metrics));
+    result.data = ToDataset(std::move(columnar));
+  } else {
+    DYNOPT_ASSIGN_OR_RETURN(result.data,
+                            ExecNode(root, params, &result.metrics));
+  }
   result.metrics.rows_out = result.data.NumRows();
   if (ctx_ != nullptr) {
     result.metrics.peak_memory_bytes = std::max(
@@ -1064,6 +1100,14 @@ Result<Dataset> JobExecutor::ExecJoin(
                           ExecNode(*node.children[0], params, metrics));
   DYNOPT_ASSIGN_OR_RETURN(Dataset probe,
                           ExecNode(*node.children[1], params, metrics));
+  return ExecJoinWithInputs(node, std::move(build), std::move(probe),
+                            metrics);
+}
+
+Result<Dataset> JobExecutor::ExecJoinWithInputs(const PlanNode& node,
+                                                Dataset&& build,
+                                                Dataset&& probe,
+                                                ExecMetrics* metrics) {
   std::vector<std::string> build_names, probe_names;
   for (const auto& [l, r] : node.keys) {
     build_names.push_back(l);
@@ -1258,6 +1302,691 @@ Result<Dataset> JobExecutor::ExecIndexNestedLoopJoin(
       static_cast<double>(MaxOver(matched_bytes)) *
           cluster_.disk_read_seconds_per_byte;
   return out;
+}
+
+// --- Columnar operator path ----------------------------------------------
+//
+// Every operator below is the vectorized twin of a row operator above:
+// identical trace spans, identical deterministic counters, identical
+// simulated-seconds formulas, identical fault-injection sites drawn in the
+// same order. Only the in-memory representation (and wall-clock speed)
+// differs.
+
+Result<ColumnarDataset> JobExecutor::ExecNodeColumnar(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  switch (node.kind) {
+    case PlanNode::Kind::kScan:
+      return ExecScanColumnar(node, metrics);
+    case PlanNode::Kind::kFilter:
+      return ExecFilterColumnar(node, params, metrics);
+    case PlanNode::Kind::kProject:
+      return ExecProjectColumnar(node, params, metrics);
+    case PlanNode::Kind::kJoin:
+      if (node.method == JoinMethod::kIndexNestedLoop) {
+        // Row fallback: the INLJ probes a row-oriented secondary index and
+        // gathers matching rows directly; its whole subtree runs the row
+        // operators (metering is identical by construction) and the result
+        // converts at this boundary.
+        DYNOPT_ASSIGN_OR_RETURN(
+            Dataset rows, ExecIndexNestedLoopJoin(node, params, metrics));
+        return FromDataset(rows, cluster_.exec.max_batch_size);
+      }
+      return ExecJoinColumnar(node, params, metrics);
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+Result<ColumnarDataset> JobExecutor::ExecScanColumnar(const PlanNode& node,
+                                                      ExecMetrics* metrics) {
+  TraceSpan span("scan:" + node.table, "kernel");
+  DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                          catalog_->GetTable(node.table));
+  const Schema& schema = table->schema();
+  std::vector<std::string> all_columns;
+  all_columns.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    all_columns.push_back(node.is_intermediate
+                              ? schema.field(i).name
+                              : node.alias + "." + schema.field(i).name);
+  }
+  std::vector<int> keep;
+  std::vector<std::string> out_columns;
+  if (node.scan_columns.empty()) {
+    for (size_t i = 0; i < all_columns.size(); ++i) {
+      keep.push_back(static_cast<int>(i));
+    }
+    out_columns = all_columns;
+  } else {
+    for (const auto& wanted : node.scan_columns) {
+      auto it = std::find(all_columns.begin(), all_columns.end(), wanted);
+      if (it == all_columns.end()) {
+        return Status::ExecutionError("scan column " + wanted +
+                                      " not in table " + node.table);
+      }
+      keep.push_back(static_cast<int>(it - all_columns.begin()));
+      out_columns.push_back(wanted);
+    }
+  }
+
+  const size_t num_parts = table->num_partitions();
+  const size_t batch_cap = cluster_.exec.max_batch_size;
+  ColumnarDataset out(out_columns, num_parts);
+  std::vector<uint64_t> bytes_in(num_parts, 0);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    const auto& rows = table->partition(p);
+    auto& batches = out.partitions[p];
+    batches.reserve(rows.size() / batch_cap + 1);
+    uint64_t bytes = 0;
+    for (const Row& row : rows) bytes += RowSizeBytesInline(row);
+    for (size_t start = 0; start < rows.size(); start += batch_cap) {
+      const size_t m = std::min(batch_cap, rows.size() - start);
+      batches.push_back(BatchFromRowsProjected(rows.data() + start, m,
+                                               keep.data(), keep.size()));
+    }
+    bytes_in[p] = bytes;
+    rows_in[p] = rows.size();
+  });
+
+  uint64_t total_bytes = 0, total_rows = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    total_bytes += bytes_in[p];
+    total_rows += rows_in[p];
+  }
+  metrics->tuples_processed += total_rows;
+  double io_seconds;
+  if (node.is_intermediate) {
+    metrics->bytes_intermediate_read += total_bytes;
+    io_seconds = static_cast<double>(MaxOver(bytes_in)) *
+                 cluster_.disk_read_seconds_per_byte;
+    metrics->reopt_seconds += io_seconds;
+  } else {
+    metrics->bytes_scanned += total_bytes;
+    io_seconds = static_cast<double>(MaxOver(bytes_in)) *
+                 cluster_.scan_seconds_per_byte;
+  }
+  metrics->simulated_seconds +=
+      io_seconds + static_cast<double>(MaxOver(rows_in)) *
+                       cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<ColumnarDataset> JobExecutor::ExecFilterColumnar(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(ColumnarDataset input,
+                          ExecNodeColumnar(*node.children[0], params,
+                                           metrics));
+  // Compile once per operator: slots resolved here, never in the batch
+  // loop. Fails with the same BindError messages as Bind().
+  DYNOPT_ASSIGN_OR_RETURN(
+      VecPredicate pred,
+      VecPredicate::Compile(node.predicate, input.columns, &params, udfs_));
+
+  const size_t num_parts = input.partitions.size();
+  ColumnarDataset out(input.columns, num_parts);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& src = input.partitions[p];
+    auto& dest = out.partitions[p];
+    uint64_t nrows = 0;
+    std::vector<uint8_t> keep;
+    std::vector<uint32_t> sel;
+    for (ColumnBatch& b : src) {
+      nrows += b.num_rows;
+      pred.EvalBools(b, &keep);
+      sel.clear();
+      for (size_t i = 0; i < b.num_rows; ++i) {
+        if (keep[i]) sel.push_back(static_cast<uint32_t>(i));
+      }
+      if (sel.size() == b.num_rows) {
+        // Everything survives: the batch moves wholesale.
+        dest.push_back(std::move(b));
+      } else if (!sel.empty()) {
+        dest.push_back(GatherBatch(b, sel.data(), sel.size()));
+      }
+      b = ColumnBatch();
+    }
+    src.clear();
+    rows_in[p] = nrows;
+  });
+  uint64_t total_rows = 0;
+  for (uint64_t r : rows_in) total_rows += r;
+  metrics->tuples_processed += total_rows;
+  metrics->simulated_seconds += static_cast<double>(MaxOver(rows_in)) *
+                                cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<ColumnarDataset> JobExecutor::ExecProjectColumnar(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(ColumnarDataset input,
+                          ExecNodeColumnar(*node.children[0], params,
+                                           metrics));
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::vector<int> keep,
+      ResolveColumnsColumnar(input, node.project_columns, "project"));
+  const size_t num_parts = input.partitions.size();
+  ColumnarDataset out(node.project_columns, num_parts);
+  std::vector<uint64_t> rows_in(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& src = input.partitions[p];
+    auto& dest = out.partitions[p];
+    dest.reserve(src.size());
+    uint64_t nrows = 0;
+    for (ColumnBatch& b : src) {
+      nrows += b.num_rows;
+      ColumnBatch projected;
+      projected.num_rows = b.num_rows;
+      projected.row_sizes.resize(b.num_rows);
+      // New sizes first (they read the dropped columns' replacement — the
+      // kept columns — before any are moved out below).
+      ProjectedRowSizes(b, keep.data(), keep.size(),
+                        projected.row_sizes.data());
+      projected.columns.reserve(keep.size());
+      // Projection is a column shuffle: move each kept column (copy only a
+      // repeated slot), drop the rest.
+      std::vector<char> moved(b.columns.size(), 0);
+      for (size_t ki = 0; ki < keep.size(); ++ki) {
+        const size_t c = static_cast<size_t>(keep[ki]);
+        if (!moved[c]) {
+          projected.columns.push_back(std::move(b.columns[c]));
+          moved[c] = 1;
+        } else {
+          size_t prev = 0;
+          while (static_cast<size_t>(keep[prev]) != c) ++prev;
+          ColumnVector copy = projected.columns[prev];
+          projected.columns.push_back(std::move(copy));
+        }
+      }
+      dest.push_back(std::move(projected));
+      b = ColumnBatch();
+    }
+    src.clear();
+    rows_in[p] = nrows;
+  });
+  metrics->simulated_seconds += static_cast<double>(MaxOver(rows_in)) *
+                                cluster_.cpu_seconds_per_tuple;
+  return out;
+}
+
+Result<ColumnarShuffleResult> JobExecutor::RepartitionColumnar(
+    ColumnarDataset&& input, const std::vector<int>& key_indices,
+    ExecMetrics* metrics) {
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  TraceSpan span("shuffle", "kernel");
+  const auto wall_start = WallClock::now();
+  const size_t n = cluster_.num_nodes;
+  const size_t src_parts = input.partitions.size();
+  const size_t batch_cap = cluster_.exec.max_batch_size;
+  const size_t num_cols = input.columns.size();
+
+  auto fault_check = [&](const std::vector<uint64_t>& received_bytes,
+                         const std::vector<uint64_t>& rows_in) -> Status {
+    if (!FaultsArmed()) return Status::OK();
+    std::vector<double> per_node(std::max(received_bytes.size(),
+                                          rows_in.size()),
+                                 0.0);
+    for (size_t i = 0; i < received_bytes.size(); ++i) {
+      per_node[i] += static_cast<double>(received_bytes[i]) *
+                     cluster_.network_seconds_per_byte;
+    }
+    for (size_t i = 0; i < rows_in.size(); ++i) {
+      per_node[i] +=
+          static_cast<double>(rows_in[i]) * cluster_.cpu_seconds_per_tuple;
+    }
+    return ApplyFaults(FaultSite::kRepartition, per_node, metrics);
+  };
+
+  // Adaptive route: mirrors the row shuffle — a pool without at least two
+  // workers cannot overlap anything, so the two-phase exchange below would
+  // pay n full re-scans of every source batch (one per destination) with
+  // nothing gained in return. The one-pass exchange hashes each batch,
+  // buckets its rows per destination and gathers them while the batch is
+  // still hot in cache. Row order, hashes and all metering are identical
+  // on both routes.
+  if (pool_->num_threads() <= 1) {
+    ColumnarShuffleResult result;
+    result.data = ColumnarDataset(input.columns, n);
+    result.hashes.resize(n);
+    std::vector<uint64_t> received_bytes(n, 0);
+    std::vector<uint64_t> rows_in(src_parts, 0);
+    uint64_t shuffled_bytes = 0;
+    uint64_t total_rows = 0;
+    const FastMod mod_n(n);
+    std::vector<BatchSink> sinks;
+    sinks.reserve(n);
+    for (size_t d = 0; d < n; ++d) {
+      sinks.emplace_back(num_cols, batch_cap, &result.data.partitions[d]);
+    }
+    std::vector<std::vector<uint32_t>> sel(n);
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> null_scratch;
+    for (size_t p = 0; p < src_parts; ++p) {
+      uint64_t part_rows = 0;
+      for (ColumnBatch& b : input.partitions[p]) {
+        const size_t m = b.num_rows;
+        part_rows += m;
+        hashes.resize(m);
+        null_scratch.assign(m, 0);
+        HashKeyColumns(b, key_indices.data(), key_indices.size(),
+                       hashes.data(), null_scratch.data());
+        for (auto& s : sel) s.clear();
+        const uint64_t* sizes = b.row_sizes.data();
+        for (size_t i = 0; i < m; ++i) {
+          const size_t dest = static_cast<size_t>(mod_n(hashes[i]));
+          // Co-partitioned rows move no bytes (same rule as the row
+          // shuffle).
+          const uint64_t moved = (dest != p || src_parts != n) ? sizes[i] : 0;
+          shuffled_bytes += moved;
+          received_bytes[dest] += moved;
+          sel[dest].push_back(static_cast<uint32_t>(i));
+          result.hashes[dest].push_back(hashes[i]);
+        }
+        for (size_t d = 0; d < n; ++d) {
+          if (!sel[d].empty()) {
+            sinks[d].AppendGather(b, sel[d].data(), sel[d].size());
+          }
+        }
+        b = ColumnBatch();  // the batch is fully consumed; free it eagerly
+      }
+      rows_in[p] = part_rows;
+      total_rows += part_rows;
+      input.partitions[p].clear();
+    }
+    for (BatchSink& s : sinks) s.Flush();
+    input.partitions.clear();
+    metrics->bytes_shuffled += shuffled_bytes;
+    metrics->tuples_processed += total_rows;
+    metrics->simulated_seconds +=
+        static_cast<double>(MaxOver(received_bytes)) *
+            cluster_.network_seconds_per_byte +
+        static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+    DYNOPT_RETURN_IF_ERROR(fault_check(received_bytes, rows_in));
+    metrics->wall_shuffle_seconds += SecondsSince(wall_start);
+    return result;
+  }
+
+  // Phase 1: per source partition, hash the key columns of every batch
+  // (column-at-a-time) and record each row's destination, per-destination
+  // counts and byte metering. No rows move.
+  struct RoutePlan {
+    std::vector<uint64_t> hashes;    // flat over the partition's rows
+    std::vector<uint32_t> dest;      // [row] -> destination partition
+    std::vector<size_t> counts;      // [dest] -> rows routed there
+    std::vector<uint64_t> bytes_to;  // [dest] -> shuffled bytes
+    uint64_t shuffled_bytes = 0;
+  };
+  std::vector<RoutePlan> routed(src_parts);
+  std::vector<uint64_t> rows_in(src_parts, 0);
+  pool_->ParallelFor(src_parts, [&](size_t p) {
+    RoutePlan& plan = routed[p];
+    uint64_t part_rows = 0;
+    for (const ColumnBatch& b : input.partitions[p]) part_rows += b.num_rows;
+    rows_in[p] = part_rows;
+    plan.hashes.resize(part_rows);
+    plan.dest.resize(part_rows);
+    plan.counts.assign(n, 0);
+    plan.bytes_to.assign(n, 0);
+    const FastMod mod_n(n);
+    std::vector<uint8_t> null_scratch;
+    size_t base = 0;
+    for (const ColumnBatch& b : input.partitions[p]) {
+      const size_t m = b.num_rows;
+      null_scratch.assign(m, 0);
+      HashKeyColumns(b, key_indices.data(), key_indices.size(),
+                     plan.hashes.data() + base, null_scratch.data());
+      const uint64_t* h = plan.hashes.data() + base;
+      const uint64_t* sizes = b.row_sizes.data();
+      for (size_t i = 0; i < m; ++i) {
+        const size_t dest = static_cast<size_t>(mod_n(h[i]));
+        plan.dest[base + i] = static_cast<uint32_t>(dest);
+        ++plan.counts[dest];
+        // Co-partitioned rows move no bytes (same rule as the row shuffle).
+        const uint64_t moved =
+            (dest != p || src_parts != n) ? sizes[i] : 0;
+        plan.shuffled_bytes += moved;
+        plan.bytes_to[dest] += moved;
+      }
+      base += m;
+    }
+  });
+
+  // Phase 2: parallel over destinations — each destination walks every
+  // source batch in order, gathering its rows (and their hashes) into
+  // fixed-capacity output batches. Sources in ascending order, rows in
+  // batch order: exactly the row order of a sequential shuffle.
+  ColumnarShuffleResult result;
+  result.data = ColumnarDataset(input.columns, n);
+  result.hashes.resize(n);
+  pool_->ParallelFor(n, [&](size_t d) {
+    size_t total = 0;
+    for (size_t p = 0; p < src_parts; ++p) total += routed[p].counts[d];
+    auto& out_hashes = result.hashes[d];
+    out_hashes.reserve(total);
+    BatchSink sink(num_cols, batch_cap, &result.data.partitions[d]);
+    std::vector<uint32_t> sel;
+    for (size_t p = 0; p < src_parts; ++p) {
+      const RoutePlan& plan = routed[p];
+      size_t base = 0;
+      for (const ColumnBatch& b : input.partitions[p]) {
+        const size_t m = b.num_rows;
+        sel.clear();
+        for (size_t i = 0; i < m; ++i) {
+          if (plan.dest[base + i] == d) {
+            sel.push_back(static_cast<uint32_t>(i));
+            out_hashes.push_back(plan.hashes[base + i]);
+          }
+        }
+        sink.AppendGather(b, sel.data(), sel.size());
+        base += m;
+      }
+    }
+    sink.Flush();
+  });
+  // The input is fully consumed.
+  input.partitions.clear();
+
+  std::vector<uint64_t> received_bytes(n, 0);
+  uint64_t total_rows = 0;
+  uint64_t shuffled_bytes = 0;
+  for (size_t p = 0; p < src_parts; ++p) {
+    shuffled_bytes += routed[p].shuffled_bytes;
+    total_rows += rows_in[p];
+    for (size_t d = 0; d < n; ++d) received_bytes[d] += routed[p].bytes_to[d];
+  }
+  metrics->bytes_shuffled += shuffled_bytes;
+  metrics->tuples_processed += total_rows;
+  metrics->simulated_seconds +=
+      static_cast<double>(MaxOver(received_bytes)) *
+          cluster_.network_seconds_per_byte +
+      static_cast<double>(MaxOver(rows_in)) * cluster_.cpu_seconds_per_tuple;
+  DYNOPT_RETURN_IF_ERROR(fault_check(received_bytes, rows_in));
+  metrics->wall_shuffle_seconds += SecondsSince(wall_start);
+  return result;
+}
+
+Result<ColumnarDataset> JobExecutor::LocalHashJoinColumnar(
+    const ColumnarDataset& build, const ColumnarDataset& probe,
+    const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
+    ExecMetrics* metrics,
+    const std::vector<std::vector<uint64_t>>* build_hashes,
+    const std::vector<std::vector<uint64_t>>* probe_hashes) {
+  DYNOPT_CHECK(build.partitions.size() == probe.partitions.size());
+  // Spill-governed joins must take the row engine (ExecJoinColumnar routes
+  // them there); this kernel implements the in-memory path only.
+  DYNOPT_CHECK(cluster_.memory.join_memory_budget_bytes == 0);
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  const size_t num_parts = build.partitions.size();
+  const size_t batch_cap = cluster_.exec.max_batch_size;
+  std::vector<std::string> out_columns = build.columns;
+  out_columns.insert(out_columns.end(), probe.columns.begin(),
+                     probe.columns.end());
+  ColumnarDataset out(out_columns, num_parts);
+
+  // Memory governance (no budget, so nothing spills): account the resident
+  // build side against the query tracker exactly like the row join — the
+  // batches' row_sizes sum to the same annotation totals.
+  MemoryReservation join_mem(ctx_ != nullptr ? &ctx_->memory() : nullptr);
+  if (ctx_ != nullptr) {
+    std::vector<uint64_t> build_bytes(num_parts, 0);
+    pool_->ParallelFor(num_parts, [&](size_t p) {
+      uint64_t bytes = 0;
+      for (const ColumnBatch& b : build.partitions[p]) {
+        for (uint64_t s : b.row_sizes) bytes += s;
+      }
+      build_bytes[p] = bytes;
+    });
+    for (size_t p = 0; p < num_parts; ++p) {
+      join_mem.GrowUnchecked(build_bytes[p]);
+    }
+  }
+
+  // Build phase: concatenate each partition's build batches into one flat
+  // batch (the table's index space), hash its key columns (or adopt the
+  // shuffle's hashes) and build the flat table.
+  TraceSpan build_span("join-build", "kernel");
+  auto wall_start = WallClock::now();
+  if (join_tables_.size() < num_parts) join_tables_.resize(num_parts);
+  std::vector<JoinHashTable>& tables = join_tables_;
+  std::vector<ColumnBatch> build_flat(num_parts);
+  std::vector<std::vector<uint8_t>> build_null(num_parts);
+  std::vector<std::vector<uint64_t>> hash_storage(
+      build_hashes != nullptr ? 0 : num_parts);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    build_flat[p] = ConcatBatches(build.partitions[p]);
+    const size_t nb = build_flat[p].num_rows;
+    build_null[p].assign(nb, 0);
+    if (nb == 0) {
+      // Empty build partition: ConcatBatches has no columns to adopt, so
+      // skip key hashing; the table still initializes (all chains empty).
+      tables[p].BuildFromHashes(nullptr, nullptr, 0);
+      return;
+    }
+    const uint64_t* h;
+    if (build_hashes != nullptr) {
+      AnyKeyNull(build_flat[p], build_keys.data(), build_keys.size(),
+                 build_null[p].data());
+      h = (*build_hashes)[p].data();
+    } else {
+      hash_storage[p].resize(nb);
+      HashKeyColumns(build_flat[p], build_keys.data(), build_keys.size(),
+                     hash_storage[p].data(), build_null[p].data());
+      h = hash_storage[p].data();
+    }
+    tables[p].BuildFromHashes(h, build_null[p].data(), nb);
+  });
+  metrics->wall_build_seconds += SecondsSince(wall_start);
+  if (FaultsArmed()) {
+    std::vector<double> build_seconds(num_parts, 0.0);
+    for (size_t p = 0; p < num_parts; ++p) {
+      build_seconds[p] = static_cast<double>(build_flat[p].num_rows) *
+                         cluster_.cpu_seconds_per_tuple;
+    }
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kBuild, build_seconds, metrics));
+  }
+  build_span.End();
+
+  // Probe phase: per partition, walk the probe batches; matches accumulate
+  // as (build index, probe index) selection pairs per batch and are emitted
+  // by one gather per column. Emission order — probe rows ascending, chain
+  // order ascending — matches the row join exactly.
+  DYNOPT_RETURN_IF_ERROR(CheckAlive());
+  TraceSpan probe_span("join-probe", "kernel");
+  wall_start = WallClock::now();
+  std::vector<uint64_t> work(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    const ColumnBatch& bflat = build_flat[p];
+    const JoinHashTable& table = tables[p];
+    uint64_t probe_rows = 0;
+    for (const ColumnBatch& pb : probe.partitions[p]) {
+      probe_rows += pb.num_rows;
+    }
+    uint64_t local_work = bflat.num_rows + probe_rows;
+    BatchSink sink(out_columns.size(), batch_cap, &out.partitions[p]);
+    constexpr uint32_t kEnd = JoinHashTable::kEnd;
+    const uint32_t* heads = table.heads();
+    const uint32_t* next = table.next();
+    const uint64_t* table_hashes = table.hashes();
+    const size_t mask = table.mask();
+    const int* bkeys = build_keys.data();
+    const int* pkeys = probe_keys.data();
+    const size_t num_keys = build_keys.size();
+    const uint64_t* part_hashes =
+        probe_hashes != nullptr ? (*probe_hashes)[p].data() : nullptr;
+    std::vector<uint64_t> hash_scratch;
+    std::vector<uint8_t> null_scratch;
+    std::vector<uint32_t> bsel, psel;
+    std::vector<uint64_t> jsizes;
+    size_t hash_off = 0;
+    for (const ColumnBatch& pb : probe.partitions[p]) {
+      const size_t m = pb.num_rows;
+      null_scratch.assign(m, 0);
+      const uint64_t* ph;
+      if (part_hashes != nullptr) {
+        ph = part_hashes + hash_off;
+        AnyKeyNull(pb, pkeys, num_keys, null_scratch.data());
+      } else {
+        hash_scratch.resize(m);
+        HashKeyColumns(pb, pkeys, num_keys, hash_scratch.data(),
+                       null_scratch.data());
+        ph = hash_scratch.data();
+      }
+      bsel.clear();
+      psel.clear();
+      jsizes.clear();
+      const uint64_t* bsizes = bflat.row_sizes.data();
+      const uint64_t* psizes = pb.row_sizes.data();
+      for (size_t j = 0; j < m; ++j) {
+        const uint64_t h = ph[j];
+        uint32_t first;
+        if (part_hashes != nullptr) {
+          // Precomputed-hash path: walk to the first hash match before the
+          // NULL-key check (same rejection order as the row probe).
+          if (j + 8 < m) {
+            __builtin_prefetch(&heads[ph[j + 8] & mask]);
+          }
+          first = heads[h & mask];
+          while (first != kEnd && table_hashes[first] != h) {
+            first = next[first];
+          }
+          if (first == kEnd) continue;
+          if (null_scratch[j]) continue;
+        } else {
+          if (null_scratch[j]) continue;
+          first = heads[h & mask];
+        }
+        for (uint32_t i = first; i != kEnd; i = next[i]) {
+          if (table_hashes[i] != h) continue;
+          if (!JoinKeysEqualColumnar(bflat, i, pb, j, bkeys, pkeys,
+                                     num_keys)) {
+            continue;
+          }
+          bsel.push_back(i);
+          psel.push_back(static_cast<uint32_t>(j));
+          // Joined-row size: both payloads, one 8-byte header.
+          jsizes.push_back(bsizes[i] + psizes[j] - 8);
+          ++local_work;
+        }
+      }
+      sink.AppendJoinGather(bflat, bsel.data(), pb, psel.data(),
+                            jsizes.data(), bsel.size());
+      hash_off += m;
+    }
+    sink.Flush();
+    work[p] = local_work;
+  });
+  metrics->wall_probe_seconds += SecondsSince(wall_start);
+
+  uint64_t total_work = 0;
+  for (uint64_t w : work) total_work += w;
+  metrics->tuples_processed += total_work;
+  metrics->simulated_seconds +=
+      static_cast<double>(MaxOver(work)) * cluster_.cpu_seconds_per_tuple;
+  if (FaultsArmed()) {
+    std::vector<double> probe_seconds(num_parts, 0.0);
+    for (size_t p = 0; p < num_parts; ++p) {
+      probe_seconds[p] =
+          static_cast<double>(work[p] - build_flat[p].num_rows) *
+          cluster_.cpu_seconds_per_tuple;
+    }
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kProbe, probe_seconds, metrics));
+  }
+  return out;
+}
+
+Result<ColumnarDataset> JobExecutor::ExecJoinColumnar(
+    const PlanNode& node, const std::map<std::string, Value>& params,
+    ExecMetrics* metrics) {
+  DYNOPT_ASSIGN_OR_RETURN(ColumnarDataset build,
+                          ExecNodeColumnar(*node.children[0], params,
+                                           metrics));
+  DYNOPT_ASSIGN_OR_RETURN(ColumnarDataset probe,
+                          ExecNodeColumnar(*node.children[1], params,
+                                           metrics));
+  // A configured join memory budget routes through the row engine: the
+  // grace hash join spills *rows* through the checksummed DRB serde, and
+  // that path (plus its metering and fault sites) stays row-oriented by
+  // design. Children still ran columnar; convert at this boundary.
+  if (cluster_.memory.join_memory_budget_bytes > 0) {
+    DYNOPT_ASSIGN_OR_RETURN(
+        Dataset joined,
+        ExecJoinWithInputs(node, ToDataset(std::move(build)),
+                           ToDataset(std::move(probe)), metrics));
+    return FromDataset(joined, cluster_.exec.max_batch_size);
+  }
+
+  std::vector<std::string> build_names, probe_names;
+  for (const auto& [l, r] : node.keys) {
+    build_names.push_back(l);
+    probe_names.push_back(r);
+  }
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::vector<int> build_keys,
+      ResolveColumnsColumnar(build, build_names, "join build"));
+  DYNOPT_ASSIGN_OR_RETURN(
+      std::vector<int> probe_keys,
+      ResolveColumnsColumnar(probe, probe_names, "join probe"));
+
+  if (node.method == JoinMethod::kHashShuffle) {
+    DYNOPT_ASSIGN_OR_RETURN(
+        ColumnarShuffleResult build_parts,
+        RepartitionColumnar(std::move(build), build_keys, metrics));
+    DYNOPT_ASSIGN_OR_RETURN(
+        ColumnarShuffleResult probe_parts,
+        RepartitionColumnar(std::move(probe), probe_keys, metrics));
+    return LocalHashJoinColumnar(build_parts.data, probe_parts.data,
+                                 build_keys, probe_keys, metrics,
+                                 &build_parts.hashes, &probe_parts.hashes);
+  }
+
+  // Broadcast join: replicate the (small) build side to every partition.
+  DYNOPT_CHECK(node.method == JoinMethod::kBroadcast);
+  // Build bytes from the batches' size annotation — identical to summing
+  // RowSizeBytes over the gathered rows (the annotation invariant).
+  uint64_t build_bytes = 0;
+  std::vector<ColumnBatch> build_all;
+  for (auto& part : build.partitions) {
+    for (ColumnBatch& b : part) {
+      for (uint64_t s : b.row_sizes) build_bytes += s;
+      build_all.push_back(std::move(b));
+    }
+  }
+  build.partitions.clear();
+  const size_t n = probe.partitions.size();
+  metrics->bytes_broadcast += build_bytes * n;
+  metrics->simulated_seconds +=
+      static_cast<double>(build_bytes) * cluster_.network_seconds_per_byte;
+  // Legacy flat overflow penalty (only ever active without a join budget —
+  // and this columnar path requires a zero budget).
+  if (build_bytes > cluster_.broadcast_threshold_bytes) {
+    double overflow = static_cast<double>(build_bytes -
+                                          cluster_.broadcast_threshold_bytes);
+    metrics->simulated_seconds +=
+        overflow * cluster_.spill_penalty_passes *
+        (cluster_.disk_write_seconds_per_byte +
+         cluster_.disk_read_seconds_per_byte);
+  }
+  if (FaultsArmed()) {
+    std::vector<double> receive_seconds(
+        n, static_cast<double>(build_bytes) *
+               cluster_.network_seconds_per_byte);
+    DYNOPT_RETURN_IF_ERROR(
+        ApplyFaults(FaultSite::kBroadcast, receive_seconds, metrics));
+  }
+
+  ColumnarDataset replicated(build.columns, n);
+  // Physical replication, like the row path: per-node joins are real work
+  // (dictionaries are shared across the copies; codes and fixed-width
+  // payloads are duplicated).
+  for (size_t p = 0; p < n; ++p) replicated.partitions[p] = build_all;
+  return LocalHashJoinColumnar(replicated, probe, build_keys, probe_keys,
+                               metrics);
 }
 
 Result<SinkResult> JobExecutor::Materialize(

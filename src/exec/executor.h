@@ -11,6 +11,7 @@
 #include "common/query_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "exec/batch.h"
 #include "exec/cluster.h"
 #include "exec/dataset.h"
 #include "exec/fault_injector.h"
@@ -41,6 +42,14 @@ struct SinkResult {
 /// build and probe never rehash.
 struct ShuffleResult {
   Dataset data;
+  std::vector<std::vector<uint64_t>> hashes;
+};
+
+/// Columnar analogue of ShuffleResult: hashes[p][i] is the key hash of the
+/// i-th row of partition p in batch-concatenation order (the flat row index
+/// space the columnar join builds its table over).
+struct ColumnarShuffleResult {
+  ColumnarDataset data;
   std::vector<std::vector<uint64_t>> hashes;
 };
 
@@ -110,6 +119,29 @@ class JobExecutor {
       const std::vector<std::vector<uint64_t>>* build_hashes = nullptr,
       const std::vector<std::vector<uint64_t>>* probe_hashes = nullptr);
 
+  /// Vectorized shuffle: same routing function, metering, fault sites and
+  /// output row order as Repartition, but batch-at-a-time — phase 1 hashes
+  /// key columns with HashKeyColumns, phase 2 scatters per *destination*
+  /// (each destination gathers its rows from every source batch in order,
+  /// so writers never share state). Public for parity tests and benchmarks.
+  Result<ColumnarShuffleResult> RepartitionColumnar(
+      ColumnarDataset&& input, const std::vector<int>& key_indices,
+      ExecMetrics* metrics);
+
+  /// Vectorized local hash join (in-memory path only — spill-governed joins
+  /// take the row engine; callers must guarantee a zero join memory
+  /// budget). Build batches are concatenated per partition so the flat
+  /// table of JoinHashTable::BuildFromHashes indexes them directly; probing
+  /// walks probe batches emitting gathered build++probe columns. Metering,
+  /// fault sites and emission order are byte-for-byte identical to
+  /// LocalHashJoin.
+  Result<ColumnarDataset> LocalHashJoinColumnar(
+      const ColumnarDataset& build, const ColumnarDataset& probe,
+      const std::vector<int>& build_keys, const std::vector<int>& probe_keys,
+      ExecMetrics* metrics,
+      const std::vector<std::vector<uint64_t>>* build_hashes = nullptr,
+      const std::vector<std::vector<uint64_t>>* probe_hashes = nullptr);
+
   const ClusterConfig& cluster() const { return cluster_; }
 
  private:
@@ -126,7 +158,31 @@ class JobExecutor {
   Result<Dataset> ExecJoin(const PlanNode& node,
                            const std::map<std::string, Value>& params,
                            ExecMetrics* metrics);
+  /// Join body shared by the row path and the columnar spill fallback: the
+  /// children are already executed; shuffles/broadcasts and joins `build`
+  /// against `probe` per node.method.
+  Result<Dataset> ExecJoinWithInputs(const PlanNode& node, Dataset&& build,
+                                     Dataset&& probe, ExecMetrics* metrics);
   Result<Dataset> ExecIndexNestedLoopJoin(
+      const PlanNode& node, const std::map<std::string, Value>& params,
+      ExecMetrics* metrics);
+
+  /// Columnar operator tree (cluster_.exec.use_columnar). Each operator is
+  /// metering-identical to its row twin; joins that cannot run columnar
+  /// (index nested loop; spill-governed hash joins) fall back to the row
+  /// operators through the FromDataset/ToDataset conversion boundary.
+  Result<ColumnarDataset> ExecNodeColumnar(
+      const PlanNode& node, const std::map<std::string, Value>& params,
+      ExecMetrics* metrics);
+  Result<ColumnarDataset> ExecScanColumnar(const PlanNode& node,
+                                           ExecMetrics* metrics);
+  Result<ColumnarDataset> ExecFilterColumnar(
+      const PlanNode& node, const std::map<std::string, Value>& params,
+      ExecMetrics* metrics);
+  Result<ColumnarDataset> ExecProjectColumnar(
+      const PlanNode& node, const std::map<std::string, Value>& params,
+      ExecMetrics* metrics);
+  Result<ColumnarDataset> ExecJoinColumnar(
       const PlanNode& node, const std::map<std::string, Value>& params,
       ExecMetrics* metrics);
 

@@ -84,6 +84,32 @@ class JoinHashTable {
     }
   }
 
+  /// Columnar build: `hashes[0..n)` are the combined key hashes of the
+  /// build batch's rows (flat partition index space) and `key_null[i]` != 0
+  /// marks rows whose key contains a NULL. Identical table shape to Build()
+  /// — reverse insertion, 2x overprovisioned power-of-two buckets, NULL-key
+  /// rows stored with hash 0 and left unlinked.
+  void BuildFromHashes(const uint64_t* hashes, const uint8_t* key_null,
+                       size_t n) {
+    hashes_.resize(n);
+    next_.assign(n, kEnd);
+    size_t cap = 16;
+    while (cap < 2 * n) cap <<= 1;
+    heads_.assign(cap, kEnd);
+    mask_ = cap - 1;
+    for (size_t i = n; i-- > 0;) {
+      if (key_null[i]) {
+        hashes_[i] = 0;
+        continue;
+      }
+      const uint64_t h = hashes[i];
+      hashes_[i] = h;
+      const size_t bucket = h & mask_;
+      next_[i] = heads_[bucket];
+      heads_[bucket] = static_cast<uint32_t>(i);
+    }
+  }
+
   /// Head of the chain for hash `h` (kEnd when empty). Entries on the chain
   /// may carry different hashes; callers filter with hash_at(). Build()
   /// must have been called (the bucket array always exists afterwards, even

@@ -1,0 +1,1004 @@
+#include "exec/vector_kernels.h"
+
+#include <algorithm>
+
+#include "plan/udf.h"
+
+namespace dynopt {
+
+namespace {
+
+constexpr uint64_t kNullValueHash = 0x9ae16a3b2f90404fULL;
+
+/// Combines one column's per-row value hashes into the accumulator `out`
+/// (column-at-a-time leg of HashRowKeyInline), recording NULLs.
+void CombineColumnHash(const ColumnVector& col, size_t n, uint64_t* out,
+                       uint8_t* key_null) {
+  const bool nullable = !col.validity.empty();
+  const uint8_t* valid = col.validity.data();
+  switch (col.kind) {
+    case ColumnKind::kInt64: {
+      const int64_t* v = col.i64.data();
+      if (!nullable) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = HashCombine(out[i], Mix64(static_cast<uint64_t>(v[i])));
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          if (valid[i]) {
+            out[i] = HashCombine(out[i], Mix64(static_cast<uint64_t>(v[i])));
+          } else {
+            out[i] = HashCombine(out[i], kNullValueHash);
+            key_null[i] = 1;
+          }
+        }
+      }
+      break;
+    }
+    case ColumnKind::kDouble: {
+      const double* v = col.f64.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (nullable && !valid[i]) {
+          out[i] = HashCombine(out[i], kNullValueHash);
+          key_null[i] = 1;
+        } else {
+          out[i] = HashCombine(out[i], ColumnVector::HashDoubleValue(v[i]));
+        }
+      }
+      break;
+    }
+    case ColumnKind::kBool: {
+      const uint8_t* v = col.b8.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (nullable && !valid[i]) {
+          out[i] = HashCombine(out[i], kNullValueHash);
+          key_null[i] = 1;
+        } else {
+          out[i] = HashCombine(out[i], Mix64(v[i] != 0 ? 1 : 0));
+        }
+      }
+      break;
+    }
+    case ColumnKind::kString: {
+      const uint32_t* codes = col.codes.data();
+      const StringDict* dict = col.dict.get();
+      for (size_t i = 0; i < n; ++i) {
+        if (nullable && !valid[i]) {
+          out[i] = HashCombine(out[i], kNullValueHash);
+          key_null[i] = 1;
+        } else {
+          out[i] = HashCombine(out[i], dict->hash(codes[i]));
+        }
+      }
+      break;
+    }
+    case ColumnKind::kValues: {
+      const Value* v = col.values.data();
+      for (size_t i = 0; i < n; ++i) {
+        if (v[i].is_null()) key_null[i] = 1;
+        out[i] = HashCombine(out[i], ValueHashInline(v[i]));
+      }
+      break;
+    }
+  }
+}
+
+void MarkColumnNulls(const ColumnVector& col, size_t n, uint8_t* key_null) {
+  if (col.kind == ColumnKind::kValues) {
+    const Value* v = col.values.data();
+    for (size_t i = 0; i < n; ++i) {
+      if (v[i].is_null()) key_null[i] = 1;
+    }
+    return;
+  }
+  if (col.validity.empty()) return;
+  const uint8_t* valid = col.validity.data();
+  for (size_t i = 0; i < n; ++i) {
+    if (!valid[i]) key_null[i] = 1;
+  }
+}
+
+/// Numeric view of row i under Value::Compare's coercion (int64 and bool
+/// widen to double). False when the value is non-numeric or NULL.
+inline bool NumericAt(const ColumnVector& col, size_t i, double* out) {
+  if (col.IsNullAt(i)) return false;
+  switch (col.kind) {
+    case ColumnKind::kInt64:
+      *out = static_cast<double>(col.i64[i]);
+      return true;
+    case ColumnKind::kDouble:
+      *out = col.f64[i];
+      return true;
+    case ColumnKind::kBool:
+      *out = col.b8[i] != 0 ? 1.0 : 0.0;
+      return true;
+    case ColumnKind::kString:
+      return false;
+    case ColumnKind::kValues: {
+      const Value& v = col.values[i];
+      switch (v.type()) {
+        case ValueType::kInt64:
+          *out = static_cast<double>(v.AsInt64());
+          return true;
+        case ValueType::kDouble:
+          *out = v.AsDouble();
+          return true;
+        case ValueType::kBool:
+          *out = v.AsBool() ? 1.0 : 0.0;
+          return true;
+        default:
+          return false;
+      }
+    }
+  }
+  return false;
+}
+
+inline const std::string* StringAt(const ColumnVector& col, size_t i) {
+  if (col.IsNullAt(i)) return nullptr;
+  if (col.kind == ColumnKind::kString) return &col.dict->entry(col.codes[i]);
+  if (col.kind == ColumnKind::kValues &&
+      col.values[i].type() == ValueType::kString) {
+    return &col.values[i].AsStringUnchecked();
+  }
+  return nullptr;
+}
+
+/// Converts an existing typed column to the kValues fallback in place
+/// (kind-mismatch promotion during multi-source appends).
+void PromoteToValues(ColumnVector* col) {
+  if (col->kind == ColumnKind::kValues) return;
+  const size_t n = col->size();
+  std::vector<Value> values;
+  values.reserve(n);
+  for (size_t i = 0; i < n; ++i) values.push_back(col->ValueAt(i));
+  col->kind = ColumnKind::kValues;
+  col->values = std::move(values);
+  col->i64.clear();
+  col->f64.clear();
+  col->b8.clear();
+  col->codes.clear();
+  col->dict.reset();
+  col->validity.clear();
+}
+
+/// An exact reserve() on every append would defeat std::vector's geometric
+/// growth — each gather into the same destination column would reallocate
+/// and copy everything appended so far. Grow by at least 2x instead.
+template <typename V>
+void ReserveAppend(V* v, size_t needed) {
+  if (v->capacity() < needed) {
+    v->reserve(std::max(needed, v->capacity() * 2));
+  }
+}
+
+/// Merges gathered validity bits into dst (which already has `old_rows`
+/// rows before this append).
+void AppendValidity(ColumnVector* dst, size_t old_rows,
+                    const ColumnVector& src, const uint32_t* sel, size_t n) {
+  if (src.validity.empty()) {
+    if (!dst->validity.empty()) {
+      dst->validity.insert(dst->validity.end(), n, 1);
+    }
+    return;
+  }
+  if (dst->validity.empty()) dst->validity.assign(old_rows, 1);
+  const uint8_t* valid = src.validity.data();
+  for (size_t k = 0; k < n; ++k) dst->validity.push_back(valid[sel[k]]);
+}
+
+}  // namespace
+
+void HashKeyColumns(const ColumnBatch& batch, const int* keys,
+                    size_t num_keys, uint64_t* out, uint8_t* key_null) {
+  const size_t n = batch.num_rows;
+  for (size_t i = 0; i < n; ++i) out[i] = 0x2545f4914f6cdd1dULL;
+  for (size_t k = 0; k < num_keys; ++k) {
+    CombineColumnHash(batch.columns[static_cast<size_t>(keys[k])], n, out,
+                      key_null);
+  }
+}
+
+void AnyKeyNull(const ColumnBatch& batch, const int* keys, size_t num_keys,
+                uint8_t* key_null) {
+  for (size_t k = 0; k < num_keys; ++k) {
+    MarkColumnNulls(batch.columns[static_cast<size_t>(keys[k])],
+                    batch.num_rows, key_null);
+  }
+}
+
+bool ColumnValueEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                      size_t j) {
+  const bool an = a.IsNullAt(i);
+  const bool bn = b.IsNullAt(j);
+  if (an || bn) return an && bn;
+  double da, db;
+  if (NumericAt(a, i, &da) && NumericAt(b, j, &db)) {
+    // Value::Compare coerces every numeric pair (even int64 vs int64) to
+    // double; equality must mirror that exactly.
+    return da == db;
+  }
+  const std::string* sa = StringAt(a, i);
+  const std::string* sb = StringAt(b, j);
+  if (sa != nullptr && sb != nullptr) {
+    if (a.kind == ColumnKind::kString && b.kind == ColumnKind::kString &&
+        a.dict.get() == b.dict.get()) {
+      return a.codes[i] == b.codes[j];
+    }
+    return *sa == *sb;
+  }
+  return a.ValueAt(i) == b.ValueAt(j);
+}
+
+void ProjectedRowSizes(const ColumnBatch& batch, const int* keep,
+                       size_t num_keep, uint64_t* out) {
+  const size_t n = batch.num_rows;
+  for (size_t i = 0; i < n; ++i) out[i] = 8;  // Row header.
+  for (size_t k = 0; k < num_keep; ++k) {
+    const ColumnVector& col = batch.columns[static_cast<size_t>(keep[k])];
+    const bool nullable = !col.validity.empty();
+    const uint8_t* valid = col.validity.data();
+    switch (col.kind) {
+      case ColumnKind::kInt64:
+      case ColumnKind::kDouble:
+        if (!nullable) {
+          for (size_t i = 0; i < n; ++i) out[i] += 8;
+        } else {
+          for (size_t i = 0; i < n; ++i) out[i] += valid[i] ? 8 : 1;
+        }
+        break;
+      case ColumnKind::kBool:
+        // NULL and bool both cost 1 byte.
+        for (size_t i = 0; i < n; ++i) out[i] += 1;
+        break;
+      case ColumnKind::kString: {
+        const uint32_t* codes = col.codes.data();
+        const StringDict* dict = col.dict.get();
+        if (!nullable) {
+          for (size_t i = 0; i < n; ++i) out[i] += dict->size_bytes(codes[i]);
+        } else {
+          for (size_t i = 0; i < n; ++i) {
+            out[i] += valid[i] ? dict->size_bytes(codes[i]) : 1;
+          }
+        }
+        break;
+      }
+      case ColumnKind::kValues:
+        for (size_t i = 0; i < n; ++i) {
+          out[i] += ValueSizeBytesInline(col.values[i]);
+        }
+        break;
+    }
+  }
+}
+
+ColumnBatch GatherBatch(const ColumnBatch& src, const uint32_t* sel,
+                        size_t n) {
+  ColumnBatch out;
+  out.num_rows = n;
+  out.columns.resize(src.columns.size());
+  for (size_t c = 0; c < src.columns.size(); ++c) {
+    const ColumnVector& s = src.columns[c];
+    ColumnVector& d = out.columns[c];
+    d.kind = s.kind;
+    switch (s.kind) {
+      case ColumnKind::kInt64:
+        d.i64.resize(n);
+        for (size_t k = 0; k < n; ++k) d.i64[k] = s.i64[sel[k]];
+        break;
+      case ColumnKind::kDouble:
+        d.f64.resize(n);
+        for (size_t k = 0; k < n; ++k) d.f64[k] = s.f64[sel[k]];
+        break;
+      case ColumnKind::kBool:
+        d.b8.resize(n);
+        for (size_t k = 0; k < n; ++k) d.b8[k] = s.b8[sel[k]];
+        break;
+      case ColumnKind::kString:
+        d.dict = s.dict;  // Selection never changes the value set: share.
+        d.codes.resize(n);
+        for (size_t k = 0; k < n; ++k) d.codes[k] = s.codes[sel[k]];
+        break;
+      case ColumnKind::kValues:
+        d.values.reserve(n);
+        for (size_t k = 0; k < n; ++k) d.values.push_back(s.values[sel[k]]);
+        break;
+    }
+    if (!s.validity.empty()) {
+      d.validity.resize(n);
+      for (size_t k = 0; k < n; ++k) d.validity[k] = s.validity[sel[k]];
+    }
+  }
+  out.row_sizes.resize(n);
+  for (size_t k = 0; k < n; ++k) out.row_sizes[k] = src.row_sizes[sel[k]];
+  return out;
+}
+
+void AppendGatherColumn(ColumnVector* dst, const ColumnVector& src,
+                        const uint32_t* sel, size_t n) {
+  if (n == 0) return;
+  const size_t old_rows = dst->size();
+  if (old_rows == 0) {
+    // Fresh destination: adopt the source layout (and share its dict).
+    dst->kind = src.kind;
+    dst->dict = src.kind == ColumnKind::kString ? src.dict : nullptr;
+    dst->validity.clear();
+    dst->values.clear();
+  }
+  if (dst->kind != src.kind) PromoteToValues(dst);
+  if (dst->kind == ColumnKind::kValues) {
+    ReserveAppend(&dst->values, old_rows + n);
+    if (src.kind == ColumnKind::kValues) {
+      for (size_t k = 0; k < n; ++k) {
+        dst->values.push_back(src.values[sel[k]]);
+      }
+    } else {
+      for (size_t k = 0; k < n; ++k) {
+        dst->values.push_back(src.ValueAt(sel[k]));
+      }
+    }
+    return;
+  }
+  switch (dst->kind) {
+    case ColumnKind::kInt64:
+      ReserveAppend(&dst->i64, old_rows + n);
+      for (size_t k = 0; k < n; ++k) dst->i64.push_back(src.i64[sel[k]]);
+      break;
+    case ColumnKind::kDouble:
+      ReserveAppend(&dst->f64, old_rows + n);
+      for (size_t k = 0; k < n; ++k) dst->f64.push_back(src.f64[sel[k]]);
+      break;
+    case ColumnKind::kBool:
+      ReserveAppend(&dst->b8, old_rows + n);
+      for (size_t k = 0; k < n; ++k) dst->b8.push_back(src.b8[sel[k]]);
+      break;
+    case ColumnKind::kString:
+      ReserveAppend(&dst->codes, old_rows + n);
+      if (dst->dict.get() == src.dict.get()) {
+        for (size_t k = 0; k < n; ++k) dst->codes.push_back(src.codes[sel[k]]);
+      } else {
+        // Merge dictionaries: intern via the source's cached hashes. NULL
+        // slots carry a meaningless code 0 and must not touch the dict.
+        // The destination dict may have been adopted from an earlier source
+        // batch and still be shared with it (and, on a parallel shuffle,
+        // readable from other workers' sinks) — clone before the first
+        // mutating intern so shared dictionaries stay immutable. A unique
+        // reference cannot gain new owners mid-append, so use_count()==1 is
+        // a safe exclusivity check.
+        if (dst->dict.use_count() > 1) {
+          dst->dict = std::make_shared<StringDict>(*dst->dict);
+        }
+        const bool nullable = !src.validity.empty();
+        for (size_t k = 0; k < n; ++k) {
+          const uint32_t code = src.codes[sel[k]];
+          if (nullable && !src.validity[sel[k]]) {
+            dst->codes.push_back(0);
+          } else {
+            dst->codes.push_back(
+                dst->dict->Intern(src.dict->entry(code),
+                                  src.dict->hash(code)));
+          }
+        }
+      }
+      break;
+    case ColumnKind::kValues:
+      break;  // Handled above.
+  }
+  AppendValidity(dst, old_rows, src, sel, n);
+}
+
+ColumnBatch ConcatBatches(const std::vector<ColumnBatch>& batches) {
+  ColumnBatch out;
+  if (batches.empty()) return out;
+  size_t total = 0;
+  size_t max_rows = 0;
+  for (const ColumnBatch& b : batches) {
+    total += b.num_rows;
+    max_rows = std::max(max_rows, b.num_rows);
+  }
+  const size_t num_cols = batches[0].columns.size();
+  out.columns.resize(num_cols);
+  out.row_sizes.reserve(total);
+  std::vector<uint32_t> identity;  // built lazily — slow path only
+  for (size_t c = 0; c < num_cols; ++c) {
+    // When every non-empty batch agrees on the column's layout (same kind
+    // and, for strings, the very same dictionary — the common case, since
+    // a partition's batches come from one producer), the concat is a bulk
+    // range copy instead of a per-element gather.
+    const ColumnVector* proto = nullptr;
+    bool uniform = true;
+    bool any_validity = false;
+    for (const ColumnBatch& b : batches) {
+      if (b.num_rows == 0) continue;
+      const ColumnVector& s = b.columns[c];
+      if (!s.validity.empty()) any_validity = true;
+      if (proto == nullptr) {
+        proto = &s;
+      } else if (s.kind != proto->kind ||
+                 (s.kind == ColumnKind::kString &&
+                  s.dict.get() != proto->dict.get())) {
+        uniform = false;
+      }
+    }
+    if (proto == nullptr) continue;  // every batch is empty
+    ColumnVector& d = out.columns[c];
+    if (uniform) {
+      d.kind = proto->kind;
+      if (proto->kind == ColumnKind::kString) d.dict = proto->dict;
+      for (const ColumnBatch& b : batches) {
+        if (b.num_rows == 0) continue;
+        const ColumnVector& s = b.columns[c];
+        switch (d.kind) {
+          case ColumnKind::kInt64:
+            if (d.i64.empty()) d.i64.reserve(total);
+            d.i64.insert(d.i64.end(), s.i64.begin(), s.i64.end());
+            break;
+          case ColumnKind::kDouble:
+            if (d.f64.empty()) d.f64.reserve(total);
+            d.f64.insert(d.f64.end(), s.f64.begin(), s.f64.end());
+            break;
+          case ColumnKind::kBool:
+            if (d.b8.empty()) d.b8.reserve(total);
+            d.b8.insert(d.b8.end(), s.b8.begin(), s.b8.end());
+            break;
+          case ColumnKind::kString:
+            if (d.codes.empty()) d.codes.reserve(total);
+            d.codes.insert(d.codes.end(), s.codes.begin(), s.codes.end());
+            break;
+          case ColumnKind::kValues:
+            if (d.values.empty()) d.values.reserve(total);
+            d.values.insert(d.values.end(), s.values.begin(), s.values.end());
+            break;
+        }
+        if (any_validity) {
+          if (d.validity.capacity() == 0) d.validity.reserve(total);
+          if (s.validity.empty()) {
+            d.validity.insert(d.validity.end(), b.num_rows, 1);
+          } else {
+            d.validity.insert(d.validity.end(), s.validity.begin(),
+                              s.validity.end());
+          }
+        }
+      }
+    } else {
+      if (identity.empty() && max_rows > 0) {
+        identity.resize(max_rows);
+        for (size_t i = 0; i < max_rows; ++i) {
+          identity[i] = static_cast<uint32_t>(i);
+        }
+      }
+      for (const ColumnBatch& b : batches) {
+        AppendGatherColumn(&d, b.columns[c], identity.data(), b.num_rows);
+      }
+    }
+  }
+  for (const ColumnBatch& b : batches) {
+    out.row_sizes.insert(out.row_sizes.end(), b.row_sizes.begin(),
+                         b.row_sizes.end());
+    out.num_rows += b.num_rows;
+  }
+  return out;
+}
+
+void BatchSink::EnsureOpen() {
+  if (open_) return;
+  cur_ = ColumnBatch();
+  cur_.columns.resize(num_columns_);
+  cur_.row_sizes.reserve(std::min<size_t>(capacity_, 4096));
+  open_ = true;
+}
+
+void BatchSink::CloseIfFull() {
+  if (open_ && cur_.num_rows >= capacity_) {
+    out_->push_back(std::move(cur_));
+    open_ = false;
+  }
+}
+
+void BatchSink::AppendGather(const ColumnBatch& src, const uint32_t* sel,
+                             size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    EnsureOpen();
+    const size_t m = std::min(capacity_ - cur_.num_rows, n - off);
+    for (size_t c = 0; c < num_columns_; ++c) {
+      AppendGatherColumn(&cur_.columns[c], src.columns[c], sel + off, m);
+    }
+    for (size_t k = 0; k < m; ++k) {
+      cur_.row_sizes.push_back(src.row_sizes[sel[off + k]]);
+    }
+    cur_.num_rows += m;
+    rows_appended_ += m;
+    off += m;
+    CloseIfFull();
+  }
+}
+
+void BatchSink::AppendJoinGather(const ColumnBatch& build,
+                                 const uint32_t* bsel,
+                                 const ColumnBatch& probe,
+                                 const uint32_t* psel, const uint64_t* sizes,
+                                 size_t n) {
+  const size_t bc = build.columns.size();
+  size_t off = 0;
+  while (off < n) {
+    EnsureOpen();
+    const size_t m = std::min(capacity_ - cur_.num_rows, n - off);
+    for (size_t c = 0; c < bc; ++c) {
+      AppendGatherColumn(&cur_.columns[c], build.columns[c], bsel + off, m);
+    }
+    for (size_t c = bc; c < num_columns_; ++c) {
+      AppendGatherColumn(&cur_.columns[c], probe.columns[c - bc], psel + off,
+                         m);
+    }
+    cur_.row_sizes.insert(cur_.row_sizes.end(), sizes + off, sizes + off + m);
+    cur_.num_rows += m;
+    rows_appended_ += m;
+    off += m;
+    CloseIfFull();
+  }
+}
+
+void BatchSink::Flush() {
+  if (open_ && cur_.num_rows > 0) {
+    out_->push_back(std::move(cur_));
+  }
+  open_ = false;
+}
+
+// --- VecPredicate --------------------------------------------------------
+
+namespace {
+constexpr uint8_t kTriFalse = 0;
+constexpr uint8_t kTriTrue = 1;
+constexpr uint8_t kTriNull = 2;
+
+/// EvalBool-style truthiness as tri-state (NULL stays distinguishable for
+/// leaf-comparison propagation; combinators coerce kTriNull to false).
+uint8_t TruthyTri(const Value& v) {
+  if (v.is_null()) return kTriNull;
+  switch (v.type()) {
+    case ValueType::kBool:
+      return v.AsBool() ? kTriTrue : kTriFalse;
+    case ValueType::kInt64:
+      return v.AsInt64() != 0 ? kTriTrue : kTriFalse;
+    case ValueType::kDouble:
+      return v.AsDouble() != 0.0 ? kTriTrue : kTriFalse;
+    default:
+      return kTriFalse;
+  }
+}
+
+inline bool ApplyCmp(int c, CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return false;
+}
+
+inline int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+}  // namespace
+
+struct VecPredicate::Node {
+  enum class Op { kColumn, kConst, kCmp, kBetween, kAnd, kOr, kNot, kUdf };
+  Op op;
+  int slot = -1;                   // kColumn
+  Value constant;                  // kConst
+  CompareOp cmp = CompareOp::kEq;  // kCmp
+  const UdfFn* fn = nullptr;       // kUdf
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+namespace {
+
+using PNode = VecPredicate::Node;
+
+/// A comparison/UDF operand after evaluation: a borrowed column, a
+/// constant, or per-row materialized Values (UDF results and nested
+/// predicate results).
+struct ScalarOperand {
+  const ColumnVector* col = nullptr;
+  const Value* constant = nullptr;
+  std::vector<Value> owned;
+
+  bool IsNullAt(size_t i) const {
+    if (col != nullptr) return col->IsNullAt(i);
+    if (constant != nullptr) return constant->is_null();
+    return owned[i].is_null();
+  }
+  Value At(size_t i) const {
+    if (col != nullptr) return col->ValueAt(i);
+    if (constant != nullptr) return *constant;
+    return owned[i];
+  }
+};
+
+void EvalTri(const PNode& node, const ColumnBatch& batch,
+             std::vector<uint8_t>* out);
+
+void EvalScalar(const PNode& node, const ColumnBatch& batch,
+                ScalarOperand* out) {
+  switch (node.op) {
+    case PNode::Op::kColumn:
+      out->col = &batch.columns[static_cast<size_t>(node.slot)];
+      return;
+    case PNode::Op::kConst:
+      out->constant = &node.constant;
+      return;
+    case PNode::Op::kUdf: {
+      const size_t n = batch.num_rows;
+      std::vector<ScalarOperand> args(node.children.size());
+      for (size_t a = 0; a < node.children.size(); ++a) {
+        EvalScalar(*node.children[a], batch, &args[a]);
+      }
+      out->owned.reserve(n);
+      std::vector<Value> argv(node.children.size());
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t a = 0; a < args.size(); ++a) argv[a] = args[a].At(i);
+        out->owned.push_back((*node.fn)(argv));
+      }
+      return;
+    }
+    default: {
+      // Predicate-valued operand (nested comparison/boolean): evaluate
+      // tri-state, materialize as bool/NULL Values.
+      std::vector<uint8_t> tri;
+      EvalTri(node, batch, &tri);
+      out->owned.reserve(tri.size());
+      for (uint8_t t : tri) {
+        out->owned.push_back(t == kTriNull ? Value::Null()
+                                           : Value(t == kTriTrue));
+      }
+      return;
+    }
+  }
+}
+
+/// Numeric double view of an operand: fills vals/nulls (length n) and
+/// returns true when the operand is statically numeric (typed numeric
+/// column or numeric constant). kValues columns and non-numeric constants
+/// fall back to the generic Value path.
+bool FillNumeric(const ScalarOperand& op, size_t n, std::vector<double>* vals,
+                 std::vector<uint8_t>* nulls) {
+  vals->resize(n);
+  nulls->assign(n, 0);
+  if (op.constant != nullptr) {
+    const Value& v = *op.constant;
+    double d;
+    switch (v.type()) {
+      case ValueType::kInt64:
+        d = static_cast<double>(v.AsInt64());
+        break;
+      case ValueType::kDouble:
+        d = v.AsDouble();
+        break;
+      case ValueType::kBool:
+        d = v.AsBool() ? 1.0 : 0.0;
+        break;
+      default:
+        return false;
+    }
+    std::fill(vals->begin(), vals->end(), d);
+    return true;
+  }
+  if (op.col == nullptr) return false;
+  const ColumnVector& col = *op.col;
+  const bool nullable = !col.validity.empty();
+  switch (col.kind) {
+    case ColumnKind::kInt64:
+      for (size_t i = 0; i < n; ++i) {
+        (*vals)[i] = static_cast<double>(col.i64[i]);
+      }
+      break;
+    case ColumnKind::kDouble:
+      std::copy(col.f64.begin(), col.f64.end(), vals->begin());
+      break;
+    case ColumnKind::kBool:
+      for (size_t i = 0; i < n; ++i) {
+        (*vals)[i] = col.b8[i] != 0 ? 1.0 : 0.0;
+      }
+      break;
+    default:
+      return false;
+  }
+  if (nullable) {
+    for (size_t i = 0; i < n; ++i) (*nulls)[i] = col.validity[i] ? 0 : 1;
+  }
+  return true;
+}
+
+/// Comparison of two operands into a tri-state mask; NULL operands yield
+/// kTriNull (BoundComparison semantics).
+void CompareOperands(const ScalarOperand& l, const ScalarOperand& r,
+                     CompareOp op, size_t n, std::vector<uint8_t>* out) {
+  out->resize(n);
+  // Fast path 1: both sides statically numeric -> vectorized double
+  // compare (Value::Compare coerces every numeric pair to double).
+  {
+    std::vector<double> lv, rv;
+    std::vector<uint8_t> ln, rn;
+    if (FillNumeric(l, n, &lv, &ln) && FillNumeric(r, n, &rv, &rn)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (ln[i] | rn[i]) {
+          (*out)[i] = kTriNull;
+        } else {
+          (*out)[i] =
+              ApplyCmp(CompareDoubles(lv[i], rv[i]), op) ? kTriTrue
+                                                         : kTriFalse;
+        }
+      }
+      return;
+    }
+  }
+  // Fast path 2: dictionary string column vs string constant -> memoize the
+  // comparison per dictionary code (one compare per distinct value).
+  if (l.col != nullptr && l.col->kind == ColumnKind::kString &&
+      r.constant != nullptr && r.constant->type() == ValueType::kString) {
+    const ColumnVector& col = *l.col;
+    const StringDict& dict = *col.dict;
+    const std::string& c = r.constant->AsStringUnchecked();
+    std::vector<uint8_t> by_code(dict.size());
+    for (uint32_t code = 0; code < dict.size(); ++code) {
+      const int cmp = dict.entry(code).compare(c);
+      by_code[code] =
+          ApplyCmp(cmp < 0 ? -1 : (cmp > 0 ? 1 : 0), op) ? kTriTrue
+                                                         : kTriFalse;
+    }
+    const bool nullable = !col.validity.empty();
+    for (size_t i = 0; i < n; ++i) {
+      (*out)[i] = (nullable && !col.validity[i]) ? kTriNull
+                                                 : by_code[col.codes[i]];
+    }
+    return;
+  }
+  // Generic path: per-row Value comparison (exactly BoundComparison).
+  for (size_t i = 0; i < n; ++i) {
+    if (l.IsNullAt(i) || r.IsNullAt(i)) {
+      (*out)[i] = kTriNull;
+      continue;
+    }
+    (*out)[i] = ApplyCmp(l.At(i).Compare(r.At(i)), op) ? kTriTrue : kTriFalse;
+  }
+}
+
+void EvalTri(const PNode& node, const ColumnBatch& batch,
+             std::vector<uint8_t>* out) {
+  const size_t n = batch.num_rows;
+  switch (node.op) {
+    case PNode::Op::kConst: {
+      out->assign(n, TruthyTri(node.constant));
+      return;
+    }
+    case PNode::Op::kColumn: {
+      out->resize(n);
+      const ColumnVector& col = batch.columns[static_cast<size_t>(node.slot)];
+      for (size_t i = 0; i < n; ++i) (*out)[i] = TruthyTri(col.ValueAt(i));
+      return;
+    }
+    case PNode::Op::kCmp: {
+      ScalarOperand l, r;
+      EvalScalar(*node.children[0], batch, &l);
+      EvalScalar(*node.children[1], batch, &r);
+      CompareOperands(l, r, node.cmp, n, out);
+      return;
+    }
+    case PNode::Op::kBetween: {
+      ScalarOperand v, lo, hi;
+      EvalScalar(*node.children[0], batch, &v);
+      EvalScalar(*node.children[1], batch, &lo);
+      EvalScalar(*node.children[2], batch, &hi);
+      out->resize(n);
+      std::vector<double> vv, lv, hv;
+      std::vector<uint8_t> vn, ln, hn;
+      if (FillNumeric(v, n, &vv, &vn) && FillNumeric(lo, n, &lv, &ln) &&
+          FillNumeric(hi, n, &hv, &hn)) {
+        for (size_t i = 0; i < n; ++i) {
+          if (vn[i] | ln[i] | hn[i]) {
+            (*out)[i] = kTriNull;
+          } else {
+            (*out)[i] = (vv[i] >= lv[i] && vv[i] <= hv[i]) ? kTriTrue
+                                                           : kTriFalse;
+          }
+        }
+        return;
+      }
+      for (size_t i = 0; i < n; ++i) {
+        if (v.IsNullAt(i) || lo.IsNullAt(i) || hi.IsNullAt(i)) {
+          (*out)[i] = kTriNull;
+          continue;
+        }
+        const Value val = v.At(i);
+        (*out)[i] = (val >= lo.At(i) && val <= hi.At(i)) ? kTriTrue
+                                                         : kTriFalse;
+      }
+      return;
+    }
+    case PNode::Op::kAnd: {
+      out->assign(n, kTriTrue);
+      std::vector<uint8_t> child;
+      for (const auto& c : node.children) {
+        EvalTri(*c, batch, &child);
+        // EvalBool coercion at the combinator boundary: NULL children are
+        // false, and the AND result itself is never NULL.
+        for (size_t i = 0; i < n; ++i) {
+          (*out)[i] = ((*out)[i] == kTriTrue && child[i] == kTriTrue)
+                          ? kTriTrue
+                          : kTriFalse;
+        }
+      }
+      return;
+    }
+    case PNode::Op::kOr: {
+      out->assign(n, kTriFalse);
+      std::vector<uint8_t> child;
+      for (const auto& c : node.children) {
+        EvalTri(*c, batch, &child);
+        for (size_t i = 0; i < n; ++i) {
+          (*out)[i] = ((*out)[i] == kTriTrue || child[i] == kTriTrue)
+                          ? kTriTrue
+                          : kTriFalse;
+        }
+      }
+      return;
+    }
+    case PNode::Op::kNot: {
+      EvalTri(*node.children[0], batch, out);
+      // NOT(EvalBool(x)): NULL coerces to false first, so NOT(NULL) = true.
+      for (size_t i = 0; i < n; ++i) {
+        (*out)[i] = (*out)[i] == kTriTrue ? kTriFalse : kTriTrue;
+      }
+      return;
+    }
+    case PNode::Op::kUdf: {
+      ScalarOperand v;
+      EvalScalar(node, batch, &v);
+      out->resize(n);
+      for (size_t i = 0; i < n; ++i) (*out)[i] = TruthyTri(v.owned[i]);
+      return;
+    }
+  }
+}
+
+Result<std::unique_ptr<PNode>> CompileNode(
+    const ExprPtr& expr, const std::vector<std::string>& columns,
+    const std::map<std::string, Value>* params, const UdfRegistry* udfs) {
+  auto node = std::make_unique<PNode>();
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const auto& col = static_cast<const ColumnRefExpr&>(*expr);
+      // One name lookup per operand at compile time — never in the batch
+      // loop (the instrumented counter pins this).
+      const int slot = LinearColumnIndex(columns, col.Qualified());
+      if (slot < 0) {
+        return Status::BindError("unresolved column " + col.Qualified());
+      }
+      node->op = PNode::Op::kColumn;
+      node->slot = slot;
+      return node;
+    }
+    case ExprKind::kLiteral: {
+      node->op = PNode::Op::kConst;
+      node->constant = static_cast<const LiteralExpr&>(*expr).value();
+      return node;
+    }
+    case ExprKind::kParam: {
+      const auto& param = static_cast<const ParamExpr&>(*expr);
+      if (params == nullptr) {
+        return Status::BindError("no parameters provided for $" +
+                                 param.name());
+      }
+      auto it = params->find(param.name());
+      if (it == params->end()) {
+        return Status::BindError("unbound parameter $" + param.name());
+      }
+      node->op = PNode::Op::kConst;
+      node->constant = it->second;
+      return node;
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(*expr);
+      node->op = PNode::Op::kCmp;
+      node->cmp = cmp.op();
+      DYNOPT_ASSIGN_OR_RETURN(auto l,
+                              CompileNode(cmp.left(), columns, params, udfs));
+      DYNOPT_ASSIGN_OR_RETURN(auto r,
+                              CompileNode(cmp.right(), columns, params, udfs));
+      node->children.push_back(std::move(l));
+      node->children.push_back(std::move(r));
+      return node;
+    }
+    case ExprKind::kBetween: {
+      const auto& between = static_cast<const BetweenExpr&>(*expr);
+      node->op = PNode::Op::kBetween;
+      for (const ExprPtr& child :
+           {between.input(), between.lo(), between.hi()}) {
+        DYNOPT_ASSIGN_OR_RETURN(auto c,
+                                CompileNode(child, columns, params, udfs));
+        node->children.push_back(std::move(c));
+      }
+      return node;
+    }
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      const std::vector<ExprPtr>& children =
+          expr->kind() == ExprKind::kAnd
+              ? static_cast<const AndExpr&>(*expr).children()
+              : static_cast<const OrExpr&>(*expr).children();
+      node->op =
+          expr->kind() == ExprKind::kAnd ? PNode::Op::kAnd : PNode::Op::kOr;
+      for (const ExprPtr& child : children) {
+        DYNOPT_ASSIGN_OR_RETURN(auto c,
+                                CompileNode(child, columns, params, udfs));
+        node->children.push_back(std::move(c));
+      }
+      return node;
+    }
+    case ExprKind::kNot: {
+      const auto& not_expr = static_cast<const NotExpr&>(*expr);
+      node->op = PNode::Op::kNot;
+      DYNOPT_ASSIGN_OR_RETURN(
+          auto c, CompileNode(not_expr.child(), columns, params, udfs));
+      node->children.push_back(std::move(c));
+      return node;
+    }
+    case ExprKind::kUdfCall: {
+      const auto& udf = static_cast<const UdfCallExpr&>(*expr);
+      if (udfs == nullptr) {
+        return Status::BindError("no UDF registry provided for " + udf.name());
+      }
+      const UdfFn* fn = udfs->Lookup(udf.name());
+      if (fn == nullptr) {
+        return Status::BindError("unregistered UDF " + udf.name());
+      }
+      node->op = PNode::Op::kUdf;
+      node->fn = fn;
+      for (const ExprPtr& arg : udf.args()) {
+        DYNOPT_ASSIGN_OR_RETURN(auto c,
+                                CompileNode(arg, columns, params, udfs));
+        node->children.push_back(std::move(c));
+      }
+      return node;
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+VecPredicate::VecPredicate(std::unique_ptr<Node> root)
+    : root_(std::move(root)) {}
+
+Result<VecPredicate> VecPredicate::Compile(
+    const ExprPtr& expr, const std::vector<std::string>& columns,
+    const std::map<std::string, Value>* params, const UdfRegistry* udfs) {
+  DYNOPT_ASSIGN_OR_RETURN(auto root, CompileNode(expr, columns, params, udfs));
+  return VecPredicate(std::move(root));
+}
+
+void VecPredicate::EvalBools(const ColumnBatch& batch,
+                             std::vector<uint8_t>* keep) const {
+  std::vector<uint8_t> tri;
+  EvalTri(*root_, batch, &tri);
+  keep->resize(batch.num_rows);
+  for (size_t i = 0; i < batch.num_rows; ++i) {
+    (*keep)[i] = tri[i] == kTriTrue ? 1 : 0;
+  }
+}
+
+}  // namespace dynopt

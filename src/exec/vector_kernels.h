@@ -1,0 +1,156 @@
+#ifndef DYNOPT_EXEC_VECTOR_KERNELS_H_
+#define DYNOPT_EXEC_VECTOR_KERNELS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/batch.h"
+#include "plan/expr.h"
+
+namespace dynopt {
+
+class UdfRegistry;
+
+/// Vectorized kernels over ColumnBatch: per-column loops that replace the
+/// row engine's per-row variant dispatch with tight typed loops (the
+/// DYNOPT_NATIVE_SIMD build compiles this translation unit with
+/// -march=native). Every kernel is bit-identical to its row counterpart in
+/// exec/row_kernels.h — same hash math, same byte sizes, same comparison
+/// semantics (including the all-numeric-comparisons-coerce-to-double rule
+/// of Value::Compare) — which is what lets the columnar engine keep the
+/// deterministic counters and simulated seconds byte-for-byte equal to the
+/// row path.
+
+/// Combined key hash of every row of `batch` into `out`, bit-identical to
+/// HashRowKeyInline(row, keys): seeded, then HashCombine of each key
+/// column's value hash, column-at-a-time. `key_null[i]` is set to 1 when
+/// any key of row i is NULL (left untouched otherwise — callers zero it).
+/// Both arrays must hold batch.num_rows elements.
+void HashKeyColumns(const ColumnBatch& batch, const int* keys,
+                    size_t num_keys, uint64_t* out, uint8_t* key_null);
+
+/// Only the NULL-key mask of HashKeyColumns (probe sides that already have
+/// hashes from the shuffle still need the mask).
+void AnyKeyNull(const ColumnBatch& batch, const int* keys, size_t num_keys,
+                uint8_t* key_null);
+
+/// Value equality between row i of `a` and row j of `b` under Value
+/// semantics (operator==, i.e. Compare() == 0: numeric pairs compare as
+/// doubles, strings bytewise, NULL equals only NULL).
+bool ColumnValueEqual(const ColumnVector& a, size_t i, const ColumnVector& b,
+                      size_t j);
+
+/// Position-wise key equality (the columnar JoinKeysEqual).
+inline bool JoinKeysEqualColumnar(const ColumnBatch& build, size_t i,
+                                  const ColumnBatch& probe, size_t j,
+                                  const int* build_keys, const int* probe_keys,
+                                  size_t num_keys) {
+  for (size_t k = 0; k < num_keys; ++k) {
+    if (!ColumnValueEqual(build.columns[static_cast<size_t>(build_keys[k])], i,
+                          probe.columns[static_cast<size_t>(probe_keys[k])],
+                          j)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Per-row byte sizes of a projection of `batch` to the `num_keep` column
+/// slots in `keep`: 8-byte row header + each kept value's cost-model size,
+/// accumulated column-at-a-time. `out` must hold batch.num_rows elements.
+void ProjectedRowSizes(const ColumnBatch& batch, const int* keep,
+                       size_t num_keep, uint64_t* out);
+
+/// Gathers the `n` rows selected by `sel` out of `src` into a fresh
+/// compacted batch (typed per-column gather; string columns share the
+/// source dictionary; row_sizes gathered alongside). The selection-vector
+/// half of the filter kernel.
+ColumnBatch GatherBatch(const ColumnBatch& src, const uint32_t* sel,
+                        size_t n);
+
+/// Concatenates all batches of one partition into a single batch (used by
+/// the join build side so hash-table entries index a flat row space).
+/// String dictionaries are merged via cached-hash interning.
+ColumnBatch ConcatBatches(const std::vector<ColumnBatch>& batches);
+
+/// Accumulates gathered rows into fixed-capacity output batches
+/// (max_batch_size rows each), adapting destination column kinds to the
+/// sources (mixed-kind sources promote a column to kValues; string columns
+/// merge dictionaries). Shuffle scatter and join emission funnel through
+/// this sink.
+class BatchSink {
+ public:
+  BatchSink(size_t num_columns, size_t max_batch_size,
+            std::vector<ColumnBatch>* out)
+      : num_columns_(num_columns), capacity_(max_batch_size), out_(out) {}
+
+  /// Appends rows src[sel[0..n)] — all columns plus their row_sizes.
+  void AppendGather(const ColumnBatch& src, const uint32_t* sel, size_t n);
+
+  /// Appends `n` joined rows: build columns gathered by `bsel` from
+  /// `build`, probe columns gathered by `psel` from `probe`, with the
+  /// caller-computed joined row sizes (build + probe - one 8-byte header).
+  void AppendJoinGather(const ColumnBatch& build, const uint32_t* bsel,
+                        const ColumnBatch& probe, const uint32_t* psel,
+                        const uint64_t* sizes, size_t n);
+
+  /// Emits the final partial batch (no-op when empty). Call exactly once.
+  void Flush();
+
+  uint64_t rows_appended() const { return rows_appended_; }
+
+ private:
+  void EnsureOpen();
+  void CloseIfFull();
+
+  size_t num_columns_;
+  size_t capacity_;
+  std::vector<ColumnBatch>* out_;
+  ColumnBatch cur_;
+  bool open_ = false;
+  uint64_t rows_appended_ = 0;
+};
+
+/// Appends src[sel[0..n)] to `dst`, adapting dst's kind (first append
+/// adopts the source layout and shares its dictionary; later kind
+/// mismatches promote dst to kValues; dictionary mismatches intern via the
+/// source's cached hashes). Exposed for the sink and for tests.
+void AppendGatherColumn(ColumnVector* dst, const ColumnVector& src,
+                        const uint32_t* sel, size_t n);
+
+/// A filter predicate compiled against a batch schema: evaluates
+/// column-at-a-time into a tri-state mask (false / true / NULL) with the
+/// same semantics as the row engine's BoundExpr tree — leaf comparisons
+/// propagate NULL, AND/OR/NOT coerce their children through EvalBool
+/// (NULL -> false), and the top-level filter applies the same coercion.
+/// Compilation resolves column names to slots once (never inside the batch
+/// loop) and fails like Bind() on unresolved columns / params / UDFs.
+class VecPredicate {
+ public:
+  VecPredicate() = default;
+  VecPredicate(VecPredicate&&) = default;
+  VecPredicate& operator=(VecPredicate&&) = default;
+
+  static Result<VecPredicate> Compile(
+      const ExprPtr& expr, const std::vector<std::string>& columns,
+      const std::map<std::string, Value>* params, const UdfRegistry* udfs);
+
+  /// Fills `keep` (resized to batch.num_rows) with 1 for rows passing the
+  /// predicate under EvalBool coercion, 0 otherwise.
+  void EvalBools(const ColumnBatch& batch, std::vector<uint8_t>* keep) const;
+
+  struct Node;
+
+ private:
+  explicit VecPredicate(std::unique_ptr<Node> root);
+
+  std::shared_ptr<Node> root_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_EXEC_VECTOR_KERNELS_H_

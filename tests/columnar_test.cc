@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "exec/batch.h"
+#include "exec/engine.h"
+#include "exec/executor.h"
+#include "exec/reference_kernels.h"
+#include "exec/vector_kernels.h"
+
+namespace dynopt {
+namespace {
+
+// Property tests for the vectorized columnar engine: random datasets and
+// plans run through the columnar kernels and the row kernels must produce
+// identical rows in identical order, bit-identical simulated seconds and
+// deterministic counters, and identical row_sizes annotations. CI runs this
+// binary under TSan (the batch kernels are partition-parallel) and under
+// ASan+UBSan (the typed gathers and dictionary merges are pointer-heavy).
+
+uint64_t TotalRowSizes(const Dataset& data) {
+  uint64_t total = 0;
+  for (const auto& part : data.row_sizes) {
+    for (uint64_t s : part) total += s;
+  }
+  return total;
+}
+
+void ExpectDatasetsEqual(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.columns, b.columns);
+  ASSERT_EQ(a.partitions.size(), b.partitions.size());
+  for (size_t p = 0; p < a.partitions.size(); ++p) {
+    ASSERT_EQ(a.partitions[p].size(), b.partitions[p].size())
+        << "partition " << p;
+    for (size_t i = 0; i < a.partitions[p].size(); ++i) {
+      EXPECT_EQ(a.partitions[p][i], b.partitions[p][i])
+          << "partition " << p << " row " << i;
+    }
+  }
+}
+
+void ExpectMetricsEqual(const ExecMetrics& a, const ExecMetrics& b) {
+  // Bit-exact: the columnar operators must charge exactly the same units of
+  // work in exactly the same order as the row operators.
+  EXPECT_EQ(a.simulated_seconds, b.simulated_seconds);
+  EXPECT_EQ(a.reopt_seconds, b.reopt_seconds);
+  EXPECT_EQ(a.tuples_processed, b.tuples_processed);
+  EXPECT_EQ(a.bytes_scanned, b.bytes_scanned);
+  EXPECT_EQ(a.bytes_shuffled, b.bytes_shuffled);
+  EXPECT_EQ(a.bytes_broadcast, b.bytes_broadcast);
+  EXPECT_EQ(a.bytes_intermediate_read, b.bytes_intermediate_read);
+  EXPECT_EQ(a.index_lookups, b.index_lookups);
+}
+
+/// A random dataset exercising every ColumnKind: an int64 key with NULLs, a
+/// second int64 key, a double, a string with a skewed (dictionary-friendly)
+/// domain, and a deliberately mixed-type column (kValues fallback).
+Dataset RandomDataset(uint64_t seed, size_t rows, size_t num_partitions,
+                      int key_domain, double null_rate) {
+  Dataset data({"t.k", "t.k2", "t.score", "t.name", "t.mixed"},
+               num_partitions);
+  Rng rng(seed);
+  ZipfDistribution zipf(16, 1.2);
+  for (size_t i = 0; i < rows; ++i) {
+    Row row;
+    row.push_back(rng.NextBool(null_rate)
+                      ? Value::Null()
+                      : Value(rng.NextInt64(0, key_domain - 1)));
+    row.push_back(Value(rng.NextInt64(0, 4)));
+    row.push_back(Value(rng.NextDouble() * 100.0));
+    row.push_back(Value("name_" + std::to_string(zipf.Sample(rng))));
+    switch (rng.NextInt64(0, 3)) {
+      case 0:
+        row.push_back(Value(rng.NextInt64(-5, 5)));
+        break;
+      case 1:
+        row.push_back(Value(rng.NextDouble()));
+        break;
+      case 2:
+        row.push_back(Value(std::string("m") + std::to_string(i % 7)));
+        break;
+      default:
+        row.push_back(Value::Null());
+        break;
+    }
+    data.partitions[rng.NextUint64(num_partitions)].push_back(std::move(row));
+  }
+  return data;
+}
+
+// --- Batch representation round-trip --------------------------------------
+
+TEST(ColumnBatchTest, RoundTripPreservesRowsAndSizes) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Dataset data = RandomDataset(seed, 500, 4, 40, 0.15);
+    for (size_t batch_size : {1u, 3u, 64u, 1024u}) {
+      ColumnarDataset columnar = FromDataset(data, batch_size);
+      EXPECT_EQ(columnar.NumRows(), data.NumRows());
+      Dataset back = ToDataset(std::move(columnar));
+      ExpectDatasetsEqual(data, back);
+      ASSERT_TRUE(back.HasRowSizes());
+      for (size_t p = 0; p < back.partitions.size(); ++p) {
+        for (size_t i = 0; i < back.partitions[p].size(); ++i) {
+          EXPECT_EQ(back.row_sizes[p][i],
+                    RowSizeBytes(back.partitions[p][i]));
+        }
+      }
+    }
+  }
+}
+
+TEST(ColumnBatchTest, BatchHashAndSizeMatchRowKernels) {
+  Dataset data = RandomDataset(7, 300, 1, 20, 0.2);
+  ColumnarDataset columnar = FromDataset(data, 64);
+  const std::vector<int> keys = {0, 3};
+  size_t row_idx = 0;
+  for (const ColumnBatch& b : columnar.partitions[0]) {
+    std::vector<uint64_t> hashes(b.num_rows);
+    std::vector<uint8_t> nulls(b.num_rows, 0);
+    HashKeyColumns(b, keys.data(), keys.size(), hashes.data(), nulls.data());
+    for (size_t i = 0; i < b.num_rows; ++i, ++row_idx) {
+      const Row& row = data.partitions[0][row_idx];
+      EXPECT_EQ(hashes[i], HashRowKey(row, keys));
+      EXPECT_EQ(nulls[i] != 0, row[0].is_null() || row[3].is_null());
+      uint64_t size = 8;
+      for (const Value& v : row) size += ValueSizeBytesInline(v);
+      EXPECT_EQ(b.row_sizes[i], size);
+    }
+  }
+  EXPECT_EQ(row_idx, data.partitions[0].size());
+}
+
+// --- Columnar kernels vs row reference kernels ----------------------------
+
+TEST(ColumnarKernelTest, ShuffleAndJoinMatchRowReferenceKernels) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u}) {
+    Engine engine;
+    const ClusterConfig& cluster = engine.cluster();
+    Dataset build = RandomDataset(seed, 400, cluster.num_nodes, 25, 0.1);
+    Dataset probe =
+        RandomDataset(seed + 100, 600, cluster.num_nodes, 25, 0.1);
+    const std::vector<int> keys = {0, 1};
+
+    // Row reference pipeline (sequential, recomputes hashes everywhere).
+    ExecMetrics row_metrics;
+    Dataset row_build = reference::Repartition(Dataset(build), keys, cluster,
+                                               &row_metrics);
+    Dataset row_probe = reference::Repartition(Dataset(probe), keys, cluster,
+                                               &row_metrics);
+    Dataset row_joined = reference::LocalHashJoin(
+        row_build, row_probe, keys, keys, cluster, &row_metrics);
+
+    // Columnar pipeline (parallel, hashes flow from shuffle into build and
+    // probe).
+    JobExecutor executor = engine.MakeExecutor();
+    ExecMetrics col_metrics;
+    auto cb = executor.RepartitionColumnar(
+        FromDataset(build, cluster.exec.max_batch_size), keys, &col_metrics);
+    ASSERT_TRUE(cb.ok()) << cb.status().ToString();
+    auto pb = executor.RepartitionColumnar(
+        FromDataset(probe, cluster.exec.max_batch_size), keys, &col_metrics);
+    ASSERT_TRUE(pb.ok()) << pb.status().ToString();
+    auto joined = executor.LocalHashJoinColumnar(cb->data, pb->data, keys,
+                                                 keys, &col_metrics,
+                                                 &cb->hashes, &pb->hashes);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    Dataset col_joined = ToDataset(std::move(*joined));
+
+    ExpectDatasetsEqual(row_joined, col_joined);
+    EXPECT_EQ(row_metrics.simulated_seconds, col_metrics.simulated_seconds);
+    EXPECT_EQ(row_metrics.bytes_shuffled, col_metrics.bytes_shuffled);
+    EXPECT_EQ(row_metrics.tuples_processed, col_metrics.tuples_processed);
+    ASSERT_TRUE(col_joined.HasRowSizes());
+    uint64_t annotated = TotalRowSizes(col_joined);
+    uint64_t actual = 0;
+    for (const auto& part : col_joined.partitions) {
+      for (const Row& row : part) actual += RowSizeBytes(row);
+    }
+    EXPECT_EQ(annotated, actual);
+  }
+}
+
+// --- Whole-query parity: columnar engine vs row engine --------------------
+
+/// Fixture running the same plan under use_columnar on and off and
+/// asserting full parity. Tables get every kind of column plus NULL keys.
+class ColumnarParityTest : public ::testing::Test {
+ protected:
+  void SetUp() override { engine_ = std::make_unique<Engine>(); }
+
+  void MakeTable(const std::string& name, int rows, int key_domain,
+                 uint64_t seed, double null_rate = 0.1) {
+    auto t = std::make_shared<Table>(
+        name,
+        Schema({{"k", ValueType::kInt64},
+                {"k2", ValueType::kInt64},
+                {"score", ValueType::kDouble},
+                {"name", ValueType::kString}}),
+        engine_->cluster().num_nodes);
+    ASSERT_TRUE(t->SetPartitionKey({"k"}).ok());
+    Rng rng(seed);
+    ZipfDistribution zipf(32, 1.1);
+    for (int i = 0; i < rows; ++i) {
+      t->AppendRow({rng.NextBool(null_rate)
+                        ? Value::Null()
+                        : Value(rng.NextInt64(0, key_domain - 1)),
+                    Value(rng.NextInt64(0, 5)),
+                    Value(rng.NextDouble() * 10.0),
+                    Value("s" + std::to_string(zipf.Sample(rng)))});
+    }
+    ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
+  }
+
+  /// Executes `plan` with the columnar engine on and off; asserts identical
+  /// rows, row_sizes annotations, and metering; returns the columnar run.
+  JobResult ExpectParity(const PlanNode& plan,
+                         const std::map<std::string, Value>& params = {}) {
+    engine_->mutable_cluster().exec.use_columnar = true;
+    JobExecutor columnar = engine_->MakeExecutor();
+    auto col = columnar.Execute(plan, params);
+    engine_->mutable_cluster().exec.use_columnar = false;
+    JobExecutor row = engine_->MakeExecutor();
+    auto rw = row.Execute(plan, params);
+    EXPECT_EQ(col.ok(), rw.ok());
+    if (!col.ok() || !rw.ok()) {
+      EXPECT_EQ(col.status().ToString(), rw.status().ToString());
+      return JobResult();
+    }
+    ExpectDatasetsEqual(rw->data, col->data);
+    ExpectMetricsEqual(rw->metrics, col->metrics);
+    return std::move(*col);
+  }
+
+  std::unique_ptr<Engine> engine_;
+};
+
+TEST_F(ColumnarParityTest, FilterPredicateZoo) {
+  MakeTable("t", 800, 50, 21);
+  ASSERT_TRUE(engine_->udfs()
+                  .Register("half",
+                            [](const std::vector<Value>& args) {
+                              if (args[0].is_null()) return Value::Null();
+                              return Value(args[0].AsDouble() / 2.0);
+                            })
+                  .ok());
+  std::vector<ExprPtr> predicates = {
+      Eq(Col("a", "k"), Lit(Value(3))),
+      Cmp(CompareOp::kLt, Col("a", "score"), Lit(Value(4.5))),
+      // Cross-type numeric comparison (int64 column vs double literal).
+      Cmp(CompareOp::kGe, Col("a", "k"), Lit(Value(10.5))),
+      Between(Col("a", "k"), Lit(Value(5)), Lit(Value(20))),
+      // String comparisons against constants (dictionary fast path).
+      Eq(Col("a", "name"), Lit(Value(std::string("s0")))),
+      Cmp(CompareOp::kGt, Col("a", "name"), Lit(Value(std::string("s2")))),
+      // NULL-propagating leaves under EvalBool coercion.
+      Eq(Col("a", "k"), Lit(Value::Null())),
+      // AND/OR/NOT trees over NULLable children.
+      And({Cmp(CompareOp::kGe, Col("a", "k"), Lit(Value(10))),
+           Or({Eq(Col("a", "k2"), Lit(Value(1))),
+               Not(Eq(Col("a", "name"), Lit(Value(std::string("s1")))))})}),
+      Not(Eq(Col("a", "k"), Lit(Value::Null()))),
+      // Parameters and UDFs.
+      Eq(Col("a", "k2"), Param("p")),
+      Cmp(CompareOp::kLt, Udf("half", {Col("a", "score")}), Lit(Value(2.0))),
+      // Column-vs-column comparison.
+      Cmp(CompareOp::kLe, Col("a", "k2"), Col("a", "k")),
+  };
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    auto plan =
+        PlanNode::Filter(PlanNode::Scan("t", "a"), predicates[i]);
+    ExpectParity(*plan, {{"p", Value(2)}});
+  }
+}
+
+TEST_F(ColumnarParityTest, FilterBindErrorsMatchRowEngine) {
+  MakeTable("t", 10, 5, 22);
+  auto bad_col =
+      PlanNode::Filter(PlanNode::Scan("t", "a"), Eq(Col("a", "nope"),
+                                                    Lit(Value(1))));
+  ExpectParity(*bad_col);
+  auto bad_param =
+      PlanNode::Filter(PlanNode::Scan("t", "a"), Eq(Col("a", "k"),
+                                                    Param("missing")));
+  ExpectParity(*bad_param);
+  auto bad_udf = PlanNode::Filter(PlanNode::Scan("t", "a"),
+                                  Eq(Udf("nope", {Col("a", "k")}),
+                                     Lit(Value(1))));
+  ExpectParity(*bad_udf);
+}
+
+TEST_F(ColumnarParityTest, ShuffleJoinRandomized) {
+  for (uint64_t seed : {31u, 32u, 33u}) {
+    auto lhs = "lhs" + std::to_string(seed);
+    auto rhs = "rhs" + std::to_string(seed);
+    MakeTable(lhs, 700, 40, seed);
+    MakeTable(rhs, 900, 40, seed + 1);
+    // Join on k2 (not the partition key) to force real shuffle traffic;
+    // composite key with NULLs on k.
+    auto plan = PlanNode::Join(
+        JoinMethod::kHashShuffle, PlanNode::Scan(lhs, "l"),
+        PlanNode::Scan(rhs, "r"), {{"l.k", "r.k"}, {"l.k2", "r.k2"}});
+    ExpectParity(*plan);
+  }
+}
+
+TEST_F(ColumnarParityTest, BroadcastJoinIncludingOversized) {
+  MakeTable("small", 150, 30, 41);
+  MakeTable("big", 1200, 30, 42);
+  auto plan = PlanNode::Join(JoinMethod::kBroadcast,
+                             PlanNode::Scan("small", "l"),
+                             PlanNode::Scan("big", "r"), {{"l.k", "r.k"}});
+  JobResult result = ExpectParity(*plan);
+  EXPECT_GT(result.metrics.bytes_broadcast, 0u);
+
+  // Shrink the broadcast budget so the build side overflows: the legacy
+  // spill penalty must be charged identically on both paths.
+  engine_->mutable_cluster().broadcast_threshold_bytes = 512;
+  ExpectParity(*plan);
+}
+
+TEST_F(ColumnarParityTest, MultiOperatorPipeline) {
+  MakeTable("lhs", 600, 30, 51);
+  MakeTable("rhs", 800, 30, 52);
+  auto plan = PlanNode::Project(
+      PlanNode::Join(
+          JoinMethod::kHashShuffle,
+          PlanNode::Filter(PlanNode::Scan("lhs", "l"),
+                           Cmp(CompareOp::kGe, Col("l", "score"),
+                               Lit(Value(2.0)))),
+          PlanNode::Filter(PlanNode::Scan("rhs", "r"),
+                           Between(Col("r", "k"), Lit(Value(2)),
+                                   Lit(Value(25)))),
+          {{"l.k2", "r.k2"}}),
+      {"r.name", "l.score", "l.k"});
+  ExpectParity(*plan);
+}
+
+TEST_F(ColumnarParityTest, EmptyInputsAndEmptyPartitions) {
+  MakeTable("empty", 0, 10, 61);
+  MakeTable("tiny", 3, 1000, 62, /*null_rate=*/0.0);
+  MakeTable("t", 400, 20, 63);
+  // Empty build side.
+  ExpectParity(*PlanNode::Join(JoinMethod::kHashShuffle,
+                               PlanNode::Scan("empty", "l"),
+                               PlanNode::Scan("t", "r"),
+                               {{"l.k", "r.k"}}));
+  // Tiny build side: after shuffling by a 1000-value domain most of the 10
+  // partitions are empty on the build side.
+  ExpectParity(*PlanNode::Join(JoinMethod::kHashShuffle,
+                               PlanNode::Scan("tiny", "l"),
+                               PlanNode::Scan("t", "r"),
+                               {{"l.k2", "r.k2"}}));
+  // Empty probe side, broadcast method.
+  ExpectParity(*PlanNode::Join(JoinMethod::kBroadcast,
+                               PlanNode::Scan("t", "l"),
+                               PlanNode::Scan("empty", "r"),
+                               {{"l.k", "r.k"}}));
+  // Filter that rejects everything.
+  ExpectParity(*PlanNode::Filter(PlanNode::Scan("t", "a"),
+                                 Eq(Col("a", "k"), Lit(Value(-1)))));
+}
+
+TEST_F(ColumnarParityTest, SimulatedTimeInvariantUnderBatchSize) {
+  MakeTable("lhs", 500, 25, 71);
+  MakeTable("rhs", 700, 25, 72);
+  auto plan = PlanNode::Join(
+      JoinMethod::kHashShuffle,
+      PlanNode::Filter(PlanNode::Scan("lhs", "l"),
+                       Cmp(CompareOp::kLt, Col("l", "score"),
+                           Lit(Value(8.0)))),
+      PlanNode::Scan("rhs", "r"), {{"l.k2", "r.k2"}});
+  engine_->mutable_cluster().exec.use_columnar = true;
+  JobResult baseline;
+  bool first = true;
+  for (size_t batch_size : {1u, 3u, 64u, 1024u, 4096u}) {
+    engine_->mutable_cluster().exec.max_batch_size = batch_size;
+    JobExecutor executor = engine_->MakeExecutor();
+    auto result = executor.Execute(*plan, {});
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (first) {
+      baseline = std::move(*result);
+      first = false;
+      continue;
+    }
+    ExpectDatasetsEqual(baseline.data, result->data);
+    ExpectMetricsEqual(baseline.metrics, result->metrics);
+  }
+}
+
+// --- Satellite: column slots resolve once per operator --------------------
+
+TEST_F(ColumnarParityTest, NameLookupsIndependentOfRowCount) {
+  MakeTable("small_t", 50, 20, 81);
+  MakeTable("large_t", 5000, 20, 82);
+  auto make_plan = [](const std::string& table) {
+    return PlanNode::Project(
+        PlanNode::Join(JoinMethod::kHashShuffle,
+                       PlanNode::Filter(PlanNode::Scan(table, "l"),
+                                        Cmp(CompareOp::kGe, Col("l", "k"),
+                                            Lit(Value(1)))),
+                       PlanNode::Scan(table, "r"), {{"l.k2", "r.k2"}}),
+        {"l.name", "r.score"});
+  };
+  for (bool columnar : {true, false}) {
+    engine_->mutable_cluster().exec.use_columnar = columnar;
+    auto lookups_for = [&](const std::string& table) {
+      JobExecutor executor = engine_->MakeExecutor();
+      const uint64_t before = ColumnNameLookupCount().load();
+      auto result = executor.Execute(*make_plan(table), {});
+      EXPECT_TRUE(result.ok()) << result.status().ToString();
+      return ColumnNameLookupCount().load() - before;
+    };
+    const uint64_t small = lookups_for("small_t");
+    const uint64_t large = lookups_for("large_t");
+    // 100x the rows, same plan: every kernel resolves its column slots once
+    // per operator, so the lookup count is a function of the plan alone.
+    EXPECT_EQ(small, large) << "columnar=" << columnar;
+    EXPECT_GT(small, 0u);
+    EXPECT_LT(small, 100u);
+  }
+}
+
+// --- Satellite: config validation at parse time ---------------------------
+
+TEST(ClusterConfigValidationTest, RejectsZeroBatchSize) {
+  ClusterConfig config;
+  config.exec.max_batch_size = 0;
+  Status status = ValidateClusterConfig(config);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("max_batch_size"), std::string::npos)
+      << status.message();
+}
+
+TEST(ClusterConfigValidationTest, AcceptsDefaultsAndBatchSizeOne) {
+  EXPECT_TRUE(ValidateClusterConfig(ClusterConfig()).ok());
+  ClusterConfig config;
+  config.exec.max_batch_size = 1;
+  EXPECT_TRUE(ValidateClusterConfig(config).ok());
+}
+
+}  // namespace
+}  // namespace dynopt

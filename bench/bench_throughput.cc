@@ -1,0 +1,559 @@
+// Sustained-traffic overload benchmark: what does the resilient serving
+// layer buy when more clients arrive than the engine has slots?
+//
+// Section A — shedding ablation. N closed-loop clients push q17 through
+// `slots` concurrent-query slots under deterministic fault injection, each
+// query carrying a wall-clock deadline (its SLO). Two modes run the same
+// traffic:
+//
+//   fifo      — the pre-resilience controller: one priority class, no
+//               shedding, no degradation, no retry budget, no watchdog,
+//               no retry jitter. Queues grow until waiters blow their
+//               deadlines *inside* the engine: a deeply queued query gets
+//               admitted with almost no budget left, occupies a slot, and
+//               is cancelled at its first checkpoint — wasted slot time.
+//   resilient — mixed priorities (client % 3), weighted-fair slots,
+//               depth+wait load shedding, memory/strategy degradation
+//               under pressure, an engine retry budget with jittered
+//               backoff, and the query watchdog. Overflow traffic fails
+//               FAST at arrival (shed) instead of wasting slot time, so
+//               goodput (queries completed within their deadline) and
+//               high-priority tail latency both improve.
+//
+// Per mode the bench reports goodput, per-priority-class p50/p99 latency,
+// and shed/degraded/timeout/cancelled counts; the JSON is the ablation.
+//
+// Section B — watchdog under traffic. Stuck queries (never heartbeat) are
+// mixed into live traffic; the watchdog stall-kills them, normal queries
+// complete, and nothing leaks (slots, reservations, spill files).
+//
+// With --trace the resilient run streams its spans through the tracer's
+// incremental Chrome-trace sink (O(1) span memory over a sustained run).
+//
+// Hard assertions are structural only (results correct, counts consistent,
+// no leaks) — throughput ordering lives in the JSON, not in a CHECK, so a
+// loaded CI host cannot flake the build.
+//
+// Usage: bench_throughput [--sf <paper_sf>] [--clients N] [--per-client N]
+//                         [--slots N] [--deadline-ms MS] [--trace]
+//                         [--out <path>]
+// Writes BENCH_throughput.json.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/logging.h"
+#include "common/metrics_registry.h"
+#include "common/query_context.h"
+#include "common/tracer.h"
+#include "opt/degrade.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/recovery.h"
+#include "storage/serde.h"
+
+namespace dynopt {
+namespace bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Latency percentile over a sample (returns 0 on empty).
+double PercentileMs(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const double rank = p * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return (samples[lo] * (1 - frac) + samples[hi] * frac) * 1e3;
+}
+
+struct ClassStats {
+  int submitted = 0;
+  int completed = 0;
+  std::vector<double> latencies;  ///< Seconds, successful queries only.
+};
+
+struct ModeResult {
+  std::string mode;
+  double elapsed_seconds = 0;
+  double goodput_qps = 0;  ///< In-deadline completions per second.
+  int completed_in_deadline = 0;
+  int completed_late = 0;
+  int shed = 0;
+  int admission_timeouts = 0;
+  int rejected = 0;
+  int deadline_cancelled = 0;
+  int failed = 0;
+  uint64_t degraded_memory = 0;
+  uint64_t degraded_strategy = 0;
+  uint64_t retry_budget_denied = 0;
+  uint64_t watchdog_stall_kills = 0;
+  ClassStats classes[kNumQueryPriorities];
+};
+
+struct TrafficConfig {
+  int clients = 8;
+  int per_client = 6;
+  int slots = 2;
+  double deadline_seconds = 0.25;
+  bool resilient = false;
+};
+
+uint64_t CounterValue(const char* name) {
+  return MetricsRegistry::Global().counter(name)->value();
+}
+
+/// One closed-loop traffic run over q17. `expected_rows` is the fault-free
+/// sorted reference; every successful query is verified against it.
+ModeResult RunTraffic(Engine* engine, const QuerySpec& query,
+                      const std::vector<Row>& expected_rows,
+                      const TrafficConfig& traffic) {
+  auto& cluster = engine->mutable_cluster();
+  cluster.admission.max_concurrent_queries = traffic.slots;
+  cluster.admission.max_queue_depth = traffic.clients * 2;
+  cluster.admission.queue_timeout_seconds = traffic.deadline_seconds;
+  cluster.memory.engine_budget_bytes = 512ull << 20;
+  cluster.memory.query_reservation_bytes = 4ull << 20;
+  if (traffic.resilient) {
+    cluster.admission.shed_enabled = true;
+    cluster.admission.shed_queue_depth = traffic.clients / 2;
+    cluster.admission.shed_queue_wait_seconds =
+        traffic.deadline_seconds * 0.5;
+    cluster.admission.degrade_queue_depth =
+        std::max(2, traffic.clients / 4);
+    cluster.admission.degrade_strategy = true;
+    cluster.retry_budget.max_tokens = 500;
+    cluster.retry_budget.refill_per_second = 200;
+    cluster.fault.backoff.jitter_fraction = 0.25;
+    cluster.fault.backoff.jitter_seed = 42;
+    cluster.watchdog.enabled = true;
+    cluster.watchdog.poll_interval_seconds = 0.01;
+    cluster.watchdog.progress_timeout_seconds = 5.0;
+  } else {
+    cluster.admission.shed_enabled = false;
+    cluster.admission.shed_queue_depth = 0;
+    cluster.admission.shed_queue_wait_seconds = 0;
+    cluster.admission.degrade_queue_depth = 0;
+    cluster.admission.degrade_strategy = false;
+    cluster.retry_budget.max_tokens = 0;  // Unlimited (budget off).
+    cluster.retry_budget.refill_per_second = 0;
+    cluster.fault.backoff.jitter_fraction = 0;
+    cluster.watchdog.enabled = false;
+  }
+  engine->ArmFaultInjection();  // Same seed either mode: same fault draw.
+  engine->RearmAdmission();
+  engine->RearmRetryBudget();
+  engine->RearmWatchdog();
+
+  const uint64_t degraded_mem0 = CounterValue("admission.degraded_memory");
+  const uint64_t degraded_strat0 =
+      CounterValue("admission.degraded_strategy");
+  const uint64_t budget_denied0 = CounterValue("exec.retry_budget_denied");
+
+  ModeResult mode;
+  mode.mode = traffic.resilient ? "resilient" : "fifo";
+  std::mutex mu;
+  std::atomic<int> wrong_rows{0};
+  const auto bench_start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(traffic.clients));
+  for (int c = 0; c < traffic.clients; ++c) {
+    clients.emplace_back([&, c]() {
+      for (int i = 0; i < traffic.per_client; ++i) {
+        const QueryPriority priority =
+            traffic.resilient ? static_cast<QueryPriority>(c % 3)
+                              : QueryPriority::kNormal;
+        QueryContext ctx("tp-" + std::to_string(c) + "-" +
+                         std::to_string(i));
+        ctx.priority = priority;
+        if (traffic.resilient) {
+          ctx.estimated_memory_bytes =
+              EstimateQueryReservationBytes(query, engine);
+        }
+        const auto t0 = Clock::now();
+        ctx.set_timeout(traffic.deadline_seconds);
+        auto ticket = engine->admission().Admit(&ctx);
+        if (!ticket.ok()) {
+          std::lock_guard<std::mutex> lock(mu);
+          mode.classes[static_cast<int>(priority)].submitted++;
+          const std::string& msg = ticket.status().message();
+          if (ticket.status().code() == StatusCode::kCancelled) {
+            mode.deadline_cancelled++;
+          } else if (msg.find("shed") != std::string::npos) {
+            mode.shed++;
+          } else if (msg.find("timed out") != std::string::npos) {
+            mode.admission_timeouts++;
+          } else {
+            mode.rejected++;
+          }
+          continue;
+        }
+        WatchdogRegistration watched(&engine->watchdog(), &ctx);
+        auto optimizer = ApplyStrategyDowngrade(
+            std::make_unique<DynamicOptimizer>(engine), engine, &ctx);
+        optimizer->set_context(&ctx);
+        auto run = RunWithRecovery(optimizer.get(), engine, query,
+                                   RecoveryPolicy{});
+        ticket->Release();
+        const double latency = SecondsSince(t0);
+        std::lock_guard<std::mutex> lock(mu);
+        ClassStats& cls = mode.classes[static_cast<int>(priority)];
+        cls.submitted++;
+        if (!run.ok()) {
+          if (run.status().code() == StatusCode::kCancelled) {
+            mode.deadline_cancelled++;
+          } else {
+            mode.failed++;
+          }
+          continue;
+        }
+        std::vector<Row> rows = std::move(run->rows);
+        SortRows(&rows);
+        if (rows != expected_rows) ++wrong_rows;
+        cls.completed++;
+        cls.latencies.push_back(latency);
+        if (latency <= traffic.deadline_seconds) {
+          mode.completed_in_deadline++;
+        } else {
+          mode.completed_late++;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  mode.elapsed_seconds = SecondsSince(bench_start);
+  mode.goodput_qps = mode.elapsed_seconds > 0
+                         ? mode.completed_in_deadline / mode.elapsed_seconds
+                         : 0;
+  mode.degraded_memory =
+      CounterValue("admission.degraded_memory") - degraded_mem0;
+  mode.degraded_strategy =
+      CounterValue("admission.degraded_strategy") - degraded_strat0;
+  mode.retry_budget_denied =
+      CounterValue("exec.retry_budget_denied") - budget_denied0;
+  mode.watchdog_stall_kills = engine->watchdog().stall_kills();
+
+  // Structural invariants: correct results, consistent accounting, no
+  // slot/reservation leaks.
+  DYNOPT_CHECK(wrong_rows.load() == 0);
+  const int total = mode.completed_in_deadline + mode.completed_late +
+                    mode.shed + mode.admission_timeouts + mode.rejected +
+                    mode.deadline_cancelled + mode.failed;
+  DYNOPT_CHECK(total == traffic.clients * traffic.per_client);
+  DYNOPT_CHECK(engine->admission().running() == 0);
+  DYNOPT_CHECK(engine->admission().queued() == 0);
+  DYNOPT_CHECK(engine->memory().used() == 0);
+  return mode;
+}
+
+void PrintMode(const ModeResult& mode, double deadline_seconds) {
+  std::printf(
+      "\n-- %s: goodput=%.2f q/s  in-deadline=%d late=%d shed=%d "
+      "timeout=%d rejected=%d cancelled=%d failed=%d (%.2fs elapsed, "
+      "deadline %.0fms)\n",
+      mode.mode.c_str(), mode.goodput_qps, mode.completed_in_deadline,
+      mode.completed_late, mode.shed, mode.admission_timeouts,
+      mode.rejected, mode.deadline_cancelled, mode.failed,
+      mode.elapsed_seconds, deadline_seconds * 1e3);
+  std::printf("   degraded: memory=%llu strategy=%llu  "
+              "retry_budget_denied=%llu  stall_kills=%llu\n",
+              static_cast<unsigned long long>(mode.degraded_memory),
+              static_cast<unsigned long long>(mode.degraded_strategy),
+              static_cast<unsigned long long>(mode.retry_budget_denied),
+              static_cast<unsigned long long>(mode.watchdog_stall_kills));
+  for (int p = 0; p < kNumQueryPriorities; ++p) {
+    const ClassStats& cls = mode.classes[p];
+    if (cls.submitted == 0) continue;
+    std::printf("   %-6s submitted=%2d completed=%2d p50=%7.1fms "
+                "p99=%7.1fms\n",
+                QueryPriorityName(static_cast<QueryPriority>(p)),
+                cls.submitted, cls.completed,
+                PercentileMs(cls.latencies, 0.5),
+                PercentileMs(cls.latencies, 0.99));
+  }
+}
+
+void AppendModeJson(std::ofstream& json, const ModeResult& mode,
+                    bool first) {
+  json << (first ? "\n" : ",\n") << "    {\"mode\": \"" << mode.mode
+       << "\", \"elapsed_seconds\": " << mode.elapsed_seconds
+       << ", \"goodput_qps\": " << mode.goodput_qps
+       << ", \"completed_in_deadline\": " << mode.completed_in_deadline
+       << ", \"completed_late\": " << mode.completed_late
+       << ", \"shed\": " << mode.shed
+       << ", \"admission_timeouts\": " << mode.admission_timeouts
+       << ", \"rejected\": " << mode.rejected
+       << ", \"deadline_cancelled\": " << mode.deadline_cancelled
+       << ", \"failed\": " << mode.failed
+       << ", \"degraded_memory\": " << mode.degraded_memory
+       << ", \"degraded_strategy\": " << mode.degraded_strategy
+       << ", \"retry_budget_denied\": " << mode.retry_budget_denied
+       << ", \"watchdog_stall_kills\": " << mode.watchdog_stall_kills
+       << ", \"classes\": [";
+  bool first_class = true;
+  for (int p = 0; p < kNumQueryPriorities; ++p) {
+    const ClassStats& cls = mode.classes[p];
+    if (cls.submitted == 0) continue;
+    json << (first_class ? "" : ", ") << "{\"priority\": \""
+         << QueryPriorityName(static_cast<QueryPriority>(p))
+         << "\", \"submitted\": " << cls.submitted
+         << ", \"completed\": " << cls.completed
+         << ", \"p50_ms\": " << PercentileMs(cls.latencies, 0.5)
+         << ", \"p99_ms\": " << PercentileMs(cls.latencies, 0.99) << "}";
+    first_class = false;
+  }
+  json << "]}";
+}
+
+/// Traffic stand-in for a wedged query: writes a spill file, then spins
+/// without heartbeating until cancelled (the watchdog's job to notice).
+class StuckOptimizer : public Optimizer {
+ public:
+  explicit StuckOptimizer(Engine* engine) : engine_(engine) {}
+  std::string name() const override { return "stuck"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override {
+    (void)query;
+    const std::string path = engine_->cluster().spill_directory + "/" +
+                             ctx_->SpillFilePrefix() + "0.part";
+    std::ofstream(path) << "stuck";
+    while (!ctx_->cancelled()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return ctx_->CheckAlive();
+  }
+
+ private:
+  Engine* engine_;
+};
+
+struct WatchdogSection {
+  int stuck_submitted = 0;
+  uint64_t stall_kills = 0;
+  int normal_completed = 0;
+  int leaked_spill_files = 0;
+};
+
+/// Section B: stuck queries mixed into live traffic; the watchdog must
+/// reclaim their slots while normal queries keep completing.
+WatchdogSection RunWatchdogSection(Engine* engine, const QuerySpec& query,
+                                   const std::vector<Row>& expected_rows) {
+  auto& cluster = engine->mutable_cluster();
+  cluster.admission.max_concurrent_queries = 3;
+  cluster.admission.max_queue_depth = 16;
+  cluster.admission.queue_timeout_seconds = 30.0;
+  cluster.admission.shed_enabled = false;
+  cluster.admission.degrade_queue_depth = 0;
+  cluster.watchdog.enabled = true;
+  cluster.watchdog.poll_interval_seconds = 0.01;
+  cluster.watchdog.progress_timeout_seconds = 0.15;
+  engine->DisarmFaultInjection();
+  engine->RearmAdmission();
+  engine->RearmRetryBudget();
+  engine->RearmWatchdog();
+
+  WatchdogSection section;
+  section.stuck_submitted = 2;
+  std::vector<std::string> stuck_prefixes;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  for (int s = 0; s < section.stuck_submitted; ++s) {
+    threads.emplace_back([&, s]() {
+      QueryContext ctx("stuck-" + std::to_string(s));
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        stuck_prefixes.push_back(ctx.SpillFilePrefix());
+      }
+      auto ticket = engine->admission().Admit(&ctx);
+      DYNOPT_CHECK(ticket.ok());
+      WatchdogRegistration watched(&engine->watchdog(), &ctx);
+      StuckOptimizer stuck(engine);
+      stuck.set_context(&ctx);
+      auto run = RunWithRecovery(&stuck, engine, query, RecoveryPolicy{});
+      DYNOPT_CHECK(!run.ok());  // Stall-killed, never successful.
+      ticket->Release();
+    });
+  }
+  for (int n = 0; n < 4; ++n) {
+    threads.emplace_back([&, n]() {
+      QueryContext ctx("live-" + std::to_string(n));
+      auto ticket = engine->admission().Admit(&ctx);
+      DYNOPT_CHECK(ticket.ok());
+      WatchdogRegistration watched(&engine->watchdog(), &ctx);
+      DynamicOptimizer optimizer(engine);
+      optimizer.set_context(&ctx);
+      auto run = RunWithRecovery(&optimizer, engine, query,
+                                 RecoveryPolicy{});
+      ticket->Release();
+      DYNOPT_CHECK(run.ok());
+      std::vector<Row> rows = std::move(run->rows);
+      SortRows(&rows);
+      DYNOPT_CHECK(rows == expected_rows);
+      std::lock_guard<std::mutex> lock(mu);
+      section.normal_completed++;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  section.stall_kills = engine->watchdog().stall_kills();
+  DYNOPT_CHECK(section.stall_kills ==
+               static_cast<uint64_t>(section.stuck_submitted));
+  DYNOPT_CHECK(engine->admission().running() == 0);
+  DYNOPT_CHECK(engine->memory().used() == 0);
+  for (const std::string& prefix : stuck_prefixes) {
+    section.leaked_spill_files +=
+        CountFilesWithPrefix(engine->cluster().spill_directory, prefix);
+  }
+  DYNOPT_CHECK(section.leaked_spill_files == 0);
+  return section;
+}
+
+int Main(int argc, char** argv) {
+  int paper_sf = 10;
+  TrafficConfig traffic;
+  double deadline_ms = 0;  // 0 = auto-size from a solo reference run.
+  bool trace = false;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sf") == 0 && i + 1 < argc) {
+      paper_sf = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--clients") == 0 && i + 1 < argc) {
+      traffic.clients = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--per-client") == 0 && i + 1 < argc) {
+      traffic.per_client = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--slots") == 0 && i + 1 < argc) {
+      traffic.slots = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0 && i + 1 < argc) {
+      deadline_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--sf <paper_sf>] [--clients N] "
+                   "[--per-client N] [--slots N] [--deadline-ms MS] "
+                   "[--trace] [--out <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Engine* engine = GetEngine(paper_sf, /*with_indexes=*/false);
+  const std::string spill_dir =
+      std::filesystem::temp_directory_path().string() +
+      "/dynopt_bench_throughput";
+  std::filesystem::create_directories(spill_dir);
+  engine->mutable_cluster().spill_directory = spill_dir;
+  engine->mutable_cluster().materialize_to_disk = true;
+  engine->mutable_cluster().fault.enabled = true;
+  engine->mutable_cluster().fault.seed = 13;
+  engine->mutable_cluster().fault.task_failure_probability = 0.05;
+  engine->mutable_cluster().fault.corruption_probability = 0.02;
+
+  auto query_or = GetQuery(engine, "q17");
+  DYNOPT_CHECK(query_or.ok());
+  const QuerySpec query = query_or.value();
+
+  // Fault-free solo reference: correctness oracle + deadline auto-sizing.
+  engine->DisarmFaultInjection();
+  std::vector<Row> expected_rows;
+  double solo_wall = 0;
+  {
+    DynamicOptimizer solo(engine);
+    auto result = solo.Run(query);
+    DYNOPT_CHECK(result.ok());
+    expected_rows = std::move(result->rows);
+    SortRows(&expected_rows);
+    solo_wall = result->wall_seconds;
+  }
+  traffic.deadline_seconds =
+      deadline_ms > 0 ? deadline_ms * 1e-3
+                      : std::max(0.05, solo_wall * 5.0);
+
+  std::printf("=== bench_throughput: paper_sf=%d clients=%d per_client=%d "
+              "slots=%d deadline=%.0fms (solo q17 wall %.1fms) ===\n",
+              paper_sf, traffic.clients, traffic.per_client, traffic.slots,
+              traffic.deadline_seconds * 1e3, solo_wall * 1e3);
+
+  // ---- Section A: shedding-off vs shedding-on ---------------------------
+  traffic.resilient = false;
+  ModeResult fifo = RunTraffic(engine, query, expected_rows, traffic);
+  PrintMode(fifo, traffic.deadline_seconds);
+
+  const std::string trace_path = out_path + ".trace.json";
+  if (trace) {
+    Tracer::Global().Enable();
+    DYNOPT_CHECK(Tracer::Global().OpenStream(trace_path).ok());
+  }
+  traffic.resilient = true;
+  ModeResult resilient = RunTraffic(engine, query, expected_rows, traffic);
+  if (trace) {
+    DYNOPT_CHECK(Tracer::Global().CloseStream().ok());
+    Tracer::Global().Disable();
+    Tracer::Global().Drain();
+    std::printf("\nstreamed resilient-mode spans to %s\n",
+                trace_path.c_str());
+  }
+  PrintMode(resilient, traffic.deadline_seconds);
+
+  // ---- Section B: watchdog under traffic --------------------------------
+  WatchdogSection watchdog = RunWatchdogSection(engine, query,
+                                                expected_rows);
+  std::printf("\n-- watchdog: %d stuck queries stall-killed (%llu kills), "
+              "%d live queries completed, %d spill files leaked\n",
+              watchdog.stuck_submitted,
+              static_cast<unsigned long long>(watchdog.stall_kills),
+              watchdog.normal_completed, watchdog.leaked_spill_files);
+
+  // The benchmark's own traffic must leave the spill directory empty.
+  DYNOPT_CHECK(CountFilesWithPrefix(spill_dir, "") == 0);
+
+  // ---- JSON -------------------------------------------------------------
+  std::ofstream json(out_path);
+  json << "{\n"
+       << "  \"benchmark\": \"throughput\",\n"
+       << "  \"paper_sf\": " << paper_sf << ",\n"
+       << "  \"query\": \"q17\",\n"
+       << "  \"clients\": " << traffic.clients << ",\n"
+       << "  \"per_client\": " << traffic.per_client << ",\n"
+       << "  \"slots\": " << traffic.slots << ",\n"
+       << "  \"deadline_ms\": " << traffic.deadline_seconds * 1e3 << ",\n"
+       << "  \"solo_wall_ms\": " << solo_wall * 1e3 << ",\n"
+       << "  \"modes\": [";
+  AppendModeJson(json, fifo, /*first=*/true);
+  AppendModeJson(json, resilient, /*first=*/false);
+  json << "\n  ],\n"
+       << "  \"watchdog\": {\"stuck_submitted\": "
+       << watchdog.stuck_submitted
+       << ", \"stall_kills\": " << watchdog.stall_kills
+       << ", \"normal_completed\": " << watchdog.normal_completed
+       << ", \"leaked_spill_files\": " << watchdog.leaked_spill_files
+       << "}\n}\n";
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  std::error_code ec;
+  std::filesystem::remove_all(spill_dir, ec);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace dynopt
+
+int main(int argc, char** argv) { return dynopt::bench::Main(argc, argv); }

@@ -43,6 +43,31 @@ class CancellationToken {
   std::string reason_;
 };
 
+/// Priority class a query carries through admission. The weighted-fair
+/// scheduler grants slots across classes by weight; the load shedder drops
+/// from the lowest non-empty class first. Default kNormal: a workload that
+/// never sets priorities collapses to a single class, which the scheduler
+/// serves in exact FIFO arrival order (the pre-priority behavior).
+enum class QueryPriority : int {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+inline constexpr int kNumQueryPriorities = 3;
+
+inline const char* QueryPriorityName(QueryPriority p) {
+  switch (p) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
+  }
+  return "?";
+}
+
 /// Per-query execution context threaded from the submitting caller through
 /// the optimizer driver loops into every executor kernel: a process-unique
 /// id (names this query's spill files), a cooperative CancellationToken, an
@@ -91,8 +116,12 @@ class QueryContext {
   /// The cooperative check every task boundary runs: kCancelled when the
   /// token fired or the deadline passed, OK otherwise. An expired deadline
   /// latches the token so later checks are a single atomic load and the
-  /// reason survives.
+  /// reason survives. Each check also records a liveness heartbeat: the
+  /// partition-task and re-optimization checkpoints that already call this
+  /// are exactly the points where a healthy query proves progress, so the
+  /// watchdog's staleness monitor costs the hot path nothing extra.
   Status CheckAlive() {
+    Heartbeat();
     if (token_.cancelled()) {
       return Status::Cancelled("query " + std::to_string(id_) +
                                " cancelled: " + token_.reason());
@@ -123,16 +152,60 @@ class QueryContext {
     return "__spill_q" + std::to_string(id_) + "_";
   }
 
+  /// Records that this query made observable progress just now. Called by
+  /// CheckAlive() (partition-task boundaries, reopt points) and readable by
+  /// the QueryWatchdog's staleness monitor from its own thread.
+  void Heartbeat() {
+    last_heartbeat_ns_.store(NowNs(), std::memory_order_relaxed);
+  }
+
+  /// Wall-clock seconds since the last heartbeat (since construction when
+  /// the query never checked in). Monitor-thread safe.
+  double SecondsSinceHeartbeat() const {
+    return static_cast<double>(NowNs() -
+                               last_heartbeat_ns_.load(
+                                   std::memory_order_relaxed)) *
+           1e-9;
+  }
+
   /// Wall-clock seconds this query waited in the admission queue (set by
   /// AdmissionController::Admit; surfaces in ExecMetrics).
   double queue_wait_seconds = 0;
 
+  /// Priority class consulted by the admission scheduler and the load
+  /// shedder. Set before Admit(); defaults to kNormal (single-class FIFO).
+  QueryPriority priority = QueryPriority::kNormal;
+
+  /// Optimizer-estimated working-set bytes for this query (e.g. from
+  /// EstimateQueryReservationBytes, opt/degrade.h). When non-zero the
+  /// admission controller sizes this query's memory reservation from it
+  /// instead of the one-size-fits-all query_reservation_bytes.
+  uint64_t estimated_memory_bytes = 0;
+
+  /// Degradation stamps, set by the admission controller when the query was
+  /// admitted under pressure instead of being rejected: memory_degraded
+  /// means the reservation/budget was shrunk (the query will spill more),
+  /// strategy_downgraded means the caller should run a cheap static plan
+  /// instead of a dynamic re-optimizing one (see ApplyStrategyDowngrade,
+  /// opt/degrade.h). Written before Admit() returns, on the waiter's own
+  /// synchronization; read by the query's driver thread afterwards.
+  bool memory_degraded = false;
+  bool strategy_downgraded = false;
+
  private:
+  static uint64_t NowNs() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now().time_since_epoch())
+            .count());
+  }
+
   static inline std::atomic<uint64_t> next_id_{1};
 
   uint64_t id_;
   std::string label_;
   CancellationToken token_;
+  std::atomic<uint64_t> last_heartbeat_ns_{NowNs()};
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
   std::unique_ptr<MemoryTracker> memory_ =

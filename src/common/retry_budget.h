@@ -1,0 +1,99 @@
+#ifndef DYNOPT_COMMON_RETRY_BUDGET_H_
+#define DYNOPT_COMMON_RETRY_BUDGET_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace dynopt {
+
+/// Knobs of the engine-wide retry budget. Disabled by default
+/// (max_tokens == 0 means unlimited): every retry the per-task
+/// BackoffPolicy allows is granted, exactly the pre-budget behavior.
+struct RetryBudgetConfig {
+  /// Capacity of the token bucket (and its initial fill). Each granted
+  /// retry consumes one token; a retry requested from an empty bucket is
+  /// denied and the requesting query fails fast with kResourceExhausted
+  /// instead of re-executing. 0 == unlimited (budget disabled).
+  double max_tokens = 0;
+  /// Tokens restored per wall-clock second (capped at max_tokens). Zero
+  /// makes the budget a fixed allowance over the engine's lifetime.
+  double refill_per_second = 0;
+};
+
+/// Engine-wide token bucket over partition-task retries. Per-task backoff
+/// (BackoffPolicy) bounds how often ONE task retries; this bounds how much
+/// retry work the WHOLE engine performs at once. Under cluster-wide fault
+/// injection the two compose: individual tasks still back off, but once
+/// the global bucket runs dry further retries are denied and their queries
+/// fail fast — load shedding for the retry path, so a fault storm cannot
+/// multiply into a retry storm that outlives the fault.
+///
+/// Thread-safe: retries are requested from ParallelFor bodies of
+/// concurrently admitted queries. Refill uses the wall clock (retries cost
+/// real slot time regardless of the simulated cost model).
+class RetryBudget {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit RetryBudget(const RetryBudgetConfig& config)
+      : config_(config), tokens_(config.max_tokens), last_refill_(Clock::now()) {}
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// False when the budget is enabled and empty — the caller must fail
+  /// fast instead of retrying. Always true when disabled.
+  bool TryAcquire(double tokens = 1.0) {
+    if (!enabled()) return true;
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    if (tokens_ + 1e-9 < tokens) {
+      ++denied_;
+      return false;
+    }
+    tokens_ -= tokens;
+    ++granted_;
+    return true;
+  }
+
+  bool enabled() const { return config_.max_tokens > 0; }
+  const RetryBudgetConfig& config() const { return config_; }
+
+  double tokens() {
+    std::lock_guard<std::mutex> lock(mu_);
+    RefillLocked();
+    return tokens_;
+  }
+  uint64_t granted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return granted_;
+  }
+  uint64_t denied() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return denied_;
+  }
+
+ private:
+  void RefillLocked() {
+    if (config_.refill_per_second <= 0) return;
+    const Clock::time_point now = Clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_refill_).count();
+    last_refill_ = now;
+    tokens_ = std::min(config_.max_tokens,
+                       tokens_ + elapsed * config_.refill_per_second);
+  }
+
+  const RetryBudgetConfig config_;
+  mutable std::mutex mu_;
+  double tokens_;
+  Clock::time_point last_refill_;
+  uint64_t granted_ = 0;
+  uint64_t denied_ = 0;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_COMMON_RETRY_BUDGET_H_

@@ -52,6 +52,22 @@ std::string FormatNumber(double value) {
   return buf;
 }
 
+/// One complete-event object, shared by the batch exporter and the
+/// streaming sink so both emit byte-identical records.
+std::string EventJson(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "{\"name\": " << JsonQuote(e.name) << ", \"cat\": "
+     << JsonQuote(e.category) << ", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+     << e.tid << ", \"ts\": " << FormatNumber(e.start_ns / 1000.0)
+     << ", \"dur\": " << FormatNumber(e.dur_ns / 1000.0);
+  os << ", \"args\": {\"depth\": " << e.depth;
+  for (const auto& [key, value] : e.args) {
+    os << ", " << JsonQuote(key) << ": " << value;
+  }
+  os << "}}";
+  return os.str();
+}
+
 }  // namespace
 
 Tracer::Tracer() : epoch_ns_(SteadyNowNs()) {}
@@ -80,6 +96,22 @@ Tracer::ThreadBuffer* Tracer::LocalBuffer() {
 void Tracer::Record(TraceEvent event) {
   ThreadBuffer* buffer = LocalBuffer();
   event.tid = buffer->tid;
+  if (streaming_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(stream_mu_);
+    // Re-check: a CloseStream between the relaxed load and the lock sends
+    // this span to the thread buffer instead of dropping it.
+    if (stream_ != nullptr) {
+      const std::string json = EventJson(event);
+      if (!stream_first_) std::fputs(",\n", stream_);
+      stream_first_ = false;
+      std::fputs("  ", stream_);
+      std::fputs(json.c_str(), stream_);
+      // Flushed per event on purpose: a streaming trace exists to be
+      // tailed while the workload runs (and to survive a crash mid-run).
+      std::fflush(stream_);
+      return;
+    }
+  }
   std::lock_guard<std::mutex> lock(buffer->mu);
   buffer->events.push_back(std::move(event));
 }
@@ -105,6 +137,42 @@ std::vector<TraceEvent> Tracer::Drain() {
 }
 
 int Tracer::CurrentDepth() { return LocalBuffer()->depth; }
+
+Status Tracer::OpenStream(const std::string& path) {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  if (stream_ != nullptr) {
+    return Status::ExecutionError("trace stream already open: " +
+                                  stream_path_);
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::ExecutionError("cannot open trace stream: " + path);
+  }
+  std::fputs("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n", f);
+  stream_ = f;
+  stream_path_ = path;
+  stream_first_ = true;
+  streaming_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status Tracer::CloseStream() {
+  std::lock_guard<std::mutex> lock(stream_mu_);
+  if (stream_ == nullptr) {
+    return Status::ExecutionError("no trace stream open");
+  }
+  streaming_.store(false, std::memory_order_relaxed);
+  std::fputs("\n]}\n", stream_);
+  const bool failed = std::ferror(stream_) != 0;
+  std::fclose(stream_);
+  stream_ = nullptr;
+  const std::string path = std::move(stream_path_);
+  stream_path_.clear();
+  if (failed) {
+    return Status::ExecutionError("write error on trace stream: " + path);
+  }
+  return Status::OK();
+}
 
 TraceSpan::TraceSpan(std::string name, std::string category) {
   Tracer& tracer = Tracer::Global();
@@ -143,15 +211,7 @@ std::string ChromeTraceJson(const std::vector<TraceEvent>& events) {
   for (const auto& e : events) {
     if (!first) os << ",\n";
     first = false;
-    os << "  {\"name\": " << JsonQuote(e.name) << ", \"cat\": "
-       << JsonQuote(e.category) << ", \"ph\": \"X\", \"pid\": 1, \"tid\": "
-       << e.tid << ", \"ts\": " << FormatNumber(e.start_ns / 1000.0)
-       << ", \"dur\": " << FormatNumber(e.dur_ns / 1000.0);
-    os << ", \"args\": {\"depth\": " << e.depth;
-    for (const auto& [key, value] : e.args) {
-      os << ", " << JsonQuote(key) << ": " << value;
-    }
-    os << "}}";
+    os << "  " << EventJson(e);
   }
   os << "\n]}\n";
   return os.str();

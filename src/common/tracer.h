@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -67,6 +68,25 @@ class Tracer {
   /// ended). Exposed for tests.
   int CurrentDepth();
 
+  /// Streaming sink: opens `path`, writes the Chrome-trace document header,
+  /// and from then on every completed span is flushed straight to the file
+  /// instead of accumulating in the thread buffers — so a long sustained
+  /// run (bench_throughput with tracing on) holds O(1) span memory instead
+  /// of growing until the final Drain(). Drain() keeps working for spans
+  /// recorded while no stream was open. Fails when a stream is already
+  /// open; the batch exporters (Drain + WriteChromeTrace) are unaffected.
+  Status OpenStream(const std::string& path);
+
+  /// Finalizes and closes the streaming document (the file is valid
+  /// Chrome-trace JSON only after this). Fails when no stream is open or
+  /// the underlying writes failed.
+  Status CloseStream();
+
+  /// True while a streaming sink is open.
+  bool streaming() const {
+    return streaming_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class TraceSpan;
 
@@ -85,6 +105,16 @@ class Tracer {
   std::mutex registry_mu_;
   std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
   uint32_t next_tid_ = 0;
+
+  /// Streaming-sink state. streaming_ is the hot-path gate (one relaxed
+  /// load in Record when no stream is open); the rest is guarded by
+  /// stream_mu_. Record re-checks under the mutex, so a span racing a
+  /// CloseStream falls back to its thread buffer instead of being lost.
+  std::atomic<bool> streaming_{false};
+  std::mutex stream_mu_;
+  std::FILE* stream_ = nullptr;
+  bool stream_first_ = true;
+  std::string stream_path_;
 };
 
 /// RAII scoped span. Construction samples the clock and bumps the thread's

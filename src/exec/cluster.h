@@ -6,6 +6,8 @@
 #include <string>
 
 #include "common/backoff.h"
+#include "common/query_context.h"
+#include "common/retry_budget.h"
 #include "common/status.h"
 
 namespace dynopt {
@@ -100,6 +102,10 @@ struct ExecOptions {
 /// Admission-control knobs for concurrent queries. Defaults allow modest
 /// concurrency without queuing surprises; zero slots would refuse all
 /// queries, so `max_concurrent_queries` must stay >= 1.
+///
+/// Everything beyond the first three knobs is off by default: a workload
+/// that configures nothing gets single-class FIFO admission with fixed
+/// reservations — behaviorally identical to the pre-priority controller.
 struct AdmissionConfig {
   /// Queries allowed to execute simultaneously.
   int max_concurrent_queries = 4;
@@ -109,6 +115,62 @@ struct AdmissionConfig {
   /// Max wall-clock a query waits in the queue before giving up with
   /// kResourceExhausted.
   double queue_timeout_seconds = 10.0;
+
+  // --- Priority classes + weighted-fair slot scheduling -----------------
+
+  /// Relative slot share of each QueryPriority class (indexed by the enum:
+  /// low, normal, high). Free slots are granted by smooth weighted
+  /// round-robin across the non-empty classes, so under sustained overload
+  /// class i receives weight[i]/sum(non-empty weights) of the slots while
+  /// lighter classes still make progress (no starvation). Within a class,
+  /// order is FIFO. With every query in one class (the default — nobody
+  /// sets a priority) this degenerates to plain FIFO.
+  double class_weights[kNumQueryPriorities] = {1.0, 2.0, 4.0};
+
+  // --- Adaptive load shedding ------------------------------------------
+
+  /// Master switch for the shedder; off by default (queues grow to
+  /// max_queue_depth and waiters ride out queue_timeout_seconds, exactly
+  /// the pre-shedding behavior).
+  bool shed_enabled = false;
+  /// Queue-depth watermark: while more than this many queries wait, the
+  /// shedder drops the newest waiter of the lowest non-empty priority
+  /// class with kResourceExhausted. 0 disables depth-triggered shedding.
+  int shed_queue_depth = 0;
+  /// Queue-wait watermark: when the oldest waiter has waited longer than
+  /// this, the queue is not draining — shed one lowest-class waiter per
+  /// scheduler pass until it is. 0 disables wait-triggered shedding.
+  double shed_queue_wait_seconds = 0;
+
+  // --- Graceful degradation --------------------------------------------
+
+  /// Queue-depth watermark above which admitted queries are degraded
+  /// instead of queued ones being refused: their memory reservation (and
+  /// query budget) is multiplied by degrade_memory_fraction, trading spill
+  /// I/O for admission headroom. 0 disables degradation.
+  int degrade_queue_depth = 0;
+  /// Reservation multiplier applied when degrading (in (0, 1]).
+  double degrade_memory_fraction = 0.5;
+  /// Also stamp strategy_downgraded on degraded queries' contexts: the
+  /// caller-side hook (ApplyStrategyDowngrade, opt/degrade.h) then swaps a
+  /// dynamic re-optimizing strategy for a cheap static plan, shedding the
+  /// re-optimization coordination cost under pressure.
+  bool degrade_strategy = false;
+};
+
+/// Query-watchdog knobs (exec/query_watchdog.h). Off by default — no
+/// monitor thread is started and queries are only cancelled by their own
+/// deadline checks, exactly the pre-watchdog behavior.
+struct WatchdogConfig {
+  bool enabled = false;
+  /// Monitor wake-up cadence (wall clock).
+  double poll_interval_seconds = 0.01;
+  /// A registered query whose last heartbeat (QueryContext::CheckAlive at
+  /// partition-task/reopt boundaries) is older than this is presumed stuck
+  /// and cancelled, freeing its slot, spill files and temp tables through
+  /// the normal cancellation unwind. 0 disables stuck detection (the
+  /// watchdog then only enforces deadlines).
+  double progress_timeout_seconds = 0;
 };
 
 /// Configuration of the simulated shared-nothing cluster, standing in for
@@ -188,6 +250,12 @@ struct ClusterConfig {
   MemoryGovernanceConfig memory;
   /// Concurrent-query admission control (Engine::admission().Admit).
   AdmissionConfig admission;
+  /// Engine-wide retry token bucket (unlimited/off by default); armed by
+  /// Engine::RearmAdmission and consumed by the executor's fault-retry
+  /// loops before each re-execution.
+  RetryBudgetConfig retry_budget;
+  /// Query watchdog (off by default; Engine::watchdog()).
+  WatchdogConfig watchdog;
   /// Vectorized-execution knobs (batch size, columnar on/off).
   ExecOptions exec;
 };
@@ -212,6 +280,25 @@ inline Status ValidateClusterConfig(const ClusterConfig& config) {
         "ClusterConfig.admission.max_concurrent_queries must be >= 1 (got " +
         std::to_string(config.admission.max_concurrent_queries) +
         "); zero slots would refuse every query");
+  }
+  for (int i = 0; i < kNumQueryPriorities; ++i) {
+    if (config.admission.class_weights[i] <= 0) {
+      return Status::InvalidArgument(
+          "ClusterConfig.admission.class_weights[" + std::to_string(i) +
+          "] must be > 0; a zero-weight class would starve forever");
+    }
+  }
+  if (config.admission.degrade_memory_fraction <= 0 ||
+      config.admission.degrade_memory_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.admission.degrade_memory_fraction must be in (0, 1] "
+        "(got " +
+        std::to_string(config.admission.degrade_memory_fraction) + ")");
+  }
+  if (config.watchdog.enabled && config.watchdog.poll_interval_seconds <= 0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.watchdog.poll_interval_seconds must be > 0 when the "
+        "watchdog is enabled");
   }
   return Status::OK();
 }

@@ -6,10 +6,12 @@
 
 #include "common/memory_tracker.h"
 #include "common/query_context.h"
+#include "common/retry_budget.h"
 #include "common/thread_pool.h"
 #include "exec/admission_controller.h"
 #include "exec/cluster.h"
 #include "exec/executor.h"
+#include "exec/query_watchdog.h"
 #include "plan/udf.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
@@ -44,7 +46,7 @@ class Engine {
   /// must outlive the executor's jobs.
   JobExecutor MakeExecutor(QueryContext* ctx = nullptr) {
     return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_,
-                       faults_.get(), ctx);
+                       faults_.get(), ctx, &retry_budget());
   }
 
   /// Engine-level memory tracker: the root of the engine -> query ->
@@ -71,6 +73,35 @@ class Engine {
     memory_.set_budget(cluster_.memory.engine_budget_bytes);
     admission_ = std::make_unique<AdmissionController>(
         cluster_.admission, &memory_, cluster_.memory.query_reservation_bytes);
+  }
+
+  /// Engine-wide retry-budget token bucket, built lazily from
+  /// cluster().retry_budget. Disabled at defaults (unlimited retries, the
+  /// pre-budget behavior); every executor this engine makes draws from it.
+  RetryBudget& retry_budget() {
+    if (retry_budget_ == nullptr) RearmRetryBudget();
+    return *retry_budget_;
+  }
+
+  /// (Re)builds the retry budget from the current cluster().retry_budget
+  /// (refilled to capacity). Call after editing mutable_cluster(); must not
+  /// race with in-flight executors.
+  void RearmRetryBudget() {
+    retry_budget_ = std::make_unique<RetryBudget>(cluster_.retry_budget);
+  }
+
+  /// Query watchdog, built lazily from cluster().watchdog. Disabled at
+  /// defaults (no monitor thread). Register running queries with
+  /// WatchdogRegistration(&engine.watchdog(), &ctx).
+  QueryWatchdog& watchdog() {
+    if (watchdog_ == nullptr) RearmWatchdog();
+    return *watchdog_;
+  }
+
+  /// (Re)builds the watchdog from the current cluster().watchdog (stopping
+  /// any previous monitor thread). All registrations must be gone first.
+  void RearmWatchdog() {
+    watchdog_ = std::make_unique<QueryWatchdog>(cluster_.watchdog);
   }
 
   /// (Re)builds the fault injector from `cluster().fault`, resetting its
@@ -109,6 +140,8 @@ class Engine {
   std::unique_ptr<FaultInjector> faults_;
   MemoryTracker memory_{0, nullptr, "engine"};
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  std::unique_ptr<QueryWatchdog> watchdog_;
 };
 
 }  // namespace dynopt

@@ -70,14 +70,15 @@ double SecondsSince(WallClock::time_point start) {
 JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
                          const UdfRegistry* udfs, const ClusterConfig& cluster,
                          ThreadPool* pool, FaultInjector* faults,
-                         QueryContext* ctx)
+                         QueryContext* ctx, RetryBudget* retry_budget)
     : catalog_(catalog),
       stats_(stats),
       udfs_(udfs),
       cluster_(cluster),
       pool_(pool),
       faults_(faults),
-      ctx_(ctx) {
+      ctx_(ctx),
+      retry_budget_(retry_budget) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
   // Config validation at construction time — a zero max_batch_size or node
   // count would otherwise fail as an underflow deep inside a kernel.
@@ -132,7 +133,11 @@ Status JobExecutor::ApplyFaults(FaultSite site,
       task = base * cfg.straggler_multiplier;
     }
     // Partition-level retry: each failed attempt burns its task time plus
-    // a capped-exponential backoff wait before the next try.
+    // a capped-exponential backoff wait before the next try. Each retry
+    // also spends one token of the engine-wide budget; a dry bucket fails
+    // the query fast with a *non-retryable* code (RunWithRecovery never
+    // re-runs kResourceExhausted), cutting a fault storm off instead of
+    // amplifying it.
     double completion = 0.0;
     int attempt = 0;
     while (faults_->TaskFails(site, stage, node, attempt)) {
@@ -143,7 +148,21 @@ Status JobExecutor::ApplyFaults(FaultSite site,
             FaultSiteName(site) + " (stage " + std::to_string(stage) + "): " +
             std::to_string(cfg.backoff.max_attempts) + " attempts failed");
       }
-      completion += task + cfg.backoff.Delay(attempt);
+      if (retry_budget_ != nullptr && !retry_budget_->TryAcquire()) {
+        faults_->RecordAbortedWork(aborted_work());
+        MetricsRegistry::Global()
+            .counter("exec.retry_budget_denied")
+            ->Increment();
+        return Status::ResourceExhausted(
+            "engine retry budget exhausted retrying node " +
+            std::to_string(node) + " during " + FaultSiteName(site) +
+            " (stage " + std::to_string(stage) + ")");
+      }
+      const uint64_t jitter_site = HashCombine(
+          static_cast<uint64_t>(stage),
+          HashCombine(static_cast<uint64_t>(node),
+                      static_cast<uint64_t>(site)));
+      completion += task + cfg.backoff.JitteredDelay(jitter_site, attempt);
       ++retries;
       ++attempt;
     }
@@ -238,6 +257,9 @@ Result<JobResult> JobExecutor::Execute(
   if (ctx_ != nullptr) {
     result.metrics.peak_memory_bytes = std::max(
         result.metrics.peak_memory_bytes, ctx_->memory().peak());
+    if (ctx_->memory_degraded || ctx_->strategy_downgraded) {
+      result.metrics.admission_degraded = 1;
+    }
   }
   span.AddArg("rows_out", static_cast<double>(result.metrics.rows_out));
   span.SetSimSeconds(result.metrics.simulated_seconds);
@@ -2133,10 +2155,23 @@ Result<SinkResult> JobExecutor::Materialize(
               st.message());
           break;
         }
+        if (retry_budget_ != nullptr && !retry_budget_->TryAcquire()) {
+          MetricsRegistry::Global()
+              .counter("exec.retry_budget_denied")
+              ->Increment();
+          st = Status::ResourceExhausted(
+              "engine retry budget exhausted re-materializing " + path);
+          break;
+        }
         // Re-materialize: pay another write + verify read plus the backoff
         // wait (simulated seconds, committed after the ParallelFor).
         ++part_retries[p];
-        extra_seconds[p] += backoff.Delay(attempt) +
+        const uint64_t jitter_site =
+            HashCombine(static_cast<uint64_t>(mat_stage),
+                        HashCombine(static_cast<uint64_t>(p),
+                                    static_cast<uint64_t>(
+                                        FaultSite::kMaterialize)));
+        extra_seconds[p] += backoff.JitteredDelay(jitter_site, attempt) +
                             static_cast<double>(part_bytes[p]) *
                                 (cluster_.disk_write_seconds_per_byte +
                                  cluster_.disk_read_seconds_per_byte);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/query_context.h"
+#include "common/retry_budget.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "exec/batch.h"
@@ -78,10 +79,18 @@ class JobExecutor {
   /// engine. The context must outlive the executor's jobs.
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
               const ClusterConfig& cluster, ThreadPool* pool,
-              FaultInjector* faults = nullptr, QueryContext* ctx = nullptr);
+              FaultInjector* faults = nullptr, QueryContext* ctx = nullptr,
+              RetryBudget* retry_budget = nullptr);
 
   void set_context(QueryContext* ctx) { ctx_ = ctx; }
   QueryContext* context() const { return ctx_; }
+
+  /// Attaches the engine-wide retry budget (see common/retry_budget.h) —
+  /// alternative to the constructor argument. Null leaves retries governed
+  /// only by the per-task BackoffPolicy, the pre-budget behavior. The
+  /// budget is shared across executors and must outlive this executor's
+  /// jobs.
+  void set_retry_budget(RetryBudget* budget) { retry_budget_ = budget; }
 
   /// Runs one job tree and returns its output dataset plus metrics.
   Result<JobResult> Execute(const PlanNode& root,
@@ -264,6 +273,7 @@ class JobExecutor {
   ThreadPool* pool_;
   FaultInjector* faults_;  ///< Engine-owned; may be null (no injection).
   QueryContext* ctx_ = nullptr;  ///< Caller-owned; may be null (ungoverned).
+  RetryBudget* retry_budget_ = nullptr;  ///< Engine-owned; may be null.
 
   /// Process-wide serial for spill-file names: two executors (or two joins
   /// of one query) can spill concurrently into the same directory without

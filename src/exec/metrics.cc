@@ -28,6 +28,9 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   spilled_bytes += other.spilled_bytes;
   spill_partitions += other.spill_partitions;
   queue_wait_seconds += other.queue_wait_seconds;
+  if (other.admission_degraded > admission_degraded) {
+    admission_degraded = other.admission_degraded;
+  }
   wall_shuffle_seconds += other.wall_shuffle_seconds;
   wall_build_seconds += other.wall_build_seconds;
   wall_probe_seconds += other.wall_probe_seconds;
@@ -54,7 +57,8 @@ std::string ExecMetrics::ToString() const {
      << " corrupted_blocks=" << corrupted_blocks << "]";
   os << " mem[peak=" << peak_memory_bytes << "B spilled=" << spilled_bytes
      << "B spill_parts=" << spill_partitions
-     << " queue_wait=" << queue_wait_seconds << "s]";
+     << " queue_wait=" << queue_wait_seconds
+     << "s degraded=" << admission_degraded << "]";
   os << " opt[decisions=" << num_decisions << " max_q_error=" << max_q_error
      << "]";
   os

@@ -59,6 +59,11 @@ struct ExecMetrics {
   uint64_t spill_partitions = 0;
   /// Wall-clock the query spent waiting in the admission queue.
   double queue_wait_seconds = 0;
+  /// 1 when the admission controller degraded this query under overload
+  /// (shrunken memory reservation and/or strategy downgrade — see the
+  /// degrade_* stamps on QueryContext). Max-merged in Add() like the other
+  /// query-level flags; 0 always at default (degradation-off) config.
+  uint64_t admission_degraded = 0;
 
   // --- Host wall-clock per kernel class ---------------------------------
   //

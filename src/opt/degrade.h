@@ -1,0 +1,43 @@
+#ifndef DYNOPT_OPT_DEGRADE_H_
+#define DYNOPT_OPT_DEGRADE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/engine.h"
+#include "opt/cardinality.h"
+#include "opt/optimizer.h"
+#include "plan/query_spec.h"
+
+namespace dynopt {
+
+/// Sizes a query's admission memory reservation from optimizer cardinality
+/// estimates instead of the one-size-fits-all query_reservation_bytes:
+/// the sum of every input's estimated post-predicate bytes (formula-(1)
+/// machinery over load-time stats), floored at `min_bytes`. This is a
+/// deliberate over-approximation of the bytes a query can pin at once
+/// (build-side hash tables + in-flight intermediates are subsets of the
+/// inputs' filtered data); a heavy join pipeline reserves proportionally
+/// more of the engine budget than a selective single-join query, which is
+/// the point — admission blocks the queries that would actually collide in
+/// memory and waves the cheap ones through.
+///
+/// Store the result in QueryContext::estimated_memory_bytes before
+/// Admit(); the controller clamps it to the engine budget.
+uint64_t EstimateQueryReservationBytes(
+    const QuerySpec& query, Engine* engine,
+    uint64_t min_bytes = 64ull << 10,
+    const EstimationOptions& options = EstimationOptions());
+
+/// Caller-side hook of the admission controller's strategy degradation:
+/// when `ctx` was stamped strategy_downgraded at admission, returns a
+/// cheap static cost-based plan-once-execute-once optimizer (context
+/// forwarded) to run instead of `planned` — shedding the dynamic
+/// strategies' re-optimization coordination cost under overload. Otherwise
+/// returns `planned` unchanged. Null ctx / null planned pass through.
+std::unique_ptr<Optimizer> ApplyStrategyDowngrade(
+    std::unique_ptr<Optimizer> planned, Engine* engine, QueryContext* ctx);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_DEGRADE_H_

@@ -222,7 +222,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       JobResult job = std::move(job_or).value();
       state.metrics.Add(job.metrics);
       auto sink_or =
-          executor.Materialize(std::move(job.data), "pushdown", needed,
+          executor.Materialize(std::move(job.data), TempPrefix("pushdown"), needed,
                                options_.collect_online_stats,
                                &state.metrics);
       if (!sink_or.ok()) {
@@ -343,7 +343,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         FutureJoinKeyColumns(state.spec, planned.edge, out_columns);
     bool collect = options_.collect_online_stats && !last_iteration &&
                    !stats_columns.empty();
-    auto sink_or = executor.Materialize(std::move(job.data), "join",
+    auto sink_or = executor.Materialize(std::move(job.data), TempPrefix("join"),
                                         stats_columns, collect,
                                         &state.metrics);
     if (!sink_or.ok()) {

@@ -73,6 +73,18 @@ class Optimizer {
     return ctx_ != nullptr ? ctx_->CheckAlive() : Status::OK();
   }
 
+  /// Catalog temp-name prefix for this query's materialized intermediates:
+  /// "q<id>_<kind>" with a context attached, so concurrent queries' temp
+  /// tables are distinguishable and a terminal-failure sweep
+  /// (RunWithRecovery) reclaims only THIS query's leftovers instead of
+  /// destroying other in-flight queries' intermediates. Plain `kind`
+  /// ungoverned — single-query runs keep their legacy names.
+  std::string TempPrefix(const char* kind) const {
+    return ctx_ != nullptr
+               ? "q" + std::to_string(ctx_->id()) + "_" + kind
+               : std::string(kind);
+  }
+
   QueryContext* ctx_ = nullptr;
 };
 

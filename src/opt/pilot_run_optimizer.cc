@@ -257,7 +257,7 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   result.metrics.Add(job.metrics);
   DYNOPT_ASSIGN_OR_RETURN(
       SinkResult sink,
-      executor.Materialize(std::move(job.data), "pilot", out_columns, true,
+      executor.Materialize(std::move(job.data), TempPrefix("pilot"), out_columns, true,
                            &result.metrics));
   // Any early error return below used to leak the pilot sink table; drop
   // it on every exit path instead.

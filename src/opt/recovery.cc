@@ -54,8 +54,17 @@ Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
   // attempts left behind so a failed query does not leak temp tables, and
   // sweep any grace-join spill runs still sitting in the spill directory
   // (a cancel can land between a partition's write and its read-back).
+  // With a context attached, optimizers prefix their temp tables
+  // "q<id>_" (Optimizer::TempPrefix), so the sweep is scoped to THIS
+  // query — under concurrent traffic an unscoped drop would destroy other
+  // in-flight queries' intermediates. Ungoverned runs keep the historical
+  // drop-everything behavior (one query at a time by construction).
+  const std::string temp_prefix =
+      optimizer->context() != nullptr
+          ? "q" + std::to_string(optimizer->context()->id()) + "_"
+          : std::string("");
   std::vector<std::string> dropped =
-      engine->catalog().DropTempTablesWithPrefix("");
+      engine->catalog().DropTempTablesWithPrefix(temp_prefix);
   for (const std::string& name : dropped) engine->stats().Remove(name);
   const std::string spill_prefix =
       optimizer->context() != nullptr

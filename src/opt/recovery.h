@@ -42,9 +42,12 @@ struct RecoveryReport {
 /// ResumeFromLastCheckpoint() when the strategy checkpoints (dynamic,
 /// ingres-like), by a whole-query restart otherwise. Fatal errors and
 /// retry exhaustion — including kCancelled/kResourceExhausted, which are
-/// never retried — propagate after dropping every temp table and spill
-/// file the attempts left behind (assumes one recovered query in flight
-/// at a time).
+/// never retried — propagate after dropping the temp tables and spill
+/// files the attempts left behind. With a QueryContext attached the sweep
+/// is scoped to this query's "q<id>_" temp prefix and spill prefix, so
+/// concurrent recovered queries cannot destroy each other's
+/// intermediates; without a context it drops every temp table (the
+/// historical single-query behavior).
 Result<OptimizerRunResult> RunWithRecovery(Optimizer* optimizer,
                                            Engine* engine,
                                            const QuerySpec& query,

@@ -39,6 +39,11 @@ class TracerTest : public ::testing::Test {
   void TearDown() override {
     Tracer::Global().Disable();
     Tracer::Global().Drain();
+    // A test that failed mid-stream must not leak the open sink into the
+    // next test (CloseStream on a closed sink just returns an error).
+    if (Tracer::Global().streaming()) {
+      (void)Tracer::Global().CloseStream();
+    }
   }
 };
 
@@ -141,6 +146,84 @@ TEST_F(TracerTest, ChromeTraceJsonHasCompleteEventsAndEscapedArgs) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   EXPECT_EQ(buffer.str(), json);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, StreamingSinkEmitsSameBytesAsBatchExporter) {
+  const std::string path = ::testing::TempDir() + "dynopt_stream_test.json";
+
+  // Two fixed events, recorded once through the streaming sink and once
+  // through the buffered path: the two exporters share one serializer, so
+  // the file and ChromeTraceJson(Drain()) must be byte-identical.
+  TraceEvent first;
+  first.name = "span-a";
+  first.category = "stage";
+  first.start_ns = 1000;
+  first.dur_ns = 500;
+  first.args.emplace_back("rows", "7");
+  TraceEvent second;
+  second.name = "span-b";
+  second.category = "kernel";
+  second.start_ns = 2000;
+  second.dur_ns = 250;
+
+  ASSERT_TRUE(Tracer::Global().OpenStream(path).ok());
+  EXPECT_TRUE(Tracer::Global().streaming());
+  Tracer::Global().Record(first);
+  Tracer::Global().Record(second);
+  // Streamed events bypass the thread buffers entirely (O(1) memory is
+  // the point), so nothing is waiting for Drain...
+  ASSERT_TRUE(Tracer::Global().CloseStream().ok());
+  EXPECT_FALSE(Tracer::Global().streaming());
+  EXPECT_TRUE(Tracer::Global().Drain().empty());
+
+  // ...and the same records through the buffered path render identically.
+  Tracer::Global().Record(first);
+  Tracer::Global().Record(second);
+  const std::string batch = ChromeTraceJson(Tracer::Global().Drain());
+
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), batch);
+  std::remove(path.c_str());
+}
+
+TEST_F(TracerTest, StreamingSinkFlushesIncrementallyAndCatchesSpans) {
+  const std::string path = ::testing::TempDir() + "dynopt_stream_tail.json";
+  Tracer::Global().Enable();
+  ASSERT_TRUE(Tracer::Global().OpenStream(path).ok());
+
+  // A second OpenStream while one is active is refused.
+  EXPECT_FALSE(Tracer::Global().OpenStream(path + ".other").ok());
+
+  { TraceSpan span("streamed-span", "stage"); }
+  // The event is on disk BEFORE CloseStream — the sink is tail-able while
+  // the workload runs.
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_NE(buffer.str().find("streamed-span"), std::string::npos);
+  }
+
+  ASSERT_TRUE(Tracer::Global().CloseStream().ok());
+  EXPECT_FALSE(Tracer::Global().CloseStream().ok());  // Nothing open now.
+
+  // Closed document is well-formed and spans recorded after the close go
+  // back to the buffered path.
+  {
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string doc = buffer.str();
+    EXPECT_EQ(doc.find("{\"displayTimeUnit\": \"ms\""), 0u);
+    EXPECT_NE(doc.find("\n]}\n"), std::string::npos);
+  }
+  { TraceSpan span("buffered-span", "stage"); }
+  std::vector<TraceEvent> events = Tracer::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "buffered-span");
   std::remove(path.c_str());
 }
 

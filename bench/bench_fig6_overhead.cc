@@ -50,7 +50,7 @@ void RunCase(benchmark::State& state, const std::string& query,
     record.reopt_seconds = reopt;
     record.stats_seconds = stats;
     record.wall_seconds = result->wall_seconds;
-    SetWallBreakdown(&record, result->metrics);
+    SetWallBreakdown(&record, result->metrics, result->profile.get());
     AddRecord(std::move(record));
   }
 }

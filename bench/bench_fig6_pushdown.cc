@@ -61,7 +61,7 @@ void RunCase(benchmark::State& state, const std::string& query, int paper_sf,
       record.paper_sf = paper_sf;
       record.optimizer = "predicate-push-down";
       record.sim_seconds = total;
-      SetWallBreakdown(&record, result->metrics);
+      SetWallBreakdown(&record, result->metrics, result->profile.get());
       AddRecord(std::move(record));
     }
     state.SetIterationTime(total);

@@ -196,7 +196,7 @@ int Main(int argc, char** argv) {
         record.wall_seconds = result->wall_seconds;
         record.reopt_seconds = result->metrics.reopt_seconds;
         record.stats_seconds = result->metrics.stats_seconds;
-        SetWallBreakdown(&record, result->metrics);
+        SetWallBreakdown(&record, result->metrics, result->profile.get());
         record.rows = result->rows.size();
         AddRecord(std::move(record));
       }

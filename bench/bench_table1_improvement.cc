@@ -32,7 +32,7 @@ void RunCase(benchmark::State& state, const std::string& query, int paper_sf,
     record.paper_sf = paper_sf;
     record.optimizer = optimizer;
     record.sim_seconds = result->metrics.simulated_seconds;
-    SetWallBreakdown(&record, result->metrics);
+    SetWallBreakdown(&record, result->metrics, result->profile.get());
     AddRecord(std::move(record));
   }
 }

@@ -158,7 +158,8 @@ Result<OptimizerRunResult> RunStrategy(Engine* engine, int paper_sf,
   return Status::InvalidArgument("unknown optimizer " + optimizer_name);
 }
 
-void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
+void SetWallBreakdown(Record* record, const ExecMetrics& metrics,
+                      const QueryProfile* profile) {
   record->wall_shuffle_seconds = metrics.wall_shuffle_seconds;
   record->wall_build_seconds = metrics.wall_build_seconds;
   record->wall_probe_seconds = metrics.wall_probe_seconds;
@@ -173,6 +174,21 @@ void SetWallBreakdown(Record* record, const ExecMetrics& metrics) {
   record->queue_wait_seconds = metrics.queue_wait_seconds;
   record->max_q_error = metrics.max_q_error;
   record->num_decisions = metrics.num_decisions;
+  record->error_reopt_triggers = metrics.error_reopt_triggers;
+  record->q_error_log2.assign(16, 0);
+  if (profile != nullptr) {
+    for (const auto& d : profile->decisions.decisions()) {
+      const double q = d.QError();
+      if (q < 1.0) continue;
+      uint64_t v = static_cast<uint64_t>(std::llround(q));
+      size_t bucket = 0;
+      while (v > 1 && bucket + 1 < record->q_error_log2.size()) {
+        v >>= 1;
+        ++bucket;
+      }
+      ++record->q_error_log2[bucket];
+    }
+  }
 }
 
 void AddRecord(Record record) {
@@ -238,6 +254,12 @@ std::string RecordsToJson() {
        << "\"queue_wait_seconds\": " << r.queue_wait_seconds << ", "
        << "\"max_q_error\": " << r.max_q_error << ", "
        << "\"num_decisions\": " << r.num_decisions << ", "
+       << "\"error_reopt_triggers\": " << r.error_reopt_triggers << ", "
+       << "\"q_error_log2\": [";
+    for (size_t i = 0; i < r.q_error_log2.size(); ++i) {
+      os << (i == 0 ? "" : ", ") << r.q_error_log2[i];
+    }
+    os << "], "
        << "\"rows\": " << r.rows << ", "
        << "\"plan\": \"" << JsonEscape(r.plan) << "\"}";
     first = false;

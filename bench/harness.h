@@ -75,14 +75,23 @@ struct Record {
   // the worst estimate-vs-actual ratio across this run's logged decisions.
   double max_q_error = 0;
   uint64_t num_decisions = 0;
+  // Extra re-optimization checkpoints bought by the error feedback loop
+  // (ExecMetrics::error_reopt_triggers; 0 at default knobs).
+  uint64_t error_reopt_triggers = 0;
+  // Log2-bucketed histogram of rounded per-decision q-errors: bucket 0 =
+  // [1,2), bucket i = [2^i, 2^(i+1)), last bucket open-ended. All zero
+  // when no profile was attached to the run.
+  std::vector<uint64_t> q_error_log2 = std::vector<uint64_t>(16, 0);
   uint64_t rows = 0;
   std::string plan;
 };
 
 /// Copies the per-operator-class wall clocks, the fault counters, the
 /// memory-governance counters and the decision telemetry out of `metrics`
-/// into `record`.
-void SetWallBreakdown(Record* record, const ExecMetrics& metrics);
+/// into `record`. A non-null `profile` additionally fills the per-decision
+/// q-error histogram (`q_error_log2`).
+void SetWallBreakdown(Record* record, const ExecMetrics& metrics,
+                      const QueryProfile* profile = nullptr);
 
 void AddRecord(Record record);
 const std::vector<Record>& Records();

@@ -158,6 +158,50 @@ struct AdmissionConfig {
   bool degrade_strategy = false;
 };
 
+/// Risk-aware planning knobs: spill-aware costing, q-error feedback and the
+/// cross-query error-memory store. Everything is off by default — with this
+/// struct untouched, every optimizer plans and meters byte-for-byte like a
+/// build without risk-aware planning (pinned by tests/feedback_test).
+struct RiskConfig {
+  /// Feed cluster.memory.join_memory_budget_bytes into the join cost model:
+  /// a join whose estimated build side exceeds the per-node budget is priced
+  /// with the grace-hash spill passes the executor will actually pay
+  /// (write+read each overflowing pass, recursive re-partitioning up to
+  /// memory.max_spill_recursion), so join-order, build-side and
+  /// broadcast-vs-shuffle choices see the true cost.
+  bool spill_aware_costing = false;
+
+  /// Consume the decision log's back-patched q-errors at every
+  /// re-optimization point (dynamic / ingres-like / pilot-run): observed
+  /// estimation error widens the selectivity confidence interval used for
+  /// the remaining decisions (pessimistic-bound costing) and, above
+  /// qerror_reopt_threshold, triggers an extra re-optimization checkpoint.
+  bool error_feedback = false;
+  /// Worst observed within-query q-error above which an extra reopt point
+  /// is inserted where the plan would otherwise go static.
+  double qerror_reopt_threshold = 4.0;
+  /// Cap on error-triggered extra reopt rounds per query (each one costs a
+  /// materialization, so unbounded triggering could thrash).
+  int max_extra_reopts = 2;
+  /// Cap on the confidence-interval widening factor applied to uncertain
+  /// cardinalities (both from within-query feedback and from stored
+  /// priors); 1.0 disables widening even with error_feedback on.
+  double max_ci_widening = 8.0;
+
+  /// Consult/record the persistent cross-query ErrorStatsStore
+  /// (opt/error_stats.h): per-table/per-predicate q-error aggregates give
+  /// the cost-based and pilot-run strategies calibrated priors before the
+  /// first tuple flows. Requires a non-empty error_stats_path to persist;
+  /// in-memory sharing within one Engine works without a path.
+  bool use_error_store = false;
+  /// File the store loads at arm time and saves to (atomic tmp+rename).
+  /// Empty = in-memory only.
+  std::string error_stats_path;
+  /// Bound on distinct (table/predicate/join) keys the store retains; new
+  /// keys beyond the bound are dropped (counted, never an error).
+  size_t error_store_max_entries = 4096;
+};
+
 /// Query-watchdog knobs (exec/query_watchdog.h). Off by default — no
 /// monitor thread is started and queries are only cancelled by their own
 /// deadline checks, exactly the pre-watchdog behavior.
@@ -256,6 +300,9 @@ struct ClusterConfig {
   RetryBudgetConfig retry_budget;
   /// Query watchdog (off by default; Engine::watchdog()).
   WatchdogConfig watchdog;
+  /// Risk-aware planning: spill-aware costing, q-error feedback loops and
+  /// the cross-query error store (all off by default).
+  RiskConfig risk;
   /// Vectorized-execution knobs (batch size, columnar on/off).
   ExecOptions exec;
 };
@@ -299,6 +346,23 @@ inline Status ValidateClusterConfig(const ClusterConfig& config) {
     return Status::InvalidArgument(
         "ClusterConfig.watchdog.poll_interval_seconds must be > 0 when the "
         "watchdog is enabled");
+  }
+  if (config.risk.qerror_reopt_threshold < 1.0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.risk.qerror_reopt_threshold must be >= 1 (got " +
+        std::to_string(config.risk.qerror_reopt_threshold) +
+        "); a q-error is never below 1, so a smaller threshold would "
+        "trigger an extra reopt on every query");
+  }
+  if (config.risk.max_extra_reopts < 0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.risk.max_extra_reopts must be >= 0");
+  }
+  if (config.risk.max_ci_widening < 1.0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.risk.max_ci_widening must be >= 1 (got " +
+        std::to_string(config.risk.max_ci_widening) +
+        "); widening below 1 would make estimates *optimistic*");
   }
   return Status::OK();
 }

@@ -118,6 +118,15 @@ class Engine {
   /// byte-for-byte like a build without injection).
   void DisarmFaultInjection() { faults_.reset(); }
 
+  /// Engine-scoped slot for optimizer-layer state that must outlive
+  /// individual queries but cannot live in this class directly because the
+  /// exec layer does not link against opt (opt links exec). Today it holds
+  /// the cross-query error-stats store (see EngineErrorStats in
+  /// opt/error_stats.h, which owns the slot's type and rebuild-on-config-
+  /// change logic). Guard access with an external lock when queries run
+  /// concurrently — EngineErrorStats does.
+  std::shared_ptr<void>& opt_state() { return opt_state_; }
+
   /// Armed injector, or nullptr. Recovery policies read its aborted-work
   /// ledger to price restarts.
   FaultInjector* fault_injector() { return faults_.get(); }
@@ -142,6 +151,7 @@ class Engine {
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<RetryBudget> retry_budget_;
   std::unique_ptr<QueryWatchdog> watchdog_;
+  std::shared_ptr<void> opt_state_;
 };
 
 }  // namespace dynopt

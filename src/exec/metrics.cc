@@ -37,6 +37,7 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   wall_materialize_seconds += other.wall_materialize_seconds;
   if (other.max_q_error > max_q_error) max_q_error = other.max_q_error;
   num_decisions += other.num_decisions;
+  error_reopt_triggers += other.error_reopt_triggers;
 }
 
 std::string ExecMetrics::ToString() const {
@@ -60,7 +61,7 @@ std::string ExecMetrics::ToString() const {
      << " queue_wait=" << queue_wait_seconds
      << "s degraded=" << admission_degraded << "]";
   os << " opt[decisions=" << num_decisions << " max_q_error=" << max_q_error
-     << "]";
+     << " error_reopts=" << error_reopt_triggers << "]";
   os
      << " wall[shuffle=" << wall_shuffle_seconds
      << "s build=" << wall_build_seconds << "s probe=" << wall_probe_seconds

@@ -1,10 +1,12 @@
 #include "opt/decision_log.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/metrics_registry.h"
 
 namespace dynopt {
 
@@ -80,6 +82,19 @@ double DecisionLog::MaxQError() const {
   return worst;
 }
 
+double DecisionLog::GeoMeanQError() const {
+  double sum_log = 0;
+  size_t n = 0;
+  for (const auto& d : decisions_) {
+    const double q = d.QError();
+    if (q >= 1.0) {
+      sum_log += std::log(q);
+      ++n;
+    }
+  }
+  return n == 0 ? 1.0 : std::exp(sum_log / static_cast<double>(n));
+}
+
 std::string DecisionLog::ToString() const {
   std::ostringstream os;
   for (const auto& d : decisions_) os << d.ToString() << "\n";
@@ -100,6 +115,23 @@ void FinalizeProfile(QueryProfile* profile, ExecMetrics* metrics,
   DYNOPT_CHECK(profile != nullptr && metrics != nullptr);
   metrics->max_q_error = profile->decisions.MaxQError();
   metrics->num_decisions = profile->decisions.decisions().size();
+  // Engine-wide estimation-quality telemetry: a log2 histogram of rounded
+  // per-decision q-errors (bucket 1 = spot-on, each doubling one bucket
+  // up) so operators can watch the error distribution across queries, not
+  // just the per-query max that survives in ExecMetrics.
+  auto& registry = MetricsRegistry::Global();
+  Histogram* q_hist = registry.histogram("opt.q_error");
+  uint64_t with_actuals = 0;
+  for (const auto& d : profile->decisions.decisions()) {
+    const double q = d.QError();
+    if (q >= 1.0) {
+      q_hist->Record(static_cast<uint64_t>(std::llround(q)));
+      ++with_actuals;
+    }
+  }
+  registry.counter("opt.decisions")->Increment(
+      profile->decisions.decisions().size());
+  registry.counter("opt.decisions_with_actuals")->Increment(with_actuals);
   profile->metrics = *metrics;
   if (query_span != nullptr) {
     query_span->SetSimSeconds(metrics->simulated_seconds);

@@ -57,6 +57,10 @@ class DecisionLog {
   size_t NumWithActuals() const;
   /// Worst QError() over decisions with actuals (0 when there are none).
   double MaxQError() const;
+  /// Geometric mean of QError() over decisions with actuals (1.0 when
+  /// there are none) — the calibrated "how wrong have we been so far this
+  /// query" factor the feedback loop widens confidence intervals by.
+  double GeoMeanQError() const;
   std::string ToString() const;
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/metrics_registry.h"
+#include "opt/cost_model.h"
 #include "opt/static_optimizer.h"
 #include "opt/stats_view.h"
 
@@ -15,7 +16,14 @@ uint64_t EstimateQueryReservationBytes(const QuerySpec& query, Engine* engine,
   CardinalityEstimator estimator(&view, options);
   double bytes = 0;
   for (const auto& ref : query.tables) {
-    bytes += std::max(0.0, estimator.EstimateFilteredBytes(ref.alias));
+    // Route per-input sizes through the spill-aware resident-set model:
+    // with a per-node join budget, a build side larger than budget x nodes
+    // never pins more than that — the overflow lives in spill files the
+    // admission controller should not reserve RAM for. With no budget
+    // (default) this is the identity, so reservations are unchanged.
+    bytes += EstimateResidentBytes(
+        std::max(0.0, estimator.EstimateFilteredBytes(ref.alias)),
+        engine->cluster());
   }
   return std::max(min_bytes, static_cast<uint64_t>(bytes));
 }

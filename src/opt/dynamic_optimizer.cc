@@ -1,9 +1,12 @@
 #include "opt/dynamic_optimizer.h"
 
+#include <algorithm>
 #include <chrono>
 #include <set>
 #include <sstream>
 
+#include "common/metrics_registry.h"
+#include "opt/error_stats.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
 #include "opt/reconstruction.h"
@@ -102,6 +105,7 @@ Result<OptimizerRunResult> DynamicOptimizer::Run(const QuerySpec& query) {
   DYNOPT_RETURN_IF_ERROR(state.spec.Validate());
   for (const auto& ref : state.spec.tables) {
     state.subtrees[ref.alias] = JoinTree::Leaf(ref.alias);
+    state.base_tables[ref.alias] = ref.table;
   }
   return RunFromState(std::move(state));
 }
@@ -185,6 +189,44 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     return st;
   };
 
+  // ---- Risk-aware planning state (all knobs off by default) --------------
+  // error_feedback: observed q-errors widen the selectivity confidence
+  // interval for the *remaining* decisions and can buy extra
+  // re-optimization checkpoints. use_error_store: past queries' errors seed
+  // the widening before anything is observed. Both fail soft: no error
+  // signal => neutral risk => planning identical to the knobs-off build.
+  const RiskConfig& risk_cfg = engine_->cluster().risk;
+  ErrorStatsStore* err_store = EngineErrorStats(engine_);
+  const bool use_risk = risk_cfg.error_feedback || err_store != nullptr;
+  SelectivityRisk risk;  // Rebuilt before every planning round.
+  auto rebuild_risk = [&]() {
+    risk = err_store != nullptr
+               ? PriorRisk(state.spec, err_store, risk_cfg.max_ci_widening)
+               : SelectivityRisk();
+    if (!risk_cfg.error_feedback) return;
+    const double observed = std::clamp(state.decisions.GeoMeanQError(), 1.0,
+                                       risk_cfg.max_ci_widening);
+    if (observed <= 1.0) return;
+    // Widen every still-estimated input (intermediates have exact counts)
+    // and the join outputs by the error observed so far this query.
+    risk.global_factor = std::max(risk.global_factor, observed);
+    for (const auto& ref : state.spec.tables) {
+      if (ref.is_intermediate) continue;
+      double& f = risk.alias_factors[ref.alias];
+      f = std::max(f, observed);
+    }
+  };
+  // Base-table names for a subtree's alias set (store keys must outlive
+  // this query's temp aliases).
+  auto base_tables_of = [&](const std::set<std::string>& aliases) {
+    std::vector<std::string> out;
+    for (const auto& alias : aliases) {
+      auto it = state.base_tables.find(alias);
+      out.push_back(it != state.base_tables.end() ? it->second : alias);
+    }
+    return out;
+  };
+
   // ---- Stage 1: predicate push-down (Algorithm 1 lines 6-9) -------------
   if (options_.pushdown_predicates && !state.pushdown_done) {
     std::vector<std::string> aliases;
@@ -237,6 +279,13 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       decision.chosen = "materialize filtered " + alias;
       decision.estimated_rows = pd_est_rows;
       decision.actual_rows = static_cast<double>(sink.stats.row_count);
+      if (err_store != nullptr) {
+        auto bt = state.base_tables.find(alias);
+        err_store->Record(
+            TableErrorKey(bt != state.base_tables.end() ? bt->second : alias,
+                          preds),
+            decision.QError());
+      }
       state.decisions.Record(std::move(decision));
       state.subtree_actual_rows[SubtreeKey({alias})] = sink.stats.row_count;
       stage_span.AddArg("actual_rows",
@@ -261,6 +310,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     profile->subtree_actual_rows = state.subtree_actual_rows;
     FinalizeProfile(profile.get(), &result.metrics, &query_span);
     result.profile = std::move(profile);
+    // Persist what this query taught the error memory; a failed save only
+    // costs the lesson, never the query.
+    if (err_store != nullptr) (void)err_store->Save();
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
@@ -273,11 +325,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     StatsView pd_view(&state.spec, &engine_->stats(), &engine_->catalog());
     double dp_rows = -1;
     double dp_cost = -1;
+    rebuild_risk();
     DYNOPT_ASSIGN_OR_RETURN(
         std::shared_ptr<const JoinTree> tree,
         StaticCostBasedOptimizer::PlanWithDp(
             state.spec, pd_view, engine_->cluster(), options_.planner,
-            &dp_rows, &dp_cost));
+            &dp_rows, &dp_cost, use_risk ? &risk : nullptr));
     DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                             BuildPhysicalPlan(state.spec, *tree, true));
     auto job_or = executor.Execute(*plan, state.spec.params);
@@ -293,6 +346,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     decision.estimated_rows = dp_rows;
     decision.estimated_cost = dp_cost;
     decision.actual_rows = static_cast<double>(job.data.NumRows());
+    if (err_store != nullptr) {
+      err_store->Record(
+          JoinErrorKey(base_tables_of(
+              ExpandTree(tree, state.subtrees)->Aliases())),
+          decision.QError());
+    }
     state.decisions.Record(std::move(decision));
     state.subtree_actual_rows[SubtreeKey(
         ExpandTree(tree, state.subtrees)->Aliases())] = job.data.NumRows();
@@ -306,15 +365,34 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   }
 
   // ---- Stage 2: re-optimization loop (Algorithm 1 lines 11-15) ----------
-  while (state.spec.joins.size() > 2) {
+  // With error feedback on, a query whose observed q-error crossed the
+  // threshold earns extra rounds: instead of handing the final two joins to
+  // PlanRemaining on estimates it has already seen fail, it materializes
+  // one more join and plans the tail on exact counts. Statics never get
+  // this chance — it is the dynamic strategy's unique ability to buy
+  // information mid-query.
+  auto extra_reopt_due = [&]() {
+    return risk_cfg.error_feedback && state.spec.joins.size() == 2 &&
+           state.extra_reopts < risk_cfg.max_extra_reopts &&
+           state.decisions.MaxQError() > risk_cfg.qerror_reopt_threshold;
+  };
+  while (state.spec.joins.size() > 2 || extra_reopt_due()) {
     // Re-optimization point: the natural cancellation boundary (the paper's
     // materialization points are exactly where mid-query decisions — here,
     // stopping — are safe).
     DYNOPT_RETURN_IF_ERROR(CheckContext());
+    const bool extra_round = state.spec.joins.size() <= 2;
+    if (extra_round) {
+      trace << "[error-reopt] max q-error " << state.decisions.MaxQError()
+            << " > " << risk_cfg.qerror_reopt_threshold
+            << "; extra materialization point before the final join\n";
+    }
     TraceSpan round_span("reopt-" + std::to_string(state.join_counter),
                          "opt");
     StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
-    Planner planner(&view, engine_->cluster(), options_.planner);
+    rebuild_risk();
+    Planner planner(&view, engine_->cluster(), options_.planner,
+                    use_risk ? &risk : nullptr);
     DYNOPT_ASSIGN_OR_RETURN(PlannedJoin planned, planner.PickNextJoin());
 
     const std::string& build = planned.build_alias;
@@ -338,7 +416,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     // Online statistics: only on attributes of subsequent join stages, and
     // skipped in the very last loop iteration (no further re-optimization
     // will consume them — Section 5.3).
-    bool last_iteration = state.spec.joins.size() == 3;
+    bool last_iteration = state.spec.joins.size() == 3 || extra_round;
     std::vector<std::string> stats_columns =
         FutureJoinKeyColumns(state.spec, planned.edge, out_columns);
     bool collect = options_.collect_online_stats && !last_iteration &&
@@ -370,9 +448,25 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     decision.estimated_cost = planned.estimated_cost;
     decision.rejected = planned.rejected;
     decision.actual_rows = static_cast<double>(sink.stats.row_count);
+    if (err_store != nullptr) {
+      err_store->Record(
+          JoinErrorKey(
+              base_tables_of(state.subtrees.at(new_alias)->Aliases())),
+          decision.QError());
+    }
     state.decisions.Record(std::move(decision));
     state.subtree_actual_rows[SubtreeKey(
         state.subtrees.at(new_alias)->Aliases())] = sink.stats.row_count;
+    if (extra_round) {
+      // Spend the trigger only once the bought checkpoint actually exists:
+      // a failure in this round resumes from stage_start (pre-increment)
+      // and re-earns it, so it is neither lost nor double-counted.
+      ++state.extra_reopts;
+      state.metrics.error_reopt_triggers += 1;
+      MetricsRegistry::Global()
+          .counter("opt.error_reopt_triggers")
+          ->Increment();
+    }
     round_span.AddArg("actual_rows",
                       static_cast<double>(sink.stats.row_count));
     round_span.AddArg("est_rows", planned.estimated_cardinality);
@@ -389,7 +483,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   DYNOPT_RETURN_IF_ERROR(CheckContext());
   TraceSpan final_span("final", "stage");
   StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
-  Planner planner(&view, engine_->cluster(), options_.planner);
+  rebuild_risk();
+  Planner planner(&view, engine_->cluster(), options_.planner,
+                  use_risk ? &risk : nullptr);
   std::vector<PlannedJoin> final_steps;
   DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<const JoinTree> final_tree,
                           planner.PlanRemaining(&final_steps));
@@ -430,6 +526,12 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       decision.rejected = last.rejected;
     }
     decision.actual_rows = static_cast<double>(job.data.NumRows());
+    if (err_store != nullptr) {
+      err_store->Record(
+          JoinErrorKey(base_tables_of(
+              ExpandTree(final_tree, state.subtrees)->Aliases())),
+          decision.QError());
+    }
     state.decisions.Record(std::move(decision));
   }
   state.subtree_actual_rows[SubtreeKey(

@@ -66,6 +66,15 @@ struct DynamicCheckpoint {
   DecisionLog decisions;
   /// SubtreeKey -> actual materialized rows of completed stages.
   std::map<std::string, uint64_t> subtree_actual_rows;
+  /// Extra re-optimization checkpoints already spent on this query by the
+  /// error feedback loop (risk.max_extra_reopts bounds it). Lives in the
+  /// checkpoint so a resumed run neither forgets a spent trigger (which
+  /// would re-fire it) nor re-counts one.
+  int extra_reopts = 0;
+  /// Original alias -> catalog table name, captured before push-down
+  /// rewrites aliases onto temp tables. Cross-query error-store keys must
+  /// name base tables (temp names are meaningless across queries).
+  std::map<std::string, std::string> base_tables;
 };
 
 /// The paper's contribution (Algorithm 1): INGRES-style runtime dynamic

@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "opt/error_stats.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
 #include "opt/reconstruction.h"
@@ -160,6 +161,14 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   }
 
   // ---- Stage 2: complete initial plan from pilot statistics -------------
+  // Cross-query error memory (off by default): priors widen this plan's
+  // confidence intervals on top of the pilot samples — the samples
+  // calibrate selectivities, the priors remember where sampling itself has
+  // misled before (skewed join keys the linear ndv scale-up gets wrong).
+  ErrorStatsStore* err_store = EngineErrorStats(engine_);
+  const bool use_risk = cluster.risk.error_feedback || err_store != nullptr;
+  const SelectivityRisk prior_risk =
+      PriorRisk(spec, err_store, cluster.risk.max_ci_widening);
   StatsView view(&planning_spec, &engine_->stats(), &engine_->catalog());
   view.SetAliasOverrides(&overrides);
   TraceSpan plan_span("plan-dp", "opt");
@@ -167,9 +176,9 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   double initial_cost = -1;
   DYNOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const JoinTree> initial_tree,
-      StaticCostBasedOptimizer::PlanWithDp(planning_spec, view,
-                                           cluster, options_.planner,
-                                           &initial_rows, &initial_cost));
+      StaticCostBasedOptimizer::PlanWithDp(
+          planning_spec, view, cluster, options_.planner, &initial_rows,
+          &initial_cost, err_store != nullptr ? &prior_risk : nullptr));
   plan_span.End();
   trace << "[pilot-run] initial plan: " << initial_tree->ToString() << "\n";
   PlanDecision initial_decision;
@@ -271,6 +280,7 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   } sink_cleanup{engine_, &sink.table_name};
   trace << "[pilot-run] executed " << executed.ToString() << " -> "
         << sink.table_name << " (" << sink.stats.row_count << " rows)\n";
+  double pilot_q = 0;
   {
     PlanDecision decision;
     decision.point = "pilot-join";
@@ -280,6 +290,16 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
     decision.build_alias = build;
     decision.estimated_rows = pilot_est_rows;
     decision.actual_rows = static_cast<double>(sink.stats.row_count);
+    pilot_q = decision.QError();
+    if (err_store != nullptr) {
+      std::vector<std::string> pair_tables;
+      for (const std::string& alias : {build, probe}) {
+        const TableRef* ref = spec.FindRef(alias);
+        pair_tables.push_back(
+            ref != nullptr && !ref->is_intermediate ? ref->table : alias);
+      }
+      err_store->Record(JoinErrorKey(std::move(pair_tables)), pilot_q);
+    }
     profile->decisions.Record(std::move(decision));
   }
   profile->subtree_actual_rows[SubtreeKey({build, probe})] =
@@ -319,15 +339,31 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   std::shared_ptr<const JoinTree> rest_tree;
   double rest_rows = -1;
   double rest_cost = -1;
+  // Error-aware replan: the pilot join's own q-error is the freshest
+  // evidence of how far the sampled statistics can be trusted — a bad one
+  // widens every remaining estimate (on top of any cross-query priors)
+  // before the tail of the plan commits to broadcast-sized bets.
+  SelectivityRisk rest_risk =
+      PriorRisk(remaining, err_store, cluster.risk.max_ci_widening);
+  if (cluster.risk.error_feedback && pilot_q > 1.0) {
+    const double widen =
+        std::min(pilot_q, cluster.risk.max_ci_widening);
+    rest_risk.global_factor = std::max(rest_risk.global_factor, widen);
+    for (const auto& ref : remaining.tables) {
+      if (ref.is_intermediate) continue;
+      double& f = rest_risk.alias_factors[ref.alias];
+      f = std::max(f, widen);
+    }
+  }
   if (remaining.joins.empty()) {
     rest_tree = JoinTree::Leaf(new_alias);
   } else {
     TraceSpan replan_span("replan-dp", "opt");
     DYNOPT_ASSIGN_OR_RETURN(
         rest_tree,
-        StaticCostBasedOptimizer::PlanWithDp(remaining_planning, view2,
-                                             cluster, options_.planner,
-                                             &rest_rows, &rest_cost));
+        StaticCostBasedOptimizer::PlanWithDp(
+            remaining_planning, view2, cluster, options_.planner, &rest_rows,
+            &rest_cost, use_risk ? &rest_risk : nullptr));
   }
   trace << "[pilot-run] adjusted plan: " << rest_tree->ToString() << "\n";
   PlanDecision rest_decision;
@@ -347,6 +383,20 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   // against the final pre-post-processing output.
   profile->decisions.SetActual(initial_id, static_cast<double>(final_rows));
   profile->decisions.SetActual(rest_id, static_cast<double>(final_rows));
+  if (err_store != nullptr) {
+    const auto& ds = profile->decisions.decisions();
+    if (initial_id >= 0 && initial_id < static_cast<int>(ds.size())) {
+      const double q = ds[static_cast<size_t>(initial_id)].QError();
+      std::vector<std::string> bases;
+      for (const auto& ref : spec.tables) {
+        if (!ref.is_intermediate) bases.push_back(ref.table);
+      }
+      if (q >= 1.0 && !bases.empty()) {
+        err_store->Record(JoinErrorKey(std::move(bases)), q);
+      }
+    }
+    (void)err_store->Save();
+  }
   {
     std::set<std::string> all_aliases;
     for (const auto& ref : spec.tables) all_aliases.insert(ref.alias);

@@ -18,10 +18,11 @@ std::string PlannedJoin::ToString() const {
 }
 
 Planner::Planner(const StatsView* view, const ClusterConfig& cluster,
-                 const PlannerOptions& options)
+                 const PlannerOptions& options, const SelectivityRisk* risk)
     : view_(view),
       cluster_(cluster),
       options_(options),
+      risk_(risk),
       estimator_(view, options.estimation) {}
 
 bool Planner::InljApplicable(const JoinEdge& edge,
@@ -67,23 +68,42 @@ PlannedJoin Planner::DecorateWithMethod(const JoinEdge& edge, double card,
   const double right_width = right_rows > 0 ? right_bytes / right_rows : 64.0;
   planned.estimated_bytes = card * (left_width + right_width);
 
-  const bool left_small = left_bytes <= right_bytes;
+  // Pessimistic-bound sizes: risk widens the inputs (per-alias) and the
+  // output (the worst of input factors and the global factor — a join can
+  // not be more trustworthy than its least-trusted input). The *expected*
+  // estimates above are what the decision log reports; the pessimistic ones
+  // drive every choice below (build side, broadcast eligibility, costs).
+  // With no risk all factors are 1 and nothing changes.
+  const double lf = RiskFactor(edge.left_alias);
+  const double rf = RiskFactor(edge.right_alias);
+  const double of = std::max(std::max(lf, rf),
+                             risk_ == nullptr ? 1.0 : risk_->global_factor);
+  const double p_left_rows = left_rows * lf;
+  const double p_left_bytes = left_bytes * lf;
+  const double p_right_rows = right_rows * rf;
+  const double p_right_bytes = right_bytes * rf;
+  const double p_card = card * of;
+
+  const bool left_small = p_left_bytes <= p_right_bytes;
   const std::string& small_alias =
       left_small ? edge.left_alias : edge.right_alias;
   const std::string& large_alias =
       left_small ? edge.right_alias : edge.left_alias;
-  const double small_rows = left_small ? left_rows : right_rows;
-  const double small_bytes = left_small ? left_bytes : right_bytes;
-  const double large_rows = left_small ? right_rows : left_rows;
-  const double large_bytes = left_small ? right_bytes : left_bytes;
+  const double small_rows = left_small ? p_left_rows : p_right_rows;
+  const double small_bytes = left_small ? p_left_bytes : p_right_bytes;
+  const double large_rows = left_small ? p_right_rows : p_left_rows;
+  const double large_bytes = left_small ? p_right_bytes : p_left_bytes;
 
   JoinCostInputs in;
   in.build_rows = small_rows;
   in.build_bytes = small_bytes;
   in.probe_rows = large_rows;
   in.probe_bytes = large_bytes;
-  in.out_rows = card;
-  in.out_bytes = planned.estimated_bytes;
+  in.out_rows = p_card;
+  in.out_bytes = p_card * (left_width + right_width);
+  if (cluster_.risk.spill_aware_costing) {
+    in.memory_budget_bytes = cluster_.memory.join_memory_budget_bytes;
+  }
 
   // Hash join is the default (Section 3); the build side is the smaller
   // input either way. Every costed-but-not-chosen method lands in
@@ -148,9 +168,21 @@ Result<PlannedJoin> Planner::PickNextJoin() const {
   std::vector<double> cards;
   cards.reserve(spec.joins.size());
   size_t best_index = 0;
+  double best_pessimistic = 0;
   for (size_t i = 0; i < spec.joins.size(); ++i) {
-    cards.push_back(estimator_.EstimateJoinCardinality(spec.joins[i]));
-    if (cards[i] < cards[best_index]) best_index = i;
+    const JoinEdge& e = spec.joins[i];
+    cards.push_back(estimator_.EstimateJoinCardinality(e));
+    // Rank edges by the pessimistic bound: an edge whose inputs have a
+    // history of misestimation must look worse than its expected rows.
+    // (The shared global factor cancels out of the ranking, so only the
+    // per-alias factors matter here.)
+    const double pessimistic =
+        cards[i] *
+        std::max(RiskFactor(e.left_alias), RiskFactor(e.right_alias));
+    if (i == 0 || pessimistic < best_pessimistic) {
+      best_index = i;
+      best_pessimistic = pessimistic;
+    }
   }
   const JoinEdge& edge = spec.joins[best_index];
   PlannedJoin best = DecorateWithMethod(

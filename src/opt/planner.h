@@ -1,6 +1,7 @@
 #ifndef DYNOPT_OPT_PLANNER_H_
 #define DYNOPT_OPT_PLANNER_H_
 
+#include <map>
 #include <memory>
 #include <string>
 
@@ -15,6 +16,35 @@
 #include "storage/catalog.h"
 
 namespace dynopt {
+
+/// Multiplicative widening of the selectivity confidence interval, built
+/// from observed q-errors (this query's decision log) and cross-query
+/// priors (opt/error_stats.h). The planner costs with *pessimistic* sizes —
+/// estimate x factor — while reporting the expected estimate in the
+/// decision log, so a strategy that has already been burned by a bad
+/// estimate stops trusting marginal cost differences (e.g. a broadcast that
+/// is only safe if the estimate is exact). A default-constructed risk is
+/// neutral: every factor is 1 and planning is bit-identical to no risk.
+struct SelectivityRisk {
+  /// Applied to every join *output* estimate (the least observable size).
+  double global_factor = 1.0;
+  /// Per-alias input widening (keyed by query alias); absent alias = 1.
+  /// Intermediates have exact counts, so they normally carry no entry.
+  std::map<std::string, double> alias_factors;
+
+  double FactorFor(const std::string& alias) const {
+    auto it = alias_factors.find(alias);
+    return it == alias_factors.end() ? 1.0 : it->second;
+  }
+  bool IsNeutral() const {
+    if (global_factor > 1.0) return false;
+    for (const auto& [alias, f] : alias_factors) {
+      (void)alias;
+      if (f > 1.0) return false;
+    }
+    return true;
+  }
+};
 
 /// Planner knobs shared by the optimizers.
 struct PlannerOptions {
@@ -51,8 +81,12 @@ struct PlannedJoin {
 /// remain — orders the final two joins.
 class Planner {
  public:
+  /// `risk` (optional, non-owning, must outlive the planner) widens size
+  /// estimates while costing; nullptr or a neutral risk reproduces the
+  /// historical behavior exactly.
   Planner(const StatsView* view, const ClusterConfig& cluster,
-          const PlannerOptions& options);
+          const PlannerOptions& options,
+          const SelectivityRisk* risk = nullptr);
 
   /// The cheapest next join among the query's remaining edges.
   Result<PlannedJoin> PickNextJoin() const;
@@ -81,9 +115,14 @@ class Planner {
   bool InljApplicable(const JoinEdge& edge, const std::string& outer_alias,
                       const std::string& inner_alias) const;
 
+  double RiskFactor(const std::string& alias) const {
+    return risk_ == nullptr ? 1.0 : risk_->FactorFor(alias);
+  }
+
   const StatsView* view_;
   ClusterConfig cluster_;
   PlannerOptions options_;
+  const SelectivityRisk* risk_;
   CardinalityEstimator estimator_;
 };
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "opt/cost_model.h"
+#include "opt/error_stats.h"
 #include "opt/plan_builder.h"
 #include "opt/static_execution.h"
 
@@ -54,7 +55,8 @@ StaticCostBasedOptimizer::StaticCostBasedOptimizer(
 
 Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
     const QuerySpec& spec, const StatsView& view, const ClusterConfig& cluster,
-    const PlannerOptions& options, double* est_rows, double* est_cost) {
+    const PlannerOptions& options, double* est_rows, double* est_cost,
+    const SelectivityRisk* risk) {
   CardinalityEstimator estimator(&view, options.estimation);
   const size_t k = spec.tables.size();
   if (k == 0) return Status::InvalidArgument("empty FROM clause");
@@ -91,6 +93,26 @@ Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
         {alias_bit(edge.left_alias) | alias_bit(edge.right_alias),
          std::max(1.0, denom)});
   }
+  // Pessimistic widening per subset (see header): 1 everywhere when risk
+  // is null/neutral, so the DP arithmetic is bit-identical in that case.
+  std::vector<double> leaf_factor(k, 1.0);
+  double global_factor = 1.0;
+  if (risk != nullptr) {
+    global_factor = std::max(1.0, risk->global_factor);
+    for (size_t i = 0; i < k; ++i) {
+      leaf_factor[i] = std::max(1.0, risk->FactorFor(aliases[i]));
+    }
+  }
+  auto widen = [&](uint32_t s) {
+    // Composite subsets carry the global (join-output) factor; every
+    // subset carries its least-trusted member's factor.
+    double f = (s & (s - 1)) != 0 ? global_factor : 1.0;
+    for (size_t i = 0; i < k; ++i) {
+      if (s & (1u << i)) f = std::max(f, leaf_factor[i]);
+    }
+    return f;
+  };
+
   auto subset_rows = [&](uint32_t s) {
     double rows = 1.0;
     for (size_t i = 0; i < k; ++i) {
@@ -145,15 +167,26 @@ Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
       double right_width = right.rows > 0 ? right.bytes / right.rows : 64.0;
       double out_bytes = out_rows * (left_width + right_width);
 
+      // Pessimistic-bound costing: widen each input by its subset factor
+      // and the output by the full subset's. DpEntry rows/bytes stay the
+      // expected values (they feed the decision log and downstream
+      // estimates); only costs and eligibility gates see the widening.
+      const double wl = widen(s1);
+      const double wr = widen(s2);
+      const double wo = widen(s);
+
       // Build side = left (s1); consider it as build only when it is the
       // smaller input (mirrors the executor convention).
       JoinCostInputs in;
-      in.build_rows = left.rows;
-      in.build_bytes = left.bytes;
-      in.probe_rows = right.rows;
-      in.probe_bytes = right.bytes;
-      in.out_rows = out_rows;
-      in.out_bytes = out_bytes;
+      in.build_rows = left.rows * wl;
+      in.build_bytes = left.bytes * wl;
+      in.probe_rows = right.rows * wr;
+      in.probe_bytes = right.bytes * wr;
+      in.out_rows = out_rows * wo;
+      in.out_bytes = out_bytes * wo;
+      if (cluster.risk.spill_aware_costing) {
+        in.memory_budget_bytes = cluster.memory.join_memory_budget_bytes;
+      }
 
       double base_cost = left.cost + right.cost;
       // Hash join.
@@ -169,9 +202,11 @@ Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
           entry.filtered = left.filtered || right.filtered;
         }
       }
-      // Broadcast (build = s1, must be small).
+      // Broadcast (build = s1, must be small — judged pessimistically, so
+      // a side with a misestimation history loses its broadcast
+      // eligibility before it can blow past the threshold at runtime).
       if (options.enable_broadcast &&
-          left.bytes <=
+          left.bytes * wl <=
               static_cast<double>(cluster.broadcast_threshold_bytes)) {
         double cost = base_cost + EstimateJoinExecCost(JoinMethod::kBroadcast,
                                                        in, cluster, 0.0);
@@ -188,7 +223,7 @@ Result<std::shared_ptr<const JoinTree>> StaticCostBasedOptimizer::PlanWithDp(
       // index; outer (s1) must be small and filtered. The inner's scan cost
       // is avoided, so subtract it from base cost.
       if (options.enable_inlj && (s2 & (s2 - 1)) == 0 &&
-          left.bytes <=
+          left.bytes * wl <=
               static_cast<double>(cluster.broadcast_threshold_bytes)) {
         const std::string inner_alias = *right_set.begin();
         bool outer_filtered = left.filtered || (s1 & (s1 - 1)) != 0;
@@ -228,12 +263,18 @@ Result<OptimizerRunResult> StaticCostBasedOptimizer::Run(
   DYNOPT_RETURN_IF_ERROR(CheckContext());
   StatsView view(&spec, &engine_->stats(), &engine_->catalog());
   TraceSpan plan_span("plan-dp", "opt");
+  // Cross-query error memory (off by default): past runs' q-errors widen
+  // this plan's confidence intervals, and this run's root q-error feeds
+  // the store for the next one.
+  ErrorStatsStore* err_store = EngineErrorStats(engine_);
+  const SelectivityRisk risk =
+      PriorRisk(spec, err_store, engine_->cluster().risk.max_ci_widening);
   double est_rows = -1;
   double est_cost = -1;
   DYNOPT_ASSIGN_OR_RETURN(
       std::shared_ptr<const JoinTree> tree,
       PlanWithDp(spec, view, engine_->cluster(), options_, &est_rows,
-                 &est_cost));
+                 &est_cost, err_store != nullptr ? &risk : nullptr));
   plan_span.End();
   std::string trace = "[cost-based] plan: " + tree->ToString() + "\n";
 
@@ -245,9 +286,25 @@ Result<OptimizerRunResult> StaticCostBasedOptimizer::Run(
   decision.estimated_rows = est_rows;
   decision.estimated_cost = est_cost;
   int decision_id = profile->decisions.Record(std::move(decision));
-  return ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
-                                std::move(trace), ctx_, std::move(profile),
-                                decision_id);
+  auto result = ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
+                                       std::move(trace), ctx_,
+                                       std::move(profile), decision_id);
+  if (result.ok() && err_store != nullptr && result.value().profile != nullptr) {
+    const auto& decisions = result.value().profile->decisions.decisions();
+    if (decision_id >= 0 && decision_id < static_cast<int>(decisions.size())) {
+      const double q = decisions[static_cast<size_t>(decision_id)].QError();
+      std::vector<std::string> bases;
+      for (const auto& ref : spec.tables) {
+        if (!ref.is_intermediate) bases.push_back(ref.table);
+      }
+      if (q >= 1.0 && !bases.empty()) {
+        err_store->Record(JoinErrorKey(std::move(bases)), q);
+        // Persist opportunistically; a failed save never fails the query.
+        (void)err_store->Save();
+      }
+    }
+  }
+  return result;
 }
 
 }  // namespace dynopt

@@ -29,10 +29,16 @@ class StaticCostBasedOptimizer : public Optimizer {
   /// Produces the minimum-cost join tree for `spec` under `view`'s stats.
   /// Non-null `est_rows`/`est_cost` receive the winning plan's estimated
   /// output cardinality and total plan cost (decision-log inputs).
+  /// A non-null `risk` widens subset size estimates while costing
+  /// (pessimistic-bound DP): leaf subsets by their alias factor, composite
+  /// subsets additionally by the global factor; reported est_rows stay the
+  /// expected values. Null or neutral risk reproduces historical plans
+  /// exactly.
   static Result<std::shared_ptr<const JoinTree>> PlanWithDp(
       const QuerySpec& spec, const StatsView& view,
       const ClusterConfig& cluster, const PlannerOptions& options,
-      double* est_rows = nullptr, double* est_cost = nullptr);
+      double* est_rows = nullptr, double* est_cost = nullptr,
+      const SelectivityRisk* risk = nullptr);
 
  private:
   Engine* engine_;

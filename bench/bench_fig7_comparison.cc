@@ -1,7 +1,9 @@
 // Reproduces Figure 7: execution time of the six optimization strategies
 // (Dynamic, Best-order, Cost-based, Pilot-run, INGRES-like, Worst-order) on
 // TPC-DS Q17/Q50 and TPC-H Q8/Q9 at paper scale factors 10/100/1000, with
-// hash and broadcast joins available (no secondary indexes).
+// hash and broadcast joins available (no secondary indexes). A seventh
+// column adds the sketch-driven dynamic strategy (predicate transfer off,
+// so it differs from Dynamic only through AGMS-based join estimates).
 //
 // Reported benchmark time is the *simulated* cluster time under the cost
 // model (UseManualTime); `wall_s` counters carry real elapsed time.

@@ -12,6 +12,7 @@
 #include "opt/ingres_optimizer.h"
 #include "opt/order_baselines.h"
 #include "opt/pilot_run_optimizer.h"
+#include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 #include "workloads/tpcds.h"
 #include "workloads/tpch.h"
@@ -135,6 +136,10 @@ Result<OptimizerRunResult> RunStrategy(Engine* engine, int paper_sf,
     IngresLikeOptimizer optimizer(engine, planner);
     return optimizer.Run(spec);
   }
+  if (optimizer_name == "sketch-dynamic") {
+    SketchDynamicOptimizer optimizer(engine, planner);
+    return optimizer.Run(spec);
+  }
   if (optimizer_name == "best-order") {
     std::shared_ptr<const JoinTree> hint;
     {
@@ -175,6 +180,10 @@ void SetWallBreakdown(Record* record, const ExecMetrics& metrics,
   record->max_q_error = metrics.max_q_error;
   record->num_decisions = metrics.num_decisions;
   record->error_reopt_triggers = metrics.error_reopt_triggers;
+  record->bytes_shuffled = metrics.bytes_shuffled;
+  record->pt_filter_bytes = metrics.pt_filter_bytes;
+  record->pt_pruned_rows = metrics.pt_pruned_rows;
+  record->pt_pruned_bytes = metrics.pt_pruned_bytes;
   record->q_error_log2.assign(16, 0);
   if (profile != nullptr) {
     for (const auto& d : profile->decisions.decisions()) {
@@ -255,6 +264,10 @@ std::string RecordsToJson() {
        << "\"max_q_error\": " << r.max_q_error << ", "
        << "\"num_decisions\": " << r.num_decisions << ", "
        << "\"error_reopt_triggers\": " << r.error_reopt_triggers << ", "
+       << "\"bytes_shuffled\": " << r.bytes_shuffled << ", "
+       << "\"pt_filter_bytes\": " << r.pt_filter_bytes << ", "
+       << "\"pt_pruned_rows\": " << r.pt_pruned_rows << ", "
+       << "\"pt_pruned_bytes\": " << r.pt_pruned_bytes << ", "
        << "\"q_error_log2\": [";
     for (size_t i = 0; i < r.q_error_log2.size(); ++i) {
       os << (i == 0 ? "" : ", ") << r.q_error_log2[i];

@@ -22,10 +22,13 @@ double GeneratorSfForPaperSf(int paper_sf);
 /// The four evaluation queries.
 inline const char* const kQueries[] = {"q17", "q50", "q8", "q9"};
 
-/// The six strategies of Figure 7 (worst-order is dropped in Figure 8).
-inline const char* const kOptimizers[] = {"dynamic",    "best-order",
-                                          "cost-based", "pilot-run",
-                                          "ingres-like", "worst-order"};
+/// The six strategies of Figure 7 (worst-order is dropped in Figure 8)
+/// plus the sketch-driven dynamic strategy. Benches that hardcode the
+/// paper's six index only the first 6 entries.
+inline const char* const kOptimizers[] = {"dynamic",     "best-order",
+                                          "cost-based",  "pilot-run",
+                                          "ingres-like", "worst-order",
+                                          "sketch-dynamic"};
 
 /// Lazily built, cached engine per (paper_sf, with_indexes): loads both
 /// workloads and (optionally) the Figure-8 secondary indexes.
@@ -78,6 +81,12 @@ struct Record {
   // Extra re-optimization checkpoints bought by the error feedback loop
   // (ExecMetrics::error_reopt_triggers; 0 at default knobs).
   uint64_t error_reopt_triggers = 0;
+  // Exchange volume and predicate-transfer outcomes (ExecMetrics
+  // counters); pt_* are all zero unless enable_predicate_transfer is on.
+  uint64_t bytes_shuffled = 0;
+  uint64_t pt_filter_bytes = 0;
+  uint64_t pt_pruned_rows = 0;
+  uint64_t pt_pruned_bytes = 0;
   // Log2-bucketed histogram of rounded per-decision q-errors: bucket 0 =
   // [1,2), bucket i = [2^i, 2^(i+1)), last bucket open-ended. All zero
   // when no profile was attached to the run.

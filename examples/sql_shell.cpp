@@ -6,7 +6,8 @@
 //
 // Shell commands:
 //   \tables            list catalog tables
-//   \opt NAME          switch optimizer: dynamic | cost-based | worst-order
+//   \opt NAME          switch optimizer: dynamic | cost-based |
+//                      sketch-dynamic | worst-order
 //   \explain SQL       show the DP plan with cardinality estimates
 //   \trace             toggle plan-trace printing
 //   \q                 quit
@@ -23,6 +24,7 @@
 #include "opt/dynamic_optimizer.h"
 #include "opt/explain.h"
 #include "opt/order_baselines.h"
+#include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 #include "sql/binder.h"
 #include "workloads/tpcds.h"
@@ -45,6 +47,9 @@ void RunQuery(Engine* engine, const std::string& sql,
     result = optimizer.Run(query.value());
   } else if (optimizer_name == "worst-order") {
     WorstOrderOptimizer optimizer(engine);
+    result = optimizer.Run(query.value());
+  } else if (optimizer_name == "sketch-dynamic") {
+    SketchDynamicOptimizer optimizer(engine);
     result = optimizer.Run(query.value());
   } else {
     DynamicOptimizer optimizer(engine);

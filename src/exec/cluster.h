@@ -202,6 +202,32 @@ struct RiskConfig {
   size_t error_store_max_entries = 4096;
 };
 
+/// Predicate-transfer / sketch knobs (stats/sketch.h). Everything is off by
+/// default — with this struct untouched no sketch is built, no filter is
+/// shipped, and every optimizer plans and meters byte-for-byte like a build
+/// without the subsystem (pinned by tests/sketch_test and the golden suite).
+struct SketchConfig {
+  /// Build Bloom + Fast-AGMS sketches on join keys during scans and
+  /// materializations, and ship the build side's Bloom filter sideways to
+  /// the probe side of every shuffle join so pruned rows never enter the
+  /// Repartition. Filter-transfer bytes are charged as network cost;
+  /// pruned bytes are network cost saved.
+  bool enable_predicate_transfer = false;
+  /// Bloom budget in bits per expected key. More bits = lower false-positive
+  /// rate but a larger filter to broadcast. Must be in [1, 64]
+  /// (ValidateClusterConfig): below 1 the filter saturates instantly, above
+  /// 64 it would out-weigh the data it prunes.
+  double pt_bits_per_key = 8.0;
+  /// Fast-AGMS rows (median over rows controls variance). Must be in
+  /// [1, 64].
+  size_t agms_depth = 5;
+  /// Fast-AGMS counters per row. Must be in [1, 1 << 20].
+  size_t agms_width = 256;
+  /// Seed of every sketch hash; sketches are deterministic and mergeable
+  /// only across builders sharing a seed.
+  uint64_t seed = 0x5eed5eedULL;
+};
+
 /// Query-watchdog knobs (exec/query_watchdog.h). Off by default — no
 /// monitor thread is started and queries are only cancelled by their own
 /// deadline checks, exactly the pre-watchdog behavior.
@@ -305,6 +331,8 @@ struct ClusterConfig {
   RiskConfig risk;
   /// Vectorized-execution knobs (batch size, columnar on/off).
   ExecOptions exec;
+  /// Predicate transfer + join-key sketches (off by default).
+  SketchConfig sketch;
 };
 
 /// Structural validation of a ClusterConfig, run when an Engine or
@@ -363,6 +391,29 @@ inline Status ValidateClusterConfig(const ClusterConfig& config) {
         "ClusterConfig.risk.max_ci_widening must be >= 1 (got " +
         std::to_string(config.risk.max_ci_widening) +
         "); widening below 1 would make estimates *optimistic*");
+  }
+  if (config.sketch.pt_bits_per_key < 1.0 ||
+      config.sketch.pt_bits_per_key > 64.0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.sketch.pt_bits_per_key must be in [1, 64] (got " +
+        std::to_string(config.sketch.pt_bits_per_key) +
+        "); below 1 the Bloom filter saturates instantly, above 64 the "
+        "filter out-weighs the data it prunes");
+  }
+  if (config.sketch.agms_depth < 1 || config.sketch.agms_depth > 64) {
+    return Status::InvalidArgument(
+        "ClusterConfig.sketch.agms_depth must be in [1, 64] (got " +
+        std::to_string(config.sketch.agms_depth) +
+        "); the AGMS median needs at least one row and pays linearly for "
+        "each extra one");
+  }
+  if (config.sketch.agms_width < 1 ||
+      config.sketch.agms_width > (size_t{1} << 20)) {
+    return Status::InvalidArgument(
+        "ClusterConfig.sketch.agms_width must be in [1, 1048576] (got " +
+        std::to_string(config.sketch.agms_width) +
+        "); zero-width rows cannot count anything and oversized rows "
+        "out-weigh the statistics they replace");
   }
   return Status::OK();
 }

@@ -13,6 +13,7 @@
 #include "exec/executor.h"
 #include "exec/query_watchdog.h"
 #include "plan/udf.h"
+#include "stats/sketch.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
 
@@ -32,6 +33,9 @@ class Engine {
 
   Catalog& catalog() { return catalog_; }
   StatsManager& stats() { return stats_; }
+  /// Join-key sketch registry (predicate transfer); empty unless
+  /// cluster().sketch knobs are enabled.
+  SketchManager& sketches() { return sketches_; }
   UdfRegistry& udfs() { return udfs_; }
   ThreadPool& pool() { return pool_; }
   const ClusterConfig& cluster() const { return cluster_; }
@@ -46,7 +50,7 @@ class Engine {
   /// must outlive the executor's jobs.
   JobExecutor MakeExecutor(QueryContext* ctx = nullptr) {
     return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_,
-                       faults_.get(), ctx, &retry_budget());
+                       faults_.get(), ctx, &retry_budget(), &sketches_);
   }
 
   /// Engine-level memory tracker: the root of the engine -> query ->
@@ -144,6 +148,7 @@ class Engine {
   ClusterConfig cluster_;
   Catalog catalog_;
   StatsManager stats_;
+  SketchManager sketches_;
   UdfRegistry udfs_;
   ThreadPool pool_;
   std::unique_ptr<FaultInjector> faults_;

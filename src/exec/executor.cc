@@ -70,7 +70,8 @@ double SecondsSince(WallClock::time_point start) {
 JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
                          const UdfRegistry* udfs, const ClusterConfig& cluster,
                          ThreadPool* pool, FaultInjector* faults,
-                         QueryContext* ctx, RetryBudget* retry_budget)
+                         QueryContext* ctx, RetryBudget* retry_budget,
+                         SketchManager* sketches)
     : catalog_(catalog),
       stats_(stats),
       udfs_(udfs),
@@ -78,7 +79,8 @@ JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
       pool_(pool),
       faults_(faults),
       ctx_(ctx),
-      retry_budget_(retry_budget) {
+      retry_budget_(retry_budget),
+      sketches_(sketches) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
   // Config validation at construction time — a zero max_batch_size or node
   // count would otherwise fail as an underflow deep inside a kernel.
@@ -1141,6 +1143,11 @@ Result<Dataset> JobExecutor::ExecJoinWithInputs(const PlanNode& node,
                           ResolveColumns(probe, probe_names, "join probe"));
 
   if (node.method == JoinMethod::kHashShuffle) {
+    if (PredicateTransferEnabled()) {
+      // Sideways pushdown: ship the build side's key filter so pruned probe
+      // rows never enter either Repartition below.
+      TransferPredicateRows(build, build_keys, &probe, probe_keys, metrics);
+    }
     DYNOPT_ASSIGN_OR_RETURN(ShuffleResult build_parts,
                             Repartition(std::move(build), build_keys,
                                         metrics));
@@ -1200,6 +1207,156 @@ Result<Dataset> JobExecutor::ExecJoinWithInputs(const PlanNode& node,
   // Note: replication is physical here so per-node joins are real work; the
   // memory cost is bounded by the planner's broadcast threshold.
   return LocalHashJoin(replicated, probe, build_keys, probe_keys, metrics);
+}
+
+void JobExecutor::TransferPredicateRows(const Dataset& build,
+                                        const std::vector<int>& build_keys,
+                                        Dataset* probe,
+                                        const std::vector<int>& probe_keys,
+                                        ExecMetrics* metrics) {
+  TraceSpan span("predicate-transfer", "kernel");
+  const SketchConfig& cfg = cluster_.sketch;
+  const uint64_t build_rows = build.NumRows();
+  BloomFilter bloom(std::max<uint64_t>(build_rows, 1), cfg.pt_bits_per_key,
+                    cfg.seed);
+  uint64_t max_build_part = 0;
+  for (const auto& part : build.partitions) {
+    max_build_part = std::max<uint64_t>(max_build_part, part.size());
+    for (const Row& row : part) {
+      bool null_key = false;
+      for (int k : build_keys) null_key |= row[k].is_null();
+      // NULL keys never join, so they never enter the filter — and a probe
+      // row with a NULL key is pruned below without consulting it.
+      if (!null_key) bloom.Insert(HashRowKeyInline(row, build_keys));
+    }
+  }
+  // Each node feeds the filter from its resident build partition.
+  metrics->simulated_seconds +=
+      static_cast<double>(max_build_part) * cluster_.cpu_seconds_per_tuple;
+
+  // Ship the merged filter to every probe-side node. Like a broadcast:
+  // total bytes on the wire are size * nodes, receipt is parallel.
+  const size_t num_parts = probe->partitions.size();
+  metrics->pt_filter_bytes += bloom.SizeBytes() * num_parts;
+  metrics->simulated_seconds +=
+      static_cast<double>(bloom.SizeBytes()) * cluster_.network_seconds_per_byte;
+
+  // Filter probe partitions in place before they enter the shuffle.
+  const bool has_sizes = probe->HasRowSizes();
+  std::vector<uint64_t> part_rows(num_parts, 0);
+  std::vector<uint64_t> pruned_rows(num_parts, 0);
+  std::vector<uint64_t> pruned_bytes(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    auto& rows = probe->partitions[p];
+    std::vector<uint64_t>* sizes = has_sizes ? &probe->row_sizes[p] : nullptr;
+    part_rows[p] = rows.size();
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      bool null_key = false;
+      for (int k : probe_keys) null_key |= rows[i][k].is_null();
+      const bool keep =
+          !null_key &&
+          bloom.MayContain(HashRowKeyInline(rows[i], probe_keys));
+      if (keep) {
+        if (kept != i) {
+          rows[kept] = std::move(rows[i]);
+          if (sizes != nullptr) (*sizes)[kept] = (*sizes)[i];
+        }
+        ++kept;
+      } else {
+        ++pruned_rows[p];
+        pruned_bytes[p] +=
+            sizes != nullptr ? (*sizes)[i] : RowSizeBytesInline(rows[i]);
+      }
+    }
+    rows.resize(kept);
+    if (sizes != nullptr) sizes->resize(kept);
+  });
+  uint64_t max_probe_part = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    max_probe_part = std::max(max_probe_part, part_rows[p]);
+    metrics->pt_pruned_rows += pruned_rows[p];
+    metrics->pt_pruned_bytes += pruned_bytes[p];
+  }
+  // Each node tests its probe partition against the filter once.
+  metrics->simulated_seconds +=
+      static_cast<double>(max_probe_part) * cluster_.cpu_seconds_per_tuple;
+  metrics->tuples_processed += build_rows;
+  for (uint64_t r : part_rows) metrics->tuples_processed += r;
+}
+
+void JobExecutor::TransferPredicateColumnar(const ColumnarDataset& build,
+                                            const std::vector<int>& build_keys,
+                                            ColumnarDataset* probe,
+                                            const std::vector<int>& probe_keys,
+                                            ExecMetrics* metrics) {
+  TraceSpan span("predicate-transfer", "kernel");
+  const SketchConfig& cfg = cluster_.sketch;
+  const uint64_t build_rows = build.NumRows();
+  BloomFilter bloom(std::max<uint64_t>(build_rows, 1), cfg.pt_bits_per_key,
+                    cfg.seed);
+  {
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> key_null;
+    for (const auto& part : build.partitions) {
+      for (const ColumnBatch& b : part) {
+        hashes.resize(b.num_rows);
+        key_null.assign(b.num_rows, 0);
+        HashKeyColumns(b, build_keys.data(), build_keys.size(), hashes.data(),
+                       key_null.data());
+        for (size_t i = 0; i < b.num_rows; ++i) {
+          if (key_null[i] == 0) bloom.Insert(hashes[i]);
+        }
+      }
+    }
+  }
+  uint64_t max_build_part = 0;
+  for (size_t p = 0; p < build.partitions.size(); ++p) {
+    max_build_part = std::max(max_build_part, build.PartitionRows(p));
+  }
+  metrics->simulated_seconds +=
+      static_cast<double>(max_build_part) * cluster_.cpu_seconds_per_tuple;
+
+  const size_t num_parts = probe->partitions.size();
+  metrics->pt_filter_bytes += bloom.SizeBytes() * num_parts;
+  metrics->simulated_seconds +=
+      static_cast<double>(bloom.SizeBytes()) * cluster_.network_seconds_per_byte;
+
+  std::vector<uint64_t> part_rows(num_parts, 0);
+  std::vector<uint64_t> pruned_rows(num_parts, 0);
+  std::vector<uint64_t> pruned_bytes(num_parts, 0);
+  pool_->ParallelFor(num_parts, [&](size_t p) {
+    std::vector<uint64_t> hashes;
+    std::vector<uint8_t> key_null;
+    std::vector<uint32_t> sel;
+    for (ColumnBatch& b : probe->partitions[p]) {
+      part_rows[p] += b.num_rows;
+      hashes.resize(b.num_rows);
+      key_null.assign(b.num_rows, 0);
+      HashKeyColumns(b, probe_keys.data(), probe_keys.size(), hashes.data(),
+                     key_null.data());
+      sel.clear();
+      for (size_t i = 0; i < b.num_rows; ++i) {
+        if (key_null[i] == 0 && bloom.MayContain(hashes[i])) {
+          sel.push_back(static_cast<uint32_t>(i));
+        } else {
+          ++pruned_rows[p];
+          pruned_bytes[p] += b.row_sizes[i];
+        }
+      }
+      if (sel.size() != b.num_rows) b = GatherBatch(b, sel.data(), sel.size());
+    }
+  });
+  uint64_t max_probe_part = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    max_probe_part = std::max(max_probe_part, part_rows[p]);
+    metrics->pt_pruned_rows += pruned_rows[p];
+    metrics->pt_pruned_bytes += pruned_bytes[p];
+  }
+  metrics->simulated_seconds +=
+      static_cast<double>(max_probe_part) * cluster_.cpu_seconds_per_tuple;
+  metrics->tuples_processed += build_rows;
+  for (uint64_t r : part_rows) metrics->tuples_processed += r;
 }
 
 Result<Dataset> JobExecutor::ExecIndexNestedLoopJoin(
@@ -1956,6 +2113,12 @@ Result<ColumnarDataset> JobExecutor::ExecJoinColumnar(
       ResolveColumnsColumnar(probe, probe_names, "join probe"));
 
   if (node.method == JoinMethod::kHashShuffle) {
+    if (PredicateTransferEnabled()) {
+      // Sideways pushdown, batch-at-a-time; metering-identical to the row
+      // twin (HashKeyColumns is bit-identical to HashRowKeyInline).
+      TransferPredicateColumnar(build, build_keys, &probe, probe_keys,
+                                metrics);
+    }
     DYNOPT_ASSIGN_OR_RETURN(
         ColumnarShuffleResult build_parts,
         RepartitionColumnar(std::move(build), build_keys, metrics));
@@ -2014,7 +2177,7 @@ Result<ColumnarDataset> JobExecutor::ExecJoinColumnar(
 Result<SinkResult> JobExecutor::Materialize(
     Dataset&& data, const std::string& prefix,
     const std::vector<std::string>& stats_columns, bool collect_stats,
-    ExecMetrics* metrics) {
+    ExecMetrics* metrics, const std::vector<std::string>* sketch_columns) {
   DYNOPT_RETURN_IF_ERROR(CheckAlive());
   TraceSpan span("materialize", "kernel");
   const auto wall_start = WallClock::now();
@@ -2204,6 +2367,74 @@ Result<SinkResult> JobExecutor::Materialize(
     for (const Status& st : statuses) {
       DYNOPT_RETURN_IF_ERROR(st);
     }
+  }
+
+  // Online join-key sketches (predicate transfer): per-partition builders
+  // merged into one dataset-level sketch per column, registered under the
+  // temp name. Runs before the rows are moved into the catalog below.
+  std::vector<int> sketch_indices;
+  std::vector<std::string> sketch_names;
+  if (sketches_ != nullptr && sketch_columns != nullptr) {
+    for (const auto& col : *sketch_columns) {
+      int idx = data.ColumnIndex(col);
+      if (idx >= 0) {
+        sketch_indices.push_back(idx);
+        sketch_names.push_back(col);
+      }
+    }
+  }
+  if (!sketch_indices.empty()) {
+    SketchOptions opts;
+    opts.bits_per_key = cluster_.sketch.pt_bits_per_key;
+    opts.agms_depth = cluster_.sketch.agms_depth;
+    opts.agms_width = cluster_.sketch.agms_width;
+    opts.seed = cluster_.sketch.seed;
+    const size_t num_sketch = sketch_indices.size();
+    // All shards are sized from the same total so merging is well-formed.
+    std::vector<std::vector<JoinKeySketch>> shards(num_parts);
+    for (size_t p = 0; p < num_parts; ++p) {
+      shards[p].reserve(num_sketch);
+      for (size_t c = 0; c < num_sketch; ++c) {
+        shards[p].push_back(
+            JoinKeySketch{BloomFilter(std::max<uint64_t>(total_rows, 1),
+                                      opts.bits_per_key, opts.seed),
+                          FastAgmsSketch(opts), 0, 0});
+      }
+    }
+    pool_->ParallelFor(num_parts, [&](size_t p) {
+      for (const Row& row : data.partitions[p]) {
+        for (size_t c = 0; c < num_sketch; ++c) {
+          JoinKeySketch& sk = shards[p][c];
+          ++sk.rows;
+          const int key_index[1] = {sketch_indices[c]};
+          if (row[static_cast<size_t>(key_index[0])].is_null()) {
+            ++sk.null_keys;
+            continue;
+          }
+          const uint64_t h = HashRowKeyInline(row, key_index, 1);
+          sk.bloom.Insert(h);
+          sk.agms.Update(h);
+        }
+      }
+    });
+    for (size_t c = 0; c < num_sketch; ++c) {
+      auto merged_sketch =
+          std::make_shared<JoinKeySketch>(std::move(shards[0][c]));
+      for (size_t p = 1; p < num_parts; ++p) {
+        merged_sketch->bloom.MergeFrom(shards[p][c].bloom);
+        merged_sketch->agms.MergeFrom(shards[p][c].agms);
+        merged_sketch->rows += shards[p][c].rows;
+        merged_sketch->null_keys += shards[p][c].null_keys;
+      }
+      sketches_->Put(name, sketch_names[c], std::move(merged_sketch));
+    }
+    // Priced like online statistics: one sketch update per (row, column),
+    // collected in parallel across the nodes.
+    const double sketch_cost =
+        static_cast<double>(total_rows * num_sketch) *
+        cluster_.stats_seconds_per_value / static_cast<double>(num_parts);
+    metrics->stats_seconds += sketch_cost;
+    metrics->simulated_seconds += sketch_cost;
   }
 
   // Load partition-faithfully so the producing node's placement (and any

@@ -20,6 +20,7 @@
 #include "exec/join_hash_table.h"
 #include "exec/metrics.h"
 #include "plan/udf.h"
+#include "stats/sketch.h"
 #include "stats/table_stats.h"
 #include "storage/catalog.h"
 
@@ -77,10 +78,14 @@ class JobExecutor {
   /// memory tracker). Null (the default) runs ungoverned: no cancellation
   /// checks fire and memory is not accounted, exactly the pre-governance
   /// engine. The context must outlive the executor's jobs.
+  /// `sketches` attaches the engine's join-key sketch registry; null (the
+  /// default) disables sketch collection and predicate transfer regardless
+  /// of the cluster's sketch knobs.
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
               const ClusterConfig& cluster, ThreadPool* pool,
               FaultInjector* faults = nullptr, QueryContext* ctx = nullptr,
-              RetryBudget* retry_budget = nullptr);
+              RetryBudget* retry_budget = nullptr,
+              SketchManager* sketches = nullptr);
 
   void set_context(QueryContext* ctx) { ctx_ = ctx; }
   QueryContext* context() const { return ctx_; }
@@ -103,7 +108,9 @@ class JobExecutor {
   /// `metrics->stats_seconds` (both included in simulated_seconds).
   Result<SinkResult> Materialize(Dataset&& data, const std::string& prefix,
                                  const std::vector<std::string>& stats_columns,
-                                 bool collect_stats, ExecMetrics* metrics);
+                                 bool collect_stats, ExecMetrics* metrics,
+                                 const std::vector<std::string>*
+                                     sketch_columns = nullptr);
 
   /// Hash-repartitions `input` on `key_indices` into the cluster's node
   /// count, metering network traffic. Two-phase parallel exchange: phase 1
@@ -198,6 +205,33 @@ class JobExecutor {
   /// True when an enabled fault injector is attached.
   bool FaultsArmed() const { return faults_ != nullptr && faults_->enabled(); }
 
+  /// True when predicate transfer applies: the knob is on and a sketch
+  /// registry is attached.
+  bool PredicateTransferEnabled() const {
+    return sketches_ != nullptr && cluster_.sketch.enable_predicate_transfer;
+  }
+
+  /// Sideways pushdown for a shuffle join (row engine): builds a Bloom
+  /// filter over the build side's non-null key hashes, charges its transfer
+  /// to every node as network cost, then drops probe rows whose key cannot
+  /// match (null key or filter miss) before they enter Repartition. Pruned
+  /// rows/bytes are recorded in the pt_* counters; Bloom filters have no
+  /// false negatives, so results are identical with the knob off.
+  void TransferPredicateRows(const Dataset& build,
+                             const std::vector<int>& build_keys,
+                             Dataset* probe,
+                             const std::vector<int>& probe_keys,
+                             ExecMetrics* metrics);
+
+  /// Columnar twin of TransferPredicateRows: hashes key columns with
+  /// HashKeyColumns (bit-identical to the row hash) and gathers surviving
+  /// rows through a selection vector.
+  void TransferPredicateColumnar(const ColumnarDataset& build,
+                                 const std::vector<int>& build_keys,
+                                 ColumnarDataset* probe,
+                                 const std::vector<int>& probe_keys,
+                                 ExecMetrics* metrics);
+
   /// Cooperative cancellation check, run at every kernel/stage boundary.
   /// OK when no context is attached.
   Status CheckAlive() {
@@ -274,6 +308,7 @@ class JobExecutor {
   FaultInjector* faults_;  ///< Engine-owned; may be null (no injection).
   QueryContext* ctx_ = nullptr;  ///< Caller-owned; may be null (ungoverned).
   RetryBudget* retry_budget_ = nullptr;  ///< Engine-owned; may be null.
+  SketchManager* sketches_ = nullptr;  ///< Engine-owned; may be null (no PT).
 
   /// Process-wide serial for spill-file names: two executors (or two joins
   /// of one query) can spill concurrently into the same directory without

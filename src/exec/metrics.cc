@@ -38,6 +38,9 @@ void ExecMetrics::Add(const ExecMetrics& other) {
   if (other.max_q_error > max_q_error) max_q_error = other.max_q_error;
   num_decisions += other.num_decisions;
   error_reopt_triggers += other.error_reopt_triggers;
+  pt_filter_bytes += other.pt_filter_bytes;
+  pt_pruned_rows += other.pt_pruned_rows;
+  pt_pruned_bytes += other.pt_pruned_bytes;
 }
 
 std::string ExecMetrics::ToString() const {
@@ -62,6 +65,8 @@ std::string ExecMetrics::ToString() const {
      << "s degraded=" << admission_degraded << "]";
   os << " opt[decisions=" << num_decisions << " max_q_error=" << max_q_error
      << " error_reopts=" << error_reopt_triggers << "]";
+  os << " pt[filter=" << pt_filter_bytes << "B pruned_rows=" << pt_pruned_rows
+     << " pruned=" << pt_pruned_bytes << "B]";
   os
      << " wall[shuffle=" << wall_shuffle_seconds
      << "s build=" << wall_build_seconds << "s probe=" << wall_probe_seconds

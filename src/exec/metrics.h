@@ -97,6 +97,19 @@ struct ExecMetrics {
   /// (dynamic/ingres-like only; 0 always at default config).
   uint64_t error_reopt_triggers = 0;
 
+  // --- Predicate transfer (zero unless sketch.enable_predicate_transfer) --
+
+  /// Bloom-filter bytes shipped from build to probe side of shuffle joins
+  /// (charged as network cost, like a broadcast: every node receives the
+  /// filter).
+  uint64_t pt_filter_bytes = 0;
+  /// Probe-side rows dropped by the transferred filter before entering the
+  /// shuffle (null join keys count — an inner join can never emit them).
+  uint64_t pt_pruned_rows = 0;
+  /// Bytes those pruned rows would have moved through the shuffle — the
+  /// network cost predicate transfer saved.
+  uint64_t pt_pruned_bytes = 0;
+
   void Add(const ExecMetrics& other);
   std::string ToString() const;
 };

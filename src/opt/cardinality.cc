@@ -82,6 +82,50 @@ double CardinalityEstimator::EstimateKeyNdv(const JoinEdge& edge,
   return std::clamp(ndv, 1.0, std::max(1.0, size_cap));
 }
 
+std::shared_ptr<const JoinKeySketch> CardinalityEstimator::SketchFor(
+    const std::string& alias, const std::string& key) const {
+  if (sketches_ == nullptr) return nullptr;
+  const TableRef* ref = view_->spec().FindRef(alias);
+  if (ref == nullptr) return nullptr;
+  if (ref->is_intermediate) {
+    // Intermediates register sketches under the qualified names their
+    // columns keep; no base-table fallback — a base sketch would describe
+    // the dataset *before* the predicates this intermediate already
+    // executed.
+    return sketches_->Get(ref->table, key);
+  }
+  const std::string prefix = alias + ".";
+  return sketches_->Get(ref->table, key.rfind(prefix, 0) == 0
+                                        ? key.substr(prefix.size())
+                                        : key);
+}
+
+double CardinalityEstimator::SketchJoinCardinality(
+    const JoinEdge& edge, double left_size_override,
+    double right_size_override) const {
+  if (sketches_ == nullptr || edge.keys.size() != 1) return -1.0;
+  auto left = SketchFor(edge.left_alias, edge.keys[0].first);
+  auto right = SketchFor(edge.right_alias, edge.keys[0].second);
+  if (left == nullptr || right == nullptr) return -1.0;
+  const double dot = left->agms.JoinSizeEstimate(right->agms);
+  if (dot < 0) return -1.0;  // Shape/seed mismatch: not comparable.
+  // The sketches describe the full datasets they were built over; a side
+  // restricted below that (local predicates not yet executed, or a caller
+  // override from DP enumeration) shrinks the estimate proportionally —
+  // the same containment assumption formula (1) makes.
+  auto restriction = [this](const std::string& alias, double size_override,
+                            uint64_t sketched_rows) {
+    const double size = size_override >= 0
+                            ? size_override
+                            : EstimateFilteredSize(alias);
+    if (sketched_rows == 0) return 1.0;
+    return std::clamp(size / static_cast<double>(sketched_rows), 0.0, 1.0);
+  };
+  return dot *
+         restriction(edge.left_alias, left_size_override, left->rows) *
+         restriction(edge.right_alias, right_size_override, right->rows);
+}
+
 double CardinalityEstimator::EstimateJoinCardinality(
     const JoinEdge& edge, double left_size_override,
     double right_size_override) const {

@@ -1,10 +1,12 @@
 #ifndef DYNOPT_OPT_CARDINALITY_H_
 #define DYNOPT_OPT_CARDINALITY_H_
 
+#include <memory>
 #include <string>
 
 #include "opt/stats_view.h"
 #include "plan/query_spec.h"
+#include "stats/sketch.h"
 
 namespace dynopt {
 
@@ -63,6 +65,30 @@ class CardinalityEstimator {
   double EstimateKeyNdv(const JoinEdge& edge, const std::string& alias,
                         double size_cap) const;
 
+  /// Attaches the engine's join-key sketch registry; null detaches. With a
+  /// registry attached, SketchJoinCardinality can answer from Fast-AGMS
+  /// sketches.
+  void SetSketches(const SketchManager* sketches) { sketches_ = sketches; }
+  bool has_sketches() const { return sketches_ != nullptr; }
+
+  /// Sketch-backed join estimate: when `edge` is a single-key join and both
+  /// sides carry a Fast-AGMS sketch, returns the sketch dot product —
+  /// sum_k f_left(k) * f_right(k), the exact equi-join size up to sketch
+  /// variance — scaled by each side's restriction (local-predicate
+  /// selectivity or size override) under the containment assumption.
+  /// Returns -1 when no sketch estimate is available (caller falls back to
+  /// formula (1)).
+  double SketchJoinCardinality(const JoinEdge& edge,
+                               double left_size_override = -1.0,
+                               double right_size_override = -1.0) const;
+
+  /// Sketch for `alias`'s side of a qualified key column: intermediates
+  /// resolve under their temp-table name and qualified column;
+  /// base tables under the table name and unqualified column (mirroring
+  /// StatsView::Column's resolution).
+  std::shared_ptr<const JoinKeySketch> SketchFor(const std::string& alias,
+                                                 const std::string& key) const;
+
   const EstimationOptions& options() const { return options_; }
   const StatsView& view() const { return *view_; }
 
@@ -72,6 +98,7 @@ class CardinalityEstimator {
 
   const StatsView* view_;
   EstimationOptions options_;
+  const SketchManager* sketches_ = nullptr;
 };
 
 }  // namespace dynopt

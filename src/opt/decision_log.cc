@@ -44,6 +44,7 @@ std::string PlanDecision::ToString() const {
   std::ostringstream os;
   os << "#" << id << " " << point << ": " << chosen;
   if (estimated_rows >= 0) os << " est_rows=" << FormatRows(estimated_rows);
+  if (!provenance.empty()) os << " est_src=" << provenance;
   if (has_actual()) {
     os << " actual_rows=" << FormatRows(actual_rows)
        << " q_error=" << FormatQError(QError());

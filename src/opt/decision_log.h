@@ -37,6 +37,10 @@ struct PlanDecision {
   double estimated_rows = -1;    // <0: no cardinality estimate applies
   double estimated_cost = -1;    // <0: no exec-cost estimate applies
   double actual_rows = -1;       // <0: never materialized / back-patched
+  /// Estimate provenance: "sketch" (Fast-AGMS), "stats" (formula (1) under
+  /// a sketch-enabled planner), or empty (historical stats-only path —
+  /// keeps pre-sketch renderings byte-identical).
+  std::string provenance;
   std::vector<PlanAlternative> rejected;
 
   bool has_actual() const { return actual_rows >= 0; }

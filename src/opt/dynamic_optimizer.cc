@@ -157,6 +157,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       for (const auto& name : *names) {
         (void)engine->catalog().DropTable(name);
         engine->stats().Remove(name);
+        engine->sketches().RemoveTable(name);
       }
     }
   } cleanup{engine_, &state.temp_tables, options_.drop_temp_tables};
@@ -263,10 +264,25 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       }
       JobResult job = std::move(job_or).value();
       state.metrics.Add(job.metrics);
+      // Sketch the filtered table's join-key columns so later planning
+      // rounds can estimate joins against it from Fast-AGMS rather than
+      // formula (1).
+      std::vector<std::string> sketch_cols;
+      if (options_.collect_sketches) {
+        std::set<std::string> join_keys;
+        for (const auto& j : state.spec.joins) {
+          if (!j.Involves(alias)) continue;
+          for (const auto& key : j.KeysOf(alias)) join_keys.insert(key);
+        }
+        for (const auto& col : needed) {
+          if (join_keys.count(col) > 0) sketch_cols.push_back(col);
+        }
+      }
       auto sink_or =
           executor.Materialize(std::move(job.data), TempPrefix("pushdown"), needed,
                                options_.collect_online_stats,
-                               &state.metrics);
+                               &state.metrics,
+                               sketch_cols.empty() ? nullptr : &sketch_cols);
       if (!sink_or.ok()) {
         return fail_stage(sink_or.status(), std::move(stage_start));
       }
@@ -392,7 +408,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
     rebuild_risk();
     Planner planner(&view, engine_->cluster(), options_.planner,
-                    use_risk ? &risk : nullptr);
+                    use_risk ? &risk : nullptr,
+                    options_.use_sketch_estimates ? &engine_->sketches()
+                                                  : nullptr);
     DYNOPT_ASSIGN_OR_RETURN(PlannedJoin planned, planner.PickNextJoin());
 
     const std::string& build = planned.build_alias;
@@ -421,9 +439,14 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         FutureJoinKeyColumns(state.spec, planned.edge, out_columns);
     bool collect = options_.collect_online_stats && !last_iteration &&
                    !stats_columns.empty();
+    // Sketches are collected on every round, including the last: the tail
+    // PlanRemaining still estimates the final two joins, and Fast-AGMS on
+    // the freshly materialized intermediate is exactly what sharpens it.
+    bool sketch = options_.collect_sketches && !stats_columns.empty();
     auto sink_or = executor.Materialize(std::move(job.data), TempPrefix("join"),
                                         stats_columns, collect,
-                                        &state.metrics);
+                                        &state.metrics,
+                                        sketch ? &stats_columns : nullptr);
     if (!sink_or.ok()) {
       return fail_stage(sink_or.status(), std::move(stage_start));
     }
@@ -446,6 +469,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     decision.build_alias = planned.build_alias;
     decision.estimated_rows = planned.estimated_cardinality;
     decision.estimated_cost = planned.estimated_cost;
+    decision.provenance = planned.provenance;
     decision.rejected = planned.rejected;
     decision.actual_rows = static_cast<double>(sink.stats.row_count);
     if (err_store != nullptr) {
@@ -485,7 +509,9 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
   StatsView view(&state.spec, &engine_->stats(), &engine_->catalog());
   rebuild_risk();
   Planner planner(&view, engine_->cluster(), options_.planner,
-                  use_risk ? &risk : nullptr);
+                  use_risk ? &risk : nullptr,
+                  options_.use_sketch_estimates ? &engine_->sketches()
+                                                : nullptr);
   std::vector<PlannedJoin> final_steps;
   DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<const JoinTree> final_tree,
                           planner.PlanRemaining(&final_steps));
@@ -510,6 +536,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     inner.build_alias = final_steps[0].build_alias;
     inner.estimated_rows = final_steps[0].estimated_cardinality;
     inner.estimated_cost = final_steps[0].estimated_cost;
+    inner.provenance = final_steps[0].provenance;
     inner.rejected = final_steps[0].rejected;
     state.decisions.Record(std::move(inner));
   }
@@ -523,6 +550,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       decision.build_alias = last.build_alias;
       decision.estimated_rows = last.estimated_cardinality;
       decision.estimated_cost = last.estimated_cost;
+      decision.provenance = last.provenance;
       decision.rejected = last.rejected;
     }
     decision.actual_rows = static_cast<double>(job.data.NumRows());

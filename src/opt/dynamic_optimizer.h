@@ -24,6 +24,14 @@ struct DynamicOptimizerOptions {
   /// Collect sketches on materialized intermediates; when false only exact
   /// row counts are fed back.
   bool collect_online_stats = true;
+  /// Build join-key Bloom + Fast-AGMS sketches on every materialized
+  /// intermediate (registered with the engine's SketchManager and priced
+  /// like online statistics). Off by default: metering stays byte-identical.
+  bool collect_sketches = false;
+  /// Let the planner answer join cardinalities from Fast-AGMS sketches
+  /// where both sides carry one, falling back to formula (1) otherwise.
+  /// Decisions made from sketches are tagged est_src=sketch in the log.
+  bool use_sketch_estimates = false;
   /// Drop materialized temp tables when the query finishes.
   bool drop_temp_tables = true;
   /// Also push down single simple predicates instead of estimating them

@@ -204,6 +204,13 @@ Result<std::string> ExplainAnalyze(Engine* engine, const QuerySpec& query,
       << " corrupted_blocks=" << m.corrupted_blocks
       << " spilled=" << m.spilled_bytes << "B spill_parts="
       << m.spill_partitions << " peak_mem=" << m.peak_memory_bytes << "B\n";
+  // Predicate-transfer line only when the feature did something: existing
+  // goldens (knob off) stay byte-identical.
+  if (m.pt_filter_bytes > 0 || m.pt_pruned_rows > 0) {
+    out << "pt_filter=" << m.pt_filter_bytes
+        << "B pt_pruned_rows=" << m.pt_pruned_rows
+        << " pt_pruned=" << m.pt_pruned_bytes << "B\n";
+  }
   return out.str();
 }
 

@@ -18,12 +18,34 @@ std::string PlannedJoin::ToString() const {
 }
 
 Planner::Planner(const StatsView* view, const ClusterConfig& cluster,
-                 const PlannerOptions& options, const SelectivityRisk* risk)
+                 const PlannerOptions& options, const SelectivityRisk* risk,
+                 const SketchManager* sketches)
     : view_(view),
       cluster_(cluster),
       options_(options),
       risk_(risk),
-      estimator_(view, options.estimation) {}
+      estimator_(view, options.estimation) {
+  if (sketches != nullptr) estimator_.SetSketches(sketches);
+}
+
+double Planner::EstimateEdgeCardinality(const JoinEdge& edge,
+                                        double left_override,
+                                        double right_override,
+                                        std::string* provenance) const {
+  if (estimator_.has_sketches()) {
+    double card =
+        estimator_.SketchJoinCardinality(edge, left_override, right_override);
+    if (card >= 0) {
+      if (provenance != nullptr) *provenance = "sketch";
+      return card;
+    }
+    if (provenance != nullptr) *provenance = "stats";
+  } else if (provenance != nullptr) {
+    provenance->clear();
+  }
+  return estimator_.EstimateJoinCardinality(edge, left_override,
+                                            right_override);
+}
 
 bool Planner::InljApplicable(const JoinEdge& edge,
                              const std::string& outer_alias,
@@ -166,12 +188,13 @@ Result<PlannedJoin> Planner::PickNextJoin() const {
   // Estimate all edges first, then decorate the winner; losing edges are
   // recorded as join-order alternatives (cost = estimated result rows).
   std::vector<double> cards;
+  std::vector<std::string> provenances(spec.joins.size());
   cards.reserve(spec.joins.size());
   size_t best_index = 0;
   double best_pessimistic = 0;
   for (size_t i = 0; i < spec.joins.size(); ++i) {
     const JoinEdge& e = spec.joins[i];
-    cards.push_back(estimator_.EstimateJoinCardinality(e));
+    cards.push_back(EstimateEdgeCardinality(e, -1.0, -1.0, &provenances[i]));
     // Rank edges by the pessimistic bound: an edge whose inputs have a
     // history of misestimation must look worse than its expected rows.
     // (The shared global factor cancels out of the ranking, so only the
@@ -190,6 +213,7 @@ Result<PlannedJoin> Planner::PickNextJoin() const {
       estimator_.EstimateFilteredBytes(edge.left_alias),
       estimator_.EstimateFilteredSize(edge.right_alias),
       estimator_.EstimateFilteredBytes(edge.right_alias));
+  best.provenance = provenances[best_index];
   for (size_t i = 0; i < spec.joins.size(); ++i) {
     if (i == best_index) continue;
     PlanAlternative alt;
@@ -252,12 +276,13 @@ Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining(
   double pair_rows = first.estimated_cardinality;
   double pair_bytes = first.estimated_bytes;
   double card;
+  std::string outer_provenance;
   if (outer_edge->left_alias == inner_side) {
-    card = estimator_.EstimateJoinCardinality(*outer_edge, pair_rows,
-                                              third_rows);
+    card = EstimateEdgeCardinality(*outer_edge, pair_rows, third_rows,
+                                   &outer_provenance);
   } else {
-    card = estimator_.EstimateJoinCardinality(*outer_edge, third_rows,
-                                              pair_rows);
+    card = EstimateEdgeCardinality(*outer_edge, third_rows, pair_rows,
+                                   &outer_provenance);
   }
   PlannedJoin outer;
   if (outer_edge->left_alias == inner_side) {
@@ -267,6 +292,7 @@ Result<std::shared_ptr<const JoinTree>> Planner::PlanRemaining(
     outer = DecorateWithMethod(*outer_edge, card, third_rows, third_bytes,
                                pair_rows, pair_bytes);
   }
+  outer.provenance = std::move(outer_provenance);
 
   // Build side of the outer join: the smaller input (per DecorateWithMethod
   // `build_alias`); when the pair side is the build, the subtree goes left.

@@ -66,6 +66,11 @@ struct PlannedJoin {
   /// Estimated exec-cost (simulated seconds) of the chosen method; <0 when
   /// the planner did not cost it.
   double estimated_cost = -1;
+  /// Where `estimated_cardinality` came from: "sketch" when a Fast-AGMS
+  /// join-size sketch answered, "stats" when the planner had sketches
+  /// attached but fell back to formula (1), empty when sketches were never
+  /// in play (the default — keeps historical rendering byte-identical).
+  std::string provenance;
   /// Alternatives considered and rejected while planning this step:
   /// "method: ..." entries (cost = exec-cost seconds) from the algorithm
   /// choice, "join-order: ..." entries (cost = estimated rows) from the
@@ -83,10 +88,13 @@ class Planner {
  public:
   /// `risk` (optional, non-owning, must outlive the planner) widens size
   /// estimates while costing; nullptr or a neutral risk reproduces the
-  /// historical behavior exactly.
+  /// historical behavior exactly. `sketches` (optional, non-owning, must
+  /// outlive the planner) lets the estimator answer join cardinalities from
+  /// Fast-AGMS sketches where available; nullptr plans purely from stats.
   Planner(const StatsView* view, const ClusterConfig& cluster,
           const PlannerOptions& options,
-          const SelectivityRisk* risk = nullptr);
+          const SelectivityRisk* risk = nullptr,
+          const SketchManager* sketches = nullptr);
 
   /// The cheapest next join among the query's remaining edges.
   Result<PlannedJoin> PickNextJoin() const;
@@ -118,6 +126,13 @@ class Planner {
   double RiskFactor(const std::string& alias) const {
     return risk_ == nullptr ? 1.0 : risk_->FactorFor(alias);
   }
+
+  /// Sketch-first cardinality for `edge`: the AGMS estimate when both sides
+  /// carry sketches, formula (1) otherwise. `provenance` (may be null)
+  /// receives "sketch"/"stats" when sketches are attached, "" when not.
+  double EstimateEdgeCardinality(const JoinEdge& edge, double left_override,
+                                 double right_override,
+                                 std::string* provenance) const;
 
   const StatsView* view_;
   ClusterConfig cluster_;

@@ -1,0 +1,103 @@
+#include "opt/sketch_optimizer.h"
+
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "exec/row_kernels.h"
+
+namespace dynopt {
+
+namespace {
+
+DynamicOptimizerOptions MakeSketchOptions(const PlannerOptions& base) {
+  DynamicOptimizerOptions options;
+  options.planner = base;
+  options.collect_sketches = true;
+  options.use_sketch_estimates = true;
+  options.profile_label = "sketch-dynamic";
+  return options;
+}
+
+}  // namespace
+
+SketchDynamicOptimizer::SketchDynamicOptimizer(Engine* engine,
+                                               const PlannerOptions& options)
+    : engine_(engine), inner_(engine, MakeSketchOptions(options)) {}
+
+Status SketchDynamicOptimizer::EnsureBaseSketches(const QuerySpec& query,
+                                                  ExecMetrics* metrics) {
+  SketchOptions opts;
+  opts.bits_per_key = engine_->cluster().sketch.pt_bits_per_key;
+  opts.agms_depth = engine_->cluster().sketch.agms_depth;
+  opts.agms_width = engine_->cluster().sketch.agms_width;
+  opts.seed = engine_->cluster().sketch.seed;
+  const double stats_rate = engine_->cluster().stats_seconds_per_value;
+
+  for (const auto& ref : query.tables) {
+    if (ref.is_intermediate) continue;
+    // Unqualified join-key columns of this table.
+    std::set<std::string> columns;
+    const std::string prefix = ref.alias + ".";
+    for (const auto& edge : query.joins) {
+      if (!edge.Involves(ref.alias)) continue;
+      for (std::string key : edge.KeysOf(ref.alias)) {
+        if (key.rfind(prefix, 0) == 0) key = key.substr(prefix.size());
+        columns.insert(std::move(key));
+      }
+    }
+    if (columns.empty()) continue;
+    DYNOPT_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                            engine_->catalog().GetTable(ref.table));
+    for (const auto& column : columns) {
+      if (engine_->sketches().Has(ref.table, column)) continue;  // Amortized.
+      const int col = table->schema().FieldIndex(column);
+      if (col < 0) continue;  // Nothing to sketch (resolved at plan time).
+      auto sketch = std::make_shared<JoinKeySketch>(JoinKeySketch{
+          BloomFilter(std::max<uint64_t>(table->NumRows(), 1),
+                      opts.bits_per_key, opts.seed),
+          FastAgmsSketch(opts), 0, 0});
+      for (size_t p = 0; p < table->num_partitions(); ++p) {
+        for (const Row& row : table->partition(p)) {
+          ++sketch->rows;
+          if (row[static_cast<size_t>(col)].is_null()) {
+            ++sketch->null_keys;
+            continue;
+          }
+          const uint64_t h = HashRowKeyInline(row, &col, 1);
+          sketch->bloom.Insert(h);
+          sketch->agms.Update(h);
+        }
+      }
+      engine_->sketches().Put(ref.table, column,
+                              std::move(sketch));
+      // Priced like online statistics: one pass over the column, split
+      // across the table's partitions (each node sketches its local rows).
+      const double seconds =
+          static_cast<double>(table->NumRows()) * stats_rate /
+          static_cast<double>(std::max<size_t>(table->num_partitions(), 1));
+      metrics->stats_seconds += seconds;
+      metrics->simulated_seconds += seconds;
+    }
+  }
+  return Status::OK();
+}
+
+Result<OptimizerRunResult> SketchDynamicOptimizer::Run(
+    const QuerySpec& query) {
+  ExecMetrics sketch_metrics;
+  DYNOPT_RETURN_IF_ERROR(EnsureBaseSketches(query, &sketch_metrics));
+  auto result_or = inner_.Run(query);
+  if (!result_or.ok()) return result_or.status();
+  OptimizerRunResult result = std::move(result_or).value();
+  // The base-sketch pass ran before the inner run snapshotted its profile;
+  // fold its cost into both views so they stay consistent. Add() treats
+  // rows_out as "latest operator", so carry the query's real output count.
+  sketch_metrics.rows_out = result.metrics.rows_out;
+  result.metrics.Add(sketch_metrics);
+  if (result.profile != nullptr) result.profile->metrics.Add(sketch_metrics);
+  return result;
+}
+
+}  // namespace dynopt

@@ -1,0 +1,62 @@
+#ifndef DYNOPT_OPT_SKETCH_OPTIMIZER_H_
+#define DYNOPT_OPT_SKETCH_OPTIMIZER_H_
+
+#include <string>
+
+#include "exec/engine.h"
+#include "opt/dynamic_optimizer.h"
+#include "opt/optimizer.h"
+
+namespace dynopt {
+
+/// The seventh strategy: the dynamic optimizer's decomposition loop, but
+/// with join cardinalities answered from Fast-AGMS join-size sketches
+/// (predicate transfer's statistics layer) instead of the formula-(1)
+/// ndv quotient wherever a sketch pair is available.
+///
+/// Base-table join-key columns are sketched once per engine at the first
+/// Run() (priced like online statistics collection and amortized across
+/// queries, mirroring AsterixDB's load-time statistics); every materialized
+/// intermediate re-sketches its future join keys at the materialization
+/// checkpoint, so each re-optimization round plans from sketch estimates of
+/// the *remaining* joins. Decisions answered from sketches carry
+/// est_src=sketch in the decision log; formula-(1) fallbacks under this
+/// strategy carry est_src=stats.
+class SketchDynamicOptimizer : public Optimizer {
+ public:
+  explicit SketchDynamicOptimizer(
+      Engine* engine, const PlannerOptions& options = PlannerOptions());
+
+  std::string name() const override { return "sketch-dynamic"; }
+  Result<OptimizerRunResult> Run(const QuerySpec& query) override;
+
+  /// Cancellation/deadline checks happen inside the wrapped dynamic
+  /// optimizer's decomposition loop, so forward the context there too.
+  void set_context(QueryContext* ctx) override {
+    Optimizer::set_context(ctx);
+    inner_.set_context(ctx);
+  }
+
+  /// Decomposition materializes every intermediate, so the wrapped dynamic
+  /// optimizer's checkpoints work unchanged here. (Base sketches survive in
+  /// the engine across the failure, so a resumed run replans identically.)
+  bool CanResume() const override { return inner_.CanResume(); }
+  Result<OptimizerRunResult> ResumeFromLastCheckpoint() override {
+    return inner_.ResumeFromLastCheckpoint();
+  }
+
+ private:
+  /// Builds Bloom + Fast-AGMS sketches over every base-table join-key
+  /// column of `query` that is not yet registered, charging
+  /// stats_seconds_per_value per (row, column) divided across the table's
+  /// partitions into `metrics`. Columns already sketched (by a previous
+  /// query on this engine) are free.
+  Status EnsureBaseSketches(const QuerySpec& query, ExecMetrics* metrics);
+
+  Engine* engine_;
+  DynamicOptimizer inner_;
+};
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_SKETCH_OPTIMIZER_H_

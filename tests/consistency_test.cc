@@ -3,20 +3,27 @@
 //    metered executor does (otherwise the planner's choices are noise);
 //  - degenerate inputs (empty filters, single rows) flow through every
 //    optimizer without errors;
-//  - simulated time is deterministic across repeated runs.
+//  - simulated time is deterministic across repeated runs;
+//  - with predicate transfer disabled (the default), the sketch sizing
+//    knobs are inert: metering and EXPLAIN ANALYZE are byte-identical
+//    across all seven strategies whether the knobs are default or tweaked.
 
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/random.h"
 #include "exec/engine.h"
 #include "opt/cost_model.h"
 #include "opt/dynamic_optimizer.h"
+#include "opt/explain.h"
 #include "opt/ingres_optimizer.h"
 #include "opt/order_baselines.h"
 #include "opt/pilot_run_optimizer.h"
+#include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 
 namespace dynopt {
@@ -92,20 +99,24 @@ TEST_P(MethodRankingTest, CostModelAgreesWithExecutor) {
 
 class DegenerateInputTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    engine_ = std::make_unique<Engine>();
+  static void LoadTables(Engine* engine) {
     Rng rng(5);
     for (const char* name : {"x", "y", "z"}) {
       auto t = std::make_shared<Table>(
           name, Schema({{"k", ValueType::kInt64}, {"v", ValueType::kInt64}}),
-          engine_->cluster().num_nodes);
+          engine->cluster().num_nodes);
       ASSERT_TRUE(t->SetPartitionKey({"k"}).ok());
       for (int i = 0; i < 300; ++i) {
         t->AppendRow({Value(rng.NextInt64(0, 49)), Value(rng.NextInt64(0, 9))});
       }
-      ASSERT_TRUE(engine_->catalog().RegisterTable(t).ok());
-      ASSERT_TRUE(engine_->CollectBaseStats(name, {"k", "v"}).ok());
+      ASSERT_TRUE(engine->catalog().RegisterTable(t).ok());
+      ASSERT_TRUE(engine->CollectBaseStats(name, {"k", "v"}).ok());
     }
+  }
+
+  void SetUp() override {
+    engine_ = std::make_unique<Engine>();
+    LoadTables(engine_.get());
   }
 
   QuerySpec ChainQuery() {
@@ -195,6 +206,88 @@ TEST_F(DegenerateInputTest, MetricsDecompositionIsConsistent) {
   EXPECT_GT(m.reopt_seconds, 0.0);  // Push-down materialized something.
   EXPECT_GE(m.num_reopt_points, 1);
   EXPECT_EQ(m.rows_out, result->rows.size());
+}
+
+// Deterministic counters only: wall-clock and queue-wait vary run to run.
+std::string MeteredString(const ExecMetrics& metrics) {
+  std::string s = metrics.ToString();
+  const size_t cut = s.find(" wall[");
+  return cut == std::string::npos ? s : s.substr(0, cut);
+}
+
+// With enable_predicate_transfer=false (the default), tweaking the Bloom
+// sizing knob must not change a single metered byte or EXPLAIN ANALYZE
+// character for any of the seven strategies — including sketch-dynamic,
+// whose AGMS estimates do not depend on pt_bits_per_key.
+TEST_F(DegenerateInputTest, PredicateTransferOffIsByteIdentical) {
+  QuerySpec spec = ChainQuery();
+  // Multi-predicate alias forces a push-down materialization, so the
+  // sketch-collection path in the dynamic optimizers is actually reached.
+  spec.predicates.push_back(
+      {"x", Cmp(CompareOp::kLt, Col("x", "v"), Lit(Value(5)))});
+  spec.predicates.push_back(
+      {"x", Cmp(CompareOp::kGt, Col("x", "v"), Lit(Value(0)))});
+
+  struct StrategyRun {
+    std::string name;
+    size_t rows;
+    std::string metered;
+    std::string explained;
+  };
+  // ASSERT_* macros require a void-returning scope, hence the out-param.
+  auto run_all = [&](Engine* engine, std::vector<StrategyRun>* out_runs) {
+    std::vector<StrategyRun>& out = *out_runs;
+    auto record = [&](Optimizer* opt) {
+      auto result = opt->Run(spec);
+      ASSERT_TRUE(result.ok()) << opt->name() << ": "
+                               << result.status().ToString();
+      EXPECT_EQ(result->metrics.pt_filter_bytes, 0u) << opt->name();
+      EXPECT_EQ(result->metrics.pt_pruned_rows, 0u) << opt->name();
+      EXPECT_EQ(result->metrics.pt_pruned_bytes, 0u) << opt->name();
+      auto explained = ExplainAnalyze(engine, spec, *result);
+      ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+      out.push_back({opt->name(), result->rows.size(),
+                     MeteredString(result->metrics), explained.value()});
+    };
+    DynamicOptimizer dynamic(engine);
+    record(&dynamic);
+    auto hint = dynamic.Run(spec);
+    ASSERT_TRUE(hint.ok());
+    ASSERT_NE(hint->join_tree, nullptr);
+    BestOrderOptimizer best(engine, hint->join_tree);
+    record(&best);
+    StaticCostBasedOptimizer cost_based(engine);
+    record(&cost_based);
+    PilotRunOptimizer pilot(engine);
+    record(&pilot);
+    IngresLikeOptimizer ingres(engine);
+    record(&ingres);
+    WorstOrderOptimizer worst(engine);
+    record(&worst);
+    SketchDynamicOptimizer sketch(engine);
+    record(&sketch);
+  };
+
+  std::vector<StrategyRun> defaults;
+  run_all(engine_.get(), &defaults);
+  if (HasFailure()) return;
+
+  auto tweaked_engine = std::make_unique<Engine>();
+  tweaked_engine->mutable_cluster().sketch.pt_bits_per_key = 16.0;
+  LoadTables(tweaked_engine.get());
+  std::vector<StrategyRun> tweaked;
+  run_all(tweaked_engine.get(), &tweaked);
+  if (HasFailure()) return;
+
+  ASSERT_EQ(defaults.size(), 7u);
+  ASSERT_EQ(tweaked.size(), defaults.size());
+  for (size_t i = 0; i < defaults.size(); ++i) {
+    EXPECT_EQ(defaults[i].name, tweaked[i].name);
+    EXPECT_EQ(defaults[i].rows, tweaked[i].rows) << defaults[i].name;
+    EXPECT_EQ(defaults[i].metered, tweaked[i].metered) << defaults[i].name;
+    EXPECT_EQ(defaults[i].explained, tweaked[i].explained)
+        << defaults[i].name;
+  }
 }
 
 }  // namespace

@@ -3,7 +3,10 @@
 //    rendered text includes only deterministic quantities (estimates,
 //    actual rows, q-errors, simulated-cost counters), so any drift is a
 //    real behavior change. Regenerate with DYNOPT_REGEN_GOLDEN=1.
-//  - all six strategies produce a QueryProfile on TPC-DS Q17 whose
+//  - golden-file comparison on Q9 under sketch-dynamic with predicate
+//    transfer enabled: the pt[...] counters and est_src=sketch provenance
+//    are pinned down the same way (explain_analyze_q9_sketch.txt).
+//  - all seven strategies produce a QueryProfile on TPC-DS Q17 whose
 //    decision log carries estimate-vs-actual rows and a q-error.
 
 #include <gtest/gtest.h>
@@ -20,6 +23,7 @@
 #include "opt/ingres_optimizer.h"
 #include "opt/order_baselines.h"
 #include "opt/pilot_run_optimizer.h"
+#include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 #include "workloads/tpcds.h"
 #include "workloads/tpch.h"
@@ -51,21 +55,15 @@ class ExplainAnalyzeTest : public ::testing::Test {
 
 Engine* ExplainAnalyzeTest::engine_ = nullptr;
 
-TEST_F(ExplainAnalyzeTest, GoldenQ9Dynamic) {
-  auto query = TpchQ9(engine_);
-  ASSERT_TRUE(query.ok());
-  DynamicOptimizer optimizer(engine_);
-  auto result = optimizer.Run(query.value());
-  ASSERT_TRUE(result.ok()) << result.status().ToString();
-  auto text = ExplainAnalyze(engine_, query.value(), result.value());
-  ASSERT_TRUE(text.ok()) << text.status().ToString();
-
+/// Compares text to the named golden file, regenerating it (and skipping)
+/// when DYNOPT_REGEN_GOLDEN is set.
+void CompareGolden(const std::string& text, const std::string& file_name) {
   const std::string golden_path =
-      std::string(DYNOPT_GOLDEN_DIR) + "/explain_analyze_q9.txt";
+      std::string(DYNOPT_GOLDEN_DIR) + "/" + file_name;
   if (std::getenv("DYNOPT_REGEN_GOLDEN") != nullptr) {
     std::ofstream out(golden_path);
     ASSERT_TRUE(out.good()) << "cannot write " << golden_path;
-    out << text.value();
+    out << text;
     GTEST_SKIP() << "regenerated " << golden_path;
   }
 
@@ -74,12 +72,46 @@ TEST_F(ExplainAnalyzeTest, GoldenQ9Dynamic) {
                          << " (run once with DYNOPT_REGEN_GOLDEN=1)";
   std::stringstream golden;
   golden << in.rdbuf();
-  EXPECT_EQ(text.value(), golden.str())
+  EXPECT_EQ(text, golden.str())
       << "EXPLAIN ANALYZE drifted from the golden file; if the change is "
          "intended, regenerate with DYNOPT_REGEN_GOLDEN=1";
 }
 
-TEST_F(ExplainAnalyzeTest, AllSixStrategiesProfileQ17) {
+TEST_F(ExplainAnalyzeTest, GoldenQ9Dynamic) {
+  auto query = TpchQ9(engine_);
+  ASSERT_TRUE(query.ok());
+  DynamicOptimizer optimizer(engine_);
+  auto result = optimizer.Run(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto text = ExplainAnalyze(engine_, query.value(), result.value());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  CompareGolden(text.value(), "explain_analyze_q9.txt");
+}
+
+// Sketch-dynamic on Q9 with predicate transfer on, against its own engine
+// so the shared fixture engine (and the dynamic golden above) stays
+// untouched by sketch collection.
+TEST_F(ExplainAnalyzeTest, GoldenQ9SketchDynamic) {
+  Engine engine;
+  engine.mutable_cluster().sketch.enable_predicate_transfer = true;
+  TpchOptions tpch;
+  tpch.sf = 0.2;
+  ASSERT_TRUE(LoadTpch(&engine, tpch).ok());
+
+  auto query = TpchQ9(&engine);
+  ASSERT_TRUE(query.ok());
+  SketchDynamicOptimizer optimizer(&engine);
+  auto result = optimizer.Run(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->metrics.pt_pruned_bytes, 0u);
+  auto text = ExplainAnalyze(&engine, query.value(), result.value());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("est_src=sketch"), std::string::npos) << *text;
+  EXPECT_NE(text->find("pt_filter="), std::string::npos) << *text;
+  CompareGolden(text.value(), "explain_analyze_q9_sketch.txt");
+}
+
+TEST_F(ExplainAnalyzeTest, AllSevenStrategiesProfileQ17) {
   auto query = TpcdsQ17(engine_);
   ASSERT_TRUE(query.ok());
 
@@ -90,7 +122,7 @@ TEST_F(ExplainAnalyzeTest, AllSixStrategiesProfileQ17) {
   std::shared_ptr<const JoinTree> hint = hint_run->join_tree;
   ASSERT_NE(hint, nullptr);
 
-  std::unique_ptr<Optimizer> optimizers[6];
+  std::unique_ptr<Optimizer> optimizers[7];
   optimizers[0] = std::make_unique<DynamicOptimizer>(engine_);
   optimizers[1] = std::make_unique<BestOrderOptimizer>(engine_, hint);
   optimizers[2] =
@@ -100,6 +132,7 @@ TEST_F(ExplainAnalyzeTest, AllSixStrategiesProfileQ17) {
       std::make_unique<IngresLikeOptimizer>(engine_, PlannerOptions());
   optimizers[5] =
       std::make_unique<WorstOrderOptimizer>(engine_, PlannerOptions());
+  optimizers[6] = std::make_unique<SketchDynamicOptimizer>(engine_);
 
   for (auto& optimizer : optimizers) {
     SCOPED_TRACE(optimizer->name());

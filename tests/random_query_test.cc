@@ -1,7 +1,11 @@
-// Property test: randomized join queries over randomized synthetic tables,
-// checked against a naive in-memory oracle (filter + nested-loop joins) and
-// across the independent execution paths (dynamic re-optimization loop,
-// static DP single job, greedy worst-order chain, INGRES-like loop).
+// Property test: randomized join queries over randomized synthetic tables
+// (with correlated predicate pairs and group-by/order-by/limit clauses),
+// checked against a naive in-memory oracle (filter + nested-loop joins +
+// an independent re-implementation of the post-processing contract) and
+// across all seven execution paths: dynamic re-optimization loop, static DP
+// single job, greedy worst-order chain, best-order hinted job, pilot-run,
+// INGRES-like loop, and the sketch-dynamic strategy with predicate
+// transfer enabled.
 
 #include <gtest/gtest.h>
 
@@ -16,6 +20,8 @@
 #include "opt/dynamic_optimizer.h"
 #include "opt/ingres_optimizer.h"
 #include "opt/order_baselines.h"
+#include "opt/pilot_run_optimizer.h"
+#include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 
 namespace dynopt {
@@ -154,6 +160,118 @@ std::vector<Row> Oracle(Engine* engine, const QuerySpec& spec, bool* ok) {
     for (int s : slots) projected.push_back(row[static_cast<size_t>(s)]);
     out.push_back(std::move(projected));
   }
+
+  // Independent re-implementation of the post-processing contract
+  // (GROUP BY / aggregates over the carried projections, the deterministic
+  // total-order sort, LIMIT) so the oracle shares no code with
+  // ApplyPostProcessing. Only the aggregate functions the generator emits
+  // (COUNT, SUM, MIN, MAX) are supported.
+  if (!spec.HasPostProcessing()) return out;
+  std::vector<std::string> columns = spec.projections;
+  auto slot_of = [&](const std::string& name) -> int {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  std::vector<std::string> out_columns = columns;
+  if (!spec.aggregates.empty() || !spec.group_by.empty()) {
+    std::vector<int> group_slots, agg_slots;
+    for (const auto& col : spec.group_by) group_slots.push_back(slot_of(col));
+    for (const auto& agg : spec.aggregates) {
+      agg_slots.push_back(slot_of(agg.input));
+    }
+    for (int s : group_slots) {
+      if (s < 0) {
+        ADD_FAILURE() << "oracle could not resolve a GROUP BY column";
+        *ok = false;
+        return {};
+      }
+    }
+    for (int s : agg_slots) {
+      if (s < 0) {
+        ADD_FAILURE() << "oracle could not resolve an aggregate input";
+        *ok = false;
+        return {};
+      }
+    }
+    // Raw non-null input values per (group, aggregate); finished below.
+    std::map<Row, std::vector<std::vector<Value>>> groups;
+    for (const Row& row : out) {
+      Row key;
+      for (int s : group_slots) key.push_back(row[static_cast<size_t>(s)]);
+      auto [it, inserted] = groups.try_emplace(
+          std::move(key),
+          std::vector<std::vector<Value>>(spec.aggregates.size()));
+      for (size_t a = 0; a < agg_slots.size(); ++a) {
+        const Value& v = row[static_cast<size_t>(agg_slots[a])];
+        if (!v.is_null()) it->second[a].push_back(v);
+      }
+    }
+    std::vector<Row> grouped;
+    for (const auto& [key, values] : groups) {
+      Row row = key;
+      for (size_t a = 0; a < values.size(); ++a) {
+        switch (spec.aggregates[a].fn) {
+          case AggFn::kCount:
+            row.push_back(Value(static_cast<int64_t>(values[a].size())));
+            break;
+          case AggFn::kSum: {
+            int64_t sum = 0;
+            for (const Value& v : values[a]) sum += v.AsInt64();
+            row.push_back(values[a].empty() ? Value::Null() : Value(sum));
+            break;
+          }
+          case AggFn::kMin:
+          case AggFn::kMax: {
+            Value best;
+            for (const Value& v : values[a]) {
+              if (best.is_null() || (spec.aggregates[a].fn == AggFn::kMin
+                                         ? v < best
+                                         : best < v)) {
+                best = v;
+              }
+            }
+            row.push_back(best);
+            break;
+          }
+          case AggFn::kAvg:
+            ADD_FAILURE() << "oracle does not implement AVG";
+            *ok = false;
+            return {};
+        }
+      }
+      grouped.push_back(std::move(row));
+    }
+    out = std::move(grouped);
+    out_columns = spec.OutputColumns();
+  }
+  if (!spec.order_by.empty() || spec.limit >= 0) {
+    std::vector<std::pair<int, bool>> sort_keys;
+    std::vector<bool> used(out_columns.size(), false);
+    for (const auto& key : spec.order_by) {
+      for (size_t i = 0; i < out_columns.size(); ++i) {
+        if (out_columns[i] == key.column) {
+          sort_keys.emplace_back(static_cast<int>(i), key.descending);
+          used[i] = true;
+        }
+      }
+    }
+    for (size_t i = 0; i < out_columns.size(); ++i) {
+      if (!used[i]) sort_keys.emplace_back(static_cast<int>(i), false);
+    }
+    std::sort(out.begin(), out.end(), [&](const Row& a, const Row& b) {
+      for (const auto& [slot, desc] : sort_keys) {
+        int c = a[static_cast<size_t>(slot)].Compare(
+            b[static_cast<size_t>(slot)]);
+        if (c != 0) return desc ? c > 0 : c < 0;
+      }
+      return false;
+    });
+  }
+  if (spec.limit >= 0 && out.size() > static_cast<size_t>(spec.limit)) {
+    out.resize(static_cast<size_t>(spec.limit));
+  }
   return out;
 }
 
@@ -195,16 +313,21 @@ Generated Generate(uint64_t seed) {
         Schema({{"id", ValueType::kInt64},
                 {"fk", ValueType::kInt64},
                 {"v", ValueType::kInt64},
+                {"w", ValueType::kInt64},
                 {"s", ValueType::kString}}),
         g.engine->cluster().num_nodes);
     (void)table->SetPartitionKey({"id"});
     for (int64_t i = 0; i < table_rows[static_cast<size_t>(t)]; ++i) {
+      // `w` mirrors `v` exactly: a perfectly correlated pair, so conjuncts
+      // over both have the true selectivity of one while the independence
+      // assumption squares it.
+      const int64_t v = rng.NextInt64(0, 99);
       table->AppendRow({Value(i), Value(rng.NextInt64(0, parent_rows - 1)),
-                        Value(rng.NextInt64(0, 99)),
+                        Value(v), Value(v),
                         Value("s" + std::to_string(rng.NextInt64(0, 4)))});
     }
     (void)g.engine->catalog().RegisterTable(table);
-    (void)g.engine->CollectBaseStats(name, {"id", "fk", "v", "s"});
+    (void)g.engine->CollectBaseStats(name, {"id", "fk", "v", "w", "s"});
   }
 
   for (int t = 0; t < num_tables; ++t) {
@@ -240,6 +363,14 @@ Generated Generate(uint64_t seed) {
       g.query.predicates.push_back(
           {alias, Cmp(CompareOp::kGe, Col(alias, "v"), Param(pname))});
       g.query.params[pname] = Value(prng.NextInt64(10, 60));
+    } else if (dice < 0.75) {
+      // Correlated conjunct pair over the mirrored columns: a guaranteed
+      // multi-predicate push-down whose estimate is off by 1/selectivity.
+      int64_t cut = prng.NextInt64(20, 90);
+      g.query.predicates.push_back(
+          {alias, Cmp(CompareOp::kLt, Col(alias, "v"), Lit(Value(cut)))});
+      g.query.predicates.push_back(
+          {alias, Cmp(CompareOp::kLt, Col(alias, "w"), Lit(Value(cut)))});
     }
   }
 
@@ -248,6 +379,51 @@ Generated Generate(uint64_t seed) {
     const char* const cols[] = {"id", "v", "s"};
     g.query.projections.push_back("a" + std::to_string(t) + "." +
                                   cols[prng.NextUint64(3)]);
+  }
+
+  // Post-processing: GROUP BY + aggregates over carried projections, or a
+  // bare ORDER BY, each optionally topped by a LIMIT — so every strategy's
+  // ApplyPostProcessing path is exercised against the oracle's independent
+  // re-implementation.
+  double post_dice = prng.NextDouble();
+  if (post_dice < 0.35) {
+    g.query.group_by.push_back(g.query.projections[0]);
+    AggregateSpec cnt;
+    cnt.fn = AggFn::kCount;
+    cnt.input = g.query.projections.back();
+    cnt.output_name = "cnt";
+    g.query.aggregates.push_back(cnt);
+    // An int SUM when an int column is carried; MIN of the last projection
+    // otherwise (strings compare fine under MIN).
+    std::string int_col;
+    for (const auto& p : g.query.projections) {
+      if (p.size() > 2 && (p.compare(p.size() - 2, 2, ".v") == 0 ||
+                           p.compare(p.size() - 3, 3, ".id") == 0)) {
+        int_col = p;
+        break;
+      }
+    }
+    AggregateSpec extra;
+    if (!int_col.empty()) {
+      extra.fn = AggFn::kSum;
+      extra.input = int_col;
+      extra.output_name = "total";
+    } else {
+      extra.fn = AggFn::kMin;
+      extra.input = g.query.projections.back();
+      extra.output_name = "lo";
+    }
+    g.query.aggregates.push_back(extra);
+    if (prng.NextDouble() < 0.5) {
+      g.query.order_by.push_back({"cnt", true});
+    }
+    if (prng.NextDouble() < 0.4) g.query.limit = prng.NextInt64(1, 5);
+  } else if (post_dice < 0.6) {
+    g.query.order_by.push_back(
+        {g.query.projections[prng.NextUint64(
+             static_cast<uint64_t>(g.query.projections.size()))],
+         prng.NextDouble() < 0.5});
+    if (prng.NextDouble() < 0.5) g.query.limit = prng.NextInt64(1, 20);
   }
   g.query.NormalizeJoins();
   return g;
@@ -292,6 +468,32 @@ TEST_P(RandomQueryTest, AllPathsMatchOracle) {
   SortRows(&ing->rows);
   EXPECT_EQ(ing->rows, expected) << "ingres-like diverges, seed "
                                  << GetParam();
+
+  // Best-order replays the join tree the dynamic run discovered as one
+  // hinted pipelined job.
+  ASSERT_NE(dyn->join_tree, nullptr);
+  BestOrderOptimizer best(g.engine.get(), dyn->join_tree);
+  auto bo = best.Run(g.query);
+  ASSERT_TRUE(bo.ok()) << bo.status().ToString();
+  SortRows(&bo->rows);
+  EXPECT_EQ(bo->rows, expected) << "best-order diverges, seed " << GetParam();
+
+  PilotRunOptimizer pilot(g.engine.get());
+  auto pr = pilot.Run(g.query);
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  SortRows(&pr->rows);
+  EXPECT_EQ(pr->rows, expected) << "pilot-run diverges, seed " << GetParam();
+
+  // Seventh strategy, with executor-side predicate transfer switched on:
+  // Bloom pruning must never drop a joining row (no false negatives), so
+  // the result still matches the oracle bit for bit.
+  g.engine->mutable_cluster().sketch.enable_predicate_transfer = true;
+  SketchDynamicOptimizer sketchy(g.engine.get());
+  auto sk = sketchy.Run(g.query);
+  ASSERT_TRUE(sk.ok()) << sk.status().ToString();
+  SortRows(&sk->rows);
+  EXPECT_EQ(sk->rows, expected) << "sketch-dynamic diverges, seed "
+                                << GetParam();
 }
 
 TEST_P(RandomQueryTest, NoTempTableLeaks) {
@@ -301,7 +503,14 @@ TEST_P(RandomQueryTest, NoTempTableLeaks) {
   ASSERT_TRUE(dynamic.Run(g.query).ok());
   IngresLikeOptimizer ingres(g.engine.get());
   ASSERT_TRUE(ingres.Run(g.query).ok());
+  SketchDynamicOptimizer sketchy(g.engine.get());
+  ASSERT_TRUE(sketchy.Run(g.query).ok());
   EXPECT_EQ(g.engine->catalog().TableNames().size(), before);
+  // Temp-table sketches must be reclaimed with their tables; only
+  // base-table sketches (built once per engine) may remain registered.
+  for (const std::string& key : g.engine->sketches().Keys()) {
+    EXPECT_EQ(key.rfind("t", 0), 0u) << "leaked sketch " << key;
+  }
 }
 
 }  // namespace

@@ -115,8 +115,10 @@ struct TrafficConfig {
   bool resilient = false;
 };
 
-uint64_t CounterValue(const char* name) {
-  return MetricsRegistry::Global().counter(name)->value();
+uint64_t CounterValue(Engine* engine, const char* name) {
+  // Engine-scoped registries: the admission/executor counters this bench
+  // tracks land in the engine's own registry.
+  return engine->metrics_registry().counter(name)->value();
 }
 
 /// One closed-loop traffic run over q17. `expected_rows` is the fault-free
@@ -161,10 +163,10 @@ ModeResult RunTraffic(Engine* engine, const QuerySpec& query,
   engine->RearmRetryBudget();
   engine->RearmWatchdog();
 
-  const uint64_t degraded_mem0 = CounterValue("admission.degraded_memory");
+  const uint64_t degraded_mem0 = CounterValue(engine, "admission.degraded_memory");
   const uint64_t degraded_strat0 =
-      CounterValue("admission.degraded_strategy");
-  const uint64_t budget_denied0 = CounterValue("exec.retry_budget_denied");
+      CounterValue(engine, "admission.degraded_strategy");
+  const uint64_t budget_denied0 = CounterValue(engine, "exec.retry_budget_denied");
 
   ModeResult mode;
   mode.mode = traffic.resilient ? "resilient" : "fifo";
@@ -242,11 +244,11 @@ ModeResult RunTraffic(Engine* engine, const QuerySpec& query,
                          ? mode.completed_in_deadline / mode.elapsed_seconds
                          : 0;
   mode.degraded_memory =
-      CounterValue("admission.degraded_memory") - degraded_mem0;
+      CounterValue(engine, "admission.degraded_memory") - degraded_mem0;
   mode.degraded_strategy =
-      CounterValue("admission.degraded_strategy") - degraded_strat0;
+      CounterValue(engine, "admission.degraded_strategy") - degraded_strat0;
   mode.retry_budget_denied =
-      CounterValue("exec.retry_budget_denied") - budget_denied0;
+      CounterValue(engine, "exec.retry_budget_denied") - budget_denied0;
   mode.watchdog_stall_kills = engine->watchdog().stall_kills();
 
   // Structural invariants: correct results, consistent accounting, no

@@ -182,9 +182,9 @@ int Main(int argc, char** argv) {
   DYNOPT_CHECK(analyzed.ok());
   std::printf("\n%s\n", analyzed->c_str());
 
-  // Global counter/histogram snapshot accumulated across all runs.
+  // Engine counter/histogram snapshot accumulated across all runs.
   std::printf("-- metrics registry --\n%s",
-              MetricsRegistry::Global().TextSnapshot().c_str());
+              engine->metrics_registry().TextSnapshot().c_str());
 
   std::ofstream json(out_path);
   json << "{\n"

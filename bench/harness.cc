@@ -288,10 +288,12 @@ bool WriteRecordsJson(const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool WriteMetricsSnapshot(const std::string& path) {
+bool WriteMetricsSnapshot(const std::string& path,
+                          const MetricsRegistry* registry) {
   std::ofstream out(path);
   if (!out) return false;
-  out << MetricsRegistry::Global().TextSnapshot();
+  out << (registry != nullptr ? registry->TextSnapshot()
+                              : MetricsRegistry::Global().TextSnapshot());
   return static_cast<bool>(out);
 }
 

@@ -113,10 +113,12 @@ std::string RecordsToJson();
 /// Returns false when the file cannot be written.
 bool WriteRecordsJson(const std::string& path);
 
-/// Writes MetricsRegistry::Global().TextSnapshot() to `path` (one
-/// "name value" line per metric). Returns false when the file cannot be
-/// written.
-bool WriteMetricsSnapshot(const std::string& path);
+/// Writes `registry`->TextSnapshot() to `path` (one "name value" line per
+/// metric). Registries are engine-scoped: benches pass their engine's
+/// registry; null falls back to the process-wide default instance.
+/// Returns false when the file cannot be written.
+bool WriteMetricsSnapshot(const std::string& path,
+                          const MetricsRegistry* registry = nullptr);
 
 /// Prints records of `figure` grouped like the paper's figures: one block
 /// per scale factor, queries as rows, strategies as columns.

@@ -5,7 +5,8 @@
 //   ./build/examples/sql_shell [sf]
 //
 // Shell commands:
-//   \tables            list catalog tables
+//   \tables            list catalog tables (including the sys.* virtual
+//                      tables of the live introspection plane)
 //   \opt NAME          switch optimizer: dynamic | cost-based |
 //                      sketch-dynamic | worst-order
 //   \explain SQL       show the DP plan with cardinality estimates
@@ -14,6 +15,11 @@
 // Anything else is parsed as SQL, e.g.:
 //   SELECT n.n_name, s.s_acctbal FROM nation n, supplier s
 //   WHERE n.n_nationkey = s.s_nationkey AND s.s_acctbal > 9000
+// Introspection is enabled, so completed queries are archived and
+// queryable right back through SQL:
+//   SELECT * FROM sys.queries
+//   SELECT * FROM sys.decisions
+//   SELECT * FROM sys.metrics
 
 #include <cstdio>
 #include <cstdlib>
@@ -27,6 +33,7 @@
 #include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
 #include "sql/binder.h"
+#include "sys/system_tables.h"
 #include "workloads/tpcds.h"
 #include "workloads/tpch.h"
 
@@ -96,8 +103,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to load workloads\n");
     return 1;
   }
+  // Live introspection: completed queries land in the profile archive and
+  // every sys.* table is queryable like any other (at zero simulated cost).
+  EnableIntrospection(&engine);
   std::printf("dynopt SQL shell — workloads loaded at sf %.2f.\n", sf);
   std::printf("optimizer: dynamic. \\opt, \\tables, \\trace, \\q.\n");
+  std::printf("introspection on: try SELECT * FROM sys.queries\n");
 
   std::string optimizer = "dynamic";
   bool trace = false;

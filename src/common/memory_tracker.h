@@ -3,7 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <string>
+#include <vector>
 
 namespace dynopt {
 
@@ -18,6 +21,11 @@ namespace dynopt {
 /// unchanged. Callers pick the degradation themselves — the hash join
 /// spills to disk, the admission controller keeps the query queued — so a
 /// memory shortage degrades a query instead of killing it.
+///
+/// The reserve/release hot path is lock-free; construction and destruction
+/// additionally register/unregister the tracker in its parent's child list
+/// (mutex-guarded) so introspection (`sys.memory`) can enumerate the live
+/// engine -> query -> operator hierarchy via VisitTree.
 class MemoryTracker {
  public:
   /// `budget_bytes` == 0 means unlimited (pure accounting). `parent` may be
@@ -25,12 +33,18 @@ class MemoryTracker {
   explicit MemoryTracker(uint64_t budget_bytes = 0,
                          MemoryTracker* parent = nullptr,
                          std::string label = "")
-      : budget_(budget_bytes), parent_(parent), label_(std::move(label)) {}
+      : budget_(budget_bytes), parent_(parent), label_(std::move(label)) {
+    if (parent_ != nullptr) parent_->AddChild(this);
+  }
 
   MemoryTracker(const MemoryTracker&) = delete;
   MemoryTracker& operator=(const MemoryTracker&) = delete;
 
   ~MemoryTracker() {
+    // Unregister first: after this returns no VisitTree walk can reach the
+    // tracker, and a walk already touching it blocks the removal (it holds
+    // the parent's child-list mutex), so members are never read mid-death.
+    if (parent_ != nullptr) parent_->RemoveChild(this);
     // Whatever is still accounted here was forwarded to the parent when it
     // was reserved; hand it back so a destroyed query tracker cannot leak
     // engine-level budget.
@@ -85,7 +99,42 @@ class MemoryTracker {
   MemoryTracker* parent() const { return parent_; }
   const std::string& label() const { return label_; }
 
+  /// Depth-first walk of this tracker and every live descendant, calling
+  /// `fn(tracker, depth)` with depth 0 at this node. Child lists are locked
+  /// parent-before-child while walking (the same order registration uses),
+  /// so walks are deadlock-free and never observe a half-destroyed child;
+  /// trackers created or destroyed concurrently may or may not appear.
+  void VisitTree(
+      const std::function<void(const MemoryTracker&, int)>& fn) const {
+    VisitTreeAtDepth(0, fn);
+  }
+
  private:
+  void VisitTreeAtDepth(
+      int depth,
+      const std::function<void(const MemoryTracker&, int)>& fn) const {
+    fn(*this, depth);
+    std::lock_guard<std::mutex> lock(children_mu_);
+    for (const MemoryTracker* child : children_) {
+      child->VisitTreeAtDepth(depth + 1, fn);
+    }
+  }
+
+  void AddChild(MemoryTracker* child) {
+    std::lock_guard<std::mutex> lock(children_mu_);
+    children_.push_back(child);
+  }
+
+  void RemoveChild(MemoryTracker* child) {
+    std::lock_guard<std::mutex> lock(children_mu_);
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+      if (*it == child) {
+        children_.erase(it);
+        return;
+      }
+    }
+  }
+
   bool TryReserveLocal(uint64_t bytes) {
     uint64_t b = budget();
     uint64_t cur = used_.load(std::memory_order_relaxed);
@@ -128,6 +177,8 @@ class MemoryTracker {
   std::atomic<uint64_t> budget_;
   MemoryTracker* parent_;
   std::string label_;
+  mutable std::mutex children_mu_;
+  std::vector<MemoryTracker*> children_;
 };
 
 /// RAII reservation against one tracker: releases what it holds on

@@ -82,11 +82,42 @@ std::string MetricsRegistry::TextSnapshot() const {
   }
   for (const auto& [name, histogram] : histograms_) {
     os << name << " count=" << histogram->count()
-       << " sum=" << histogram->sum()
-       << " p50=" << histogram->ApproxQuantile(0.5)
-       << " p99=" << histogram->ApproxQuantile(0.99) << "\n";
+       << " sum=" << histogram->sum() << " p50=" << histogram->p50()
+       << " p90=" << histogram->p90() << " p99=" << histogram->p99() << "\n";
   }
   return os.str();
+}
+
+std::vector<MetricSample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricSample s;
+    s.kind = "counter";
+    s.name = name;
+    s.value = static_cast<int64_t>(counter->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample s;
+    s.kind = "gauge";
+    s.name = name;
+    s.value = gauge->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample s;
+    s.kind = "histogram";
+    s.name = name;
+    s.value = static_cast<int64_t>(histogram->count());
+    s.sum = histogram->sum();
+    s.p50 = histogram->p50();
+    s.p90 = histogram->p90();
+    s.p99 = histogram->p99();
+    out.push_back(std::move(s));
+  }
+  return out;
 }
 
 void MetricsRegistry::ResetAll() {

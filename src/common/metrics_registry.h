@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace dynopt {
 
@@ -47,6 +48,9 @@ class Histogram {
   /// Upper bucket bound below which >= `quantile` of samples fall (0 when
   /// empty). Approximate by construction — bucket granularity is 2x.
   uint64_t ApproxQuantile(double quantile) const;
+  uint64_t p50() const { return ApproxQuantile(0.5); }
+  uint64_t p90() const { return ApproxQuantile(0.9); }
+  uint64_t p99() const { return ApproxQuantile(0.99); }
   void Reset();
 
  private:
@@ -55,11 +59,26 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
-/// Process-wide registry of named counters/gauges/histograms. Lookup takes a
-/// lock; the returned pointers are stable for the process lifetime, so hot
-/// call sites can cache them. TextSnapshot() renders one sorted
-/// "name value" line per metric — the endpoint the bench harness writes
-/// next to its JSON records.
+/// One metric rendered to plain values — the row format `sys.metrics`
+/// materializes and benches serialize. `value` is the counter/gauge value
+/// or the histogram sample count; sum/p50/p90/p99 are histogram-only.
+struct MetricSample {
+  std::string kind;  ///< "counter" | "gauge" | "histogram".
+  std::string name;
+  int64_t value = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+};
+
+/// Registry of named counters/gauges/histograms. Each Engine owns one so
+/// metrics stay attributable per engine; Global() is the process-wide
+/// default instance for engine-less contexts. Lookup takes a lock; the
+/// returned pointers are stable for the registry lifetime, so hot call
+/// sites can cache them. TextSnapshot() renders one sorted "name value"
+/// line per metric — the endpoint the bench harness writes next to its
+/// JSON records.
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -69,6 +88,10 @@ class MetricsRegistry {
   Histogram* histogram(const std::string& name);
 
   std::string TextSnapshot() const;
+
+  /// Every registered metric as plain values, counters then gauges then
+  /// histograms, each group sorted by name (the map order).
+  std::vector<MetricSample> Samples() const;
 
   /// Zeroes every registered metric (benches/tests isolate runs with this;
   /// the names stay registered).

@@ -62,12 +62,17 @@ class AdmissionController {
   /// `engine_memory` must outlive the controller (Engine owns both).
   /// `query_reservation_bytes` is reserved per admitted query with no
   /// estimate of its own (0 reserves nothing — slot counting only).
+  /// `metrics_registry` receives the admission counters/gauges; null falls
+  /// back to MetricsRegistry::Global(). Engines pass their own registry.
   AdmissionController(const AdmissionConfig& config,
                       MemoryTracker* engine_memory,
-                      uint64_t query_reservation_bytes)
+                      uint64_t query_reservation_bytes,
+                      MetricsRegistry* metrics_registry = nullptr)
       : config_(config),
         engine_memory_(engine_memory),
-        reservation_bytes_(query_reservation_bytes) {}
+        reservation_bytes_(query_reservation_bytes),
+        registry_(metrics_registry != nullptr ? metrics_registry
+                                              : &MetricsRegistry::Global()) {}
 
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -121,7 +126,7 @@ class AdmissionController {
   /// engine tracker with the (possibly degraded) reservation as its budget.
   Result<Ticket> Admit(QueryContext* ctx) {
     const auto start = Clock::now();
-    auto& registry = MetricsRegistry::Global();
+    auto& registry = *registry_;
     std::unique_lock<std::mutex> lock(mu_);
     if (TotalWaitingLocked() >= config_.max_queue_depth) {
       registry.counter("admission.rejected")->Increment();
@@ -239,9 +244,7 @@ class AdmissionController {
   }
 
   void UpdateDepthGaugeLocked() const {
-    MetricsRegistry::Global()
-        .gauge("admission.queue_depth")
-        ->Set(TotalWaitingLocked());
+    registry_->gauge("admission.queue_depth")->Set(TotalWaitingLocked());
   }
 
   /// Reservation bytes for a fresh waiter: the optimizer's estimate when
@@ -292,7 +295,7 @@ class AdmissionController {
       granted->granted_bytes = bytes;
       granted->reservation = std::move(reservation);
       if (degrade) {
-        auto& registry = MetricsRegistry::Global();
+        auto& registry = *registry_;
         if (granted->reserve_bytes > 0) {
           granted->degrade_memory = true;
           registry.counter("admission.degraded_memory")->Increment();
@@ -411,6 +414,7 @@ class AdmissionController {
   AdmissionConfig config_;
   MemoryTracker* engine_memory_;
   uint64_t reservation_bytes_;
+  MetricsRegistry* registry_;  ///< Engine-owned or Global(); never null.
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -228,6 +228,26 @@ struct SketchConfig {
   uint64_t seed = 0x5eed5eedULL;
 };
 
+/// Introspection-plane knobs (opt/profile_archive.h, src/sys/). Off by
+/// default — no query is archived, no critical path is extracted, no
+/// regression check runs, and EXPLAIN ANALYZE renders byte-for-byte like a
+/// build without the subsystem (pinned by tests/consistency_test). The
+/// `sys.*` virtual tables themselves are installed explicitly
+/// (EnableIntrospection, sys/sys_tables.h) and read whatever state exists.
+struct IntrospectionConfig {
+  /// Archive every completed query's QueryProfile (decision log, metrics,
+  /// span tree) in a bounded ring on the Engine, keyed by a canonical
+  /// query fingerprint, and run the critical-path + plan-regression
+  /// analyses over it.
+  bool enabled = false;
+  /// Completed-query profiles retained (ring buffer; oldest evicted).
+  size_t archive_capacity = 64;
+  /// A query slower than `threshold x` the best archived same-fingerprint
+  /// run is flagged as a plan regression and its decision log diffed
+  /// against that baseline. Must be >= 1.
+  double regression_threshold = 1.5;
+};
+
 /// Query-watchdog knobs (exec/query_watchdog.h). Off by default — no
 /// monitor thread is started and queries are only cancelled by their own
 /// deadline checks, exactly the pre-watchdog behavior.
@@ -333,6 +353,9 @@ struct ClusterConfig {
   ExecOptions exec;
   /// Predicate transfer + join-key sketches (off by default).
   SketchConfig sketch;
+  /// Query profile archive + critical-path / regression analysis (off by
+  /// default; the sys.* catalog reads it when installed).
+  IntrospectionConfig introspection;
 };
 
 /// Structural validation of a ClusterConfig, run when an Engine or
@@ -414,6 +437,20 @@ inline Status ValidateClusterConfig(const ClusterConfig& config) {
         std::to_string(config.sketch.agms_width) +
         "); zero-width rows cannot count anything and oversized rows "
         "out-weigh the statistics they replace");
+  }
+  if (config.introspection.enabled &&
+      config.introspection.archive_capacity < 1) {
+    return Status::InvalidArgument(
+        "ClusterConfig.introspection.archive_capacity must be >= 1 when the "
+        "archive is enabled; a zero-capacity ring could never hold the "
+        "baseline a regression check compares against");
+  }
+  if (config.introspection.regression_threshold < 1.0) {
+    return Status::InvalidArgument(
+        "ClusterConfig.introspection.regression_threshold must be >= 1 "
+        "(got " +
+        std::to_string(config.introspection.regression_threshold) +
+        "); a threshold below 1 would flag faster runs as regressions");
   }
   return Status::OK();
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/memory_tracker.h"
+#include "common/metrics_registry.h"
 #include "common/query_context.h"
 #include "common/retry_budget.h"
 #include "common/thread_pool.h"
@@ -50,8 +51,16 @@ class Engine {
   /// must outlive the executor's jobs.
   JobExecutor MakeExecutor(QueryContext* ctx = nullptr) {
     return JobExecutor(&catalog_, &stats_, &udfs_, cluster_, &pool_,
-                       faults_.get(), ctx, &retry_budget(), &sketches_);
+                       faults_.get(), ctx, &retry_budget(), &sketches_,
+                       &metrics_);
   }
+
+  /// Engine-scoped metrics registry: every executor, admission controller
+  /// and watchdog this engine builds records here, so counters stay
+  /// attributable when multiple engines share a process (sys.metrics reads
+  /// exactly this registry). MetricsRegistry::Global() remains the default
+  /// instance for engine-less contexts.
+  MetricsRegistry& metrics_registry() { return metrics_; }
 
   /// Engine-level memory tracker: the root of the engine -> query ->
   /// operator hierarchy. Its budget mirrors cluster().memory
@@ -76,7 +85,8 @@ class Engine {
   void RearmAdmission() {
     memory_.set_budget(cluster_.memory.engine_budget_bytes);
     admission_ = std::make_unique<AdmissionController>(
-        cluster_.admission, &memory_, cluster_.memory.query_reservation_bytes);
+        cluster_.admission, &memory_, cluster_.memory.query_reservation_bytes,
+        &metrics_);
   }
 
   /// Engine-wide retry-budget token bucket, built lazily from
@@ -105,7 +115,7 @@ class Engine {
   /// (Re)builds the watchdog from the current cluster().watchdog (stopping
   /// any previous monitor thread). All registrations must be gone first.
   void RearmWatchdog() {
-    watchdog_ = std::make_unique<QueryWatchdog>(cluster_.watchdog);
+    watchdog_ = std::make_unique<QueryWatchdog>(cluster_.watchdog, &metrics_);
   }
 
   /// (Re)builds the fault injector from `cluster().fault`, resetting its
@@ -130,6 +140,13 @@ class Engine {
   /// change logic). Guard access with an external lock when queries run
   /// concurrently — EngineErrorStats does.
   std::shared_ptr<void>& opt_state() { return opt_state_; }
+
+  /// Like opt_state(), but owned by the introspection plane: holds the
+  /// query profile archive + active-query registry (see EngineIntrospection
+  /// in opt/profile_archive.h, which owns the slot's type and its locking).
+  /// A separate slot because the error store and the archive have
+  /// independent lifetimes and rebuild triggers.
+  std::shared_ptr<void>& introspection_state() { return introspection_state_; }
 
   /// Armed injector, or nullptr. Recovery policies read its aborted-work
   /// ledger to price restarts.
@@ -156,7 +173,9 @@ class Engine {
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<RetryBudget> retry_budget_;
   std::unique_ptr<QueryWatchdog> watchdog_;
+  MetricsRegistry metrics_;
   std::shared_ptr<void> opt_state_;
+  std::shared_ptr<void> introspection_state_;
 };
 
 }  // namespace dynopt

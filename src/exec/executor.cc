@@ -71,7 +71,8 @@ JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
                          const UdfRegistry* udfs, const ClusterConfig& cluster,
                          ThreadPool* pool, FaultInjector* faults,
                          QueryContext* ctx, RetryBudget* retry_budget,
-                         SketchManager* sketches)
+                         SketchManager* sketches,
+                         MetricsRegistry* metrics_registry)
     : catalog_(catalog),
       stats_(stats),
       udfs_(udfs),
@@ -80,7 +81,9 @@ JobExecutor::JobExecutor(Catalog* catalog, StatsManager* stats,
       faults_(faults),
       ctx_(ctx),
       retry_budget_(retry_budget),
-      sketches_(sketches) {
+      sketches_(sketches),
+      registry_(metrics_registry != nullptr ? metrics_registry
+                                            : &MetricsRegistry::Global()) {
   DYNOPT_CHECK(catalog != nullptr && pool != nullptr);
   // Config validation at construction time — a zero max_batch_size or node
   // count would otherwise fail as an underflow deep inside a kernel.
@@ -152,8 +155,7 @@ Status JobExecutor::ApplyFaults(FaultSite site,
       }
       if (retry_budget_ != nullptr && !retry_budget_->TryAcquire()) {
         faults_->RecordAbortedWork(aborted_work());
-        MetricsRegistry::Global()
-            .counter("exec.retry_budget_denied")
+        registry_->counter("exec.retry_budget_denied")
             ->Increment();
         return Status::ResourceExhausted(
             "engine retry budget exhausted retrying node " +
@@ -195,9 +197,8 @@ Status JobExecutor::ApplyFaults(FaultSite site,
   }
   metrics->num_retries += retries;
   metrics->speculative_executions += speculative;
-  MetricsRegistry::Global().counter("exec.retries")->Increment(retries);
-  MetricsRegistry::Global()
-      .counter("exec.speculative")
+  registry_->counter("exec.retries")->Increment(retries);
+  registry_->counter("exec.speculative")
       ->Increment(speculative);
   return Status::OK();
 }
@@ -238,10 +239,28 @@ void JobExecutor::RecycleShuffleResult(ShuffleResult&& parts) {
   for (auto& hashes : parts.hashes) RecycleHashVec(std::move(hashes));
 }
 
+namespace {
+
+/// True when every leaf of `node` scans a sys.* virtual table. Such jobs
+/// (filters/projects over engine snapshots already in memory) are metered
+/// at zero simulated cost — see the sys-table early-return in ExecScan.
+bool ReadsOnlySystemTables(const PlanNode& node) {
+  if (node.kind == PlanNode::Kind::kScan) {
+    return Catalog::IsSystemName(node.table);
+  }
+  if (node.children.empty()) return false;
+  for (const auto& child : node.children) {
+    if (!ReadsOnlySystemTables(*child)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 Result<JobResult> JobExecutor::Execute(
     const PlanNode& root, const std::map<std::string, Value>& params) {
   TraceSpan span("job", "job");
-  MetricsRegistry::Global().counter("exec.jobs")->Increment();
+  registry_->counter("exec.jobs")->Increment();
   JobResult result;
   result.metrics.num_jobs = 1;
   if (cluster_.exec.use_columnar) {
@@ -256,6 +275,9 @@ Result<JobResult> JobExecutor::Execute(
                             ExecNode(root, params, &result.metrics));
   }
   result.metrics.rows_out = result.data.NumRows();
+  if (ReadsOnlySystemTables(root)) {
+    result.metrics.simulated_seconds = 0;
+  }
   if (ctx_ != nullptr) {
     result.metrics.peak_memory_bytes = std::max(
         result.metrics.peak_memory_bytes, ctx_->memory().peak());
@@ -361,6 +383,12 @@ Result<Dataset> JobExecutor::ExecScan(const PlanNode& node,
   for (size_t p = 0; p < num_parts; ++p) {
     total_bytes += bytes_in[p];
     total_rows += rows_in[p];
+  }
+  if (Catalog::IsSystemName(node.table)) {
+    // sys.* virtual tables materialize engine state that is already in
+    // memory: metered at zero simulated cost so introspection queries
+    // never perturb the cost model a real workload sees.
+    return out;
   }
   metrics->tuples_processed += total_rows;
   double io_seconds;
@@ -1090,11 +1118,9 @@ Result<Dataset> JobExecutor::LocalHashJoin(
     }
     metrics->spilled_bytes += call_spilled_bytes;
     metrics->spill_partitions += call_spill_partitions;
-    MetricsRegistry::Global()
-        .counter("exec.spill_bytes")
+    registry_->counter("exec.spill_bytes")
         ->Increment(call_spilled_bytes);
-    MetricsRegistry::Global()
-        .counter("exec.spill_partitions")
+    registry_->counter("exec.spill_partitions")
         ->Increment(call_spill_partitions);
     metrics->simulated_seconds += max_spill_seconds;
     if (ctx_ != nullptr) {
@@ -1573,6 +1599,12 @@ Result<ColumnarDataset> JobExecutor::ExecScanColumnar(const PlanNode& node,
   for (size_t p = 0; p < num_parts; ++p) {
     total_bytes += bytes_in[p];
     total_rows += rows_in[p];
+  }
+  if (Catalog::IsSystemName(node.table)) {
+    // sys.* virtual tables materialize engine state that is already in
+    // memory: metered at zero simulated cost so introspection queries
+    // never perturb the cost model a real workload sees.
+    return out;
   }
   metrics->tuples_processed += total_rows;
   double io_seconds;
@@ -2319,8 +2351,7 @@ Result<SinkResult> JobExecutor::Materialize(
           break;
         }
         if (retry_budget_ != nullptr && !retry_budget_->TryAcquire()) {
-          MetricsRegistry::Global()
-              .counter("exec.retry_budget_denied")
+          registry_->counter("exec.retry_budget_denied")
               ->Increment();
           st = Status::ResourceExhausted(
               "engine retry budget exhausted re-materializing " + path);
@@ -2353,11 +2384,9 @@ Result<SinkResult> JobExecutor::Materialize(
       }
       metrics->num_retries += call_retries;
       metrics->corrupted_blocks += call_corrupted;
-      MetricsRegistry::Global()
-          .counter("exec.retries")
+      registry_->counter("exec.retries")
           ->Increment(call_retries);
-      MetricsRegistry::Global()
-          .counter("exec.corrupted_blocks")
+      registry_->counter("exec.corrupted_blocks")
           ->Increment(call_corrupted);
       if (extra > 0.0) {
         metrics->simulated_seconds += extra;

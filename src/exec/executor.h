@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/query_context.h"
 #include "common/retry_budget.h"
 #include "common/status.h"
@@ -81,11 +82,15 @@ class JobExecutor {
   /// `sketches` attaches the engine's join-key sketch registry; null (the
   /// default) disables sketch collection and predicate transfer regardless
   /// of the cluster's sketch knobs.
+  /// `metrics_registry` is where counters/gauges/histograms land; null
+  /// (the default) falls back to MetricsRegistry::Global(). Engines pass
+  /// their own registry so metrics stay attributable per engine.
   JobExecutor(Catalog* catalog, StatsManager* stats, const UdfRegistry* udfs,
               const ClusterConfig& cluster, ThreadPool* pool,
               FaultInjector* faults = nullptr, QueryContext* ctx = nullptr,
               RetryBudget* retry_budget = nullptr,
-              SketchManager* sketches = nullptr);
+              SketchManager* sketches = nullptr,
+              MetricsRegistry* metrics_registry = nullptr);
 
   void set_context(QueryContext* ctx) { ctx_ = ctx; }
   QueryContext* context() const { return ctx_; }
@@ -309,6 +314,7 @@ class JobExecutor {
   QueryContext* ctx_ = nullptr;  ///< Caller-owned; may be null (ungoverned).
   RetryBudget* retry_budget_ = nullptr;  ///< Engine-owned; may be null.
   SketchManager* sketches_ = nullptr;  ///< Engine-owned; may be null (no PT).
+  MetricsRegistry* registry_;  ///< Engine-owned or Global(); never null.
 
   /// Process-wide serial for spill-file names: two executors (or two joins
   /// of one query) can spill concurrently into the same directory without

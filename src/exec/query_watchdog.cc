@@ -8,7 +8,11 @@
 
 namespace dynopt {
 
-QueryWatchdog::QueryWatchdog(const WatchdogConfig& config) : config_(config) {
+QueryWatchdog::QueryWatchdog(const WatchdogConfig& config,
+                             MetricsRegistry* metrics_registry)
+    : config_(config),
+      registry_(metrics_registry != nullptr ? metrics_registry
+                                            : &MetricsRegistry::Global()) {
   if (config_.enabled) {
     monitor_ = std::thread([this] { MonitorLoop(); });
   }
@@ -63,7 +67,7 @@ void QueryWatchdog::MonitorLoop() {
 }
 
 void QueryWatchdog::SweepLocked() {
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = *registry_;
   for (QueryContext* ctx : watched_) {
     if (ctx->cancelled()) continue;  // Already going down.
     if (ctx->has_deadline() && ctx->deadline_expired()) {

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics_registry.h"
 #include "common/query_context.h"
 #include "exec/cluster.h"
 
@@ -32,7 +33,10 @@ namespace dynopt {
 /// deadline) so polling never blocks query progress.
 class QueryWatchdog {
  public:
-  explicit QueryWatchdog(const WatchdogConfig& config);
+  /// `metrics_registry` receives the watchdog kill counters; null falls
+  /// back to MetricsRegistry::Global().
+  explicit QueryWatchdog(const WatchdogConfig& config,
+                         MetricsRegistry* metrics_registry = nullptr);
   ~QueryWatchdog();
 
   QueryWatchdog(const QueryWatchdog&) = delete;
@@ -55,6 +59,7 @@ class QueryWatchdog {
   void SweepLocked();
 
   const WatchdogConfig config_;
+  MetricsRegistry* registry_;  ///< Engine-owned or Global(); never null.
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<QueryContext*> watched_;

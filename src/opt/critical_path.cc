@@ -1,0 +1,112 @@
+#include "opt/critical_path.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace dynopt {
+
+namespace {
+
+struct SpanNode {
+  const TraceEvent* event = nullptr;
+  double own_sim = -1;  // parsed "sim_seconds" arg; <0 when absent
+  std::vector<size_t> children;
+};
+
+double ParseSimSeconds(const TraceEvent& e) {
+  for (const auto& [key, value] : e.args) {
+    if (key == "sim_seconds") {
+      // Args are pre-encoded JSON fragments; numbers are bare.
+      return std::strtod(value.c_str(), nullptr);
+    }
+  }
+  return -1;
+}
+
+std::string FormatSeconds(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fs", s);
+  return buf;
+}
+
+/// Weight of node `i`: its own sim_seconds when metered, else the sum of
+/// its children's weights (stage spans aggregate the jobs under them).
+double Weight(const std::vector<SpanNode>& nodes, size_t i) {
+  if (nodes[i].own_sim >= 0) return nodes[i].own_sim;
+  double sum = 0;
+  for (size_t c : nodes[i].children) sum += Weight(nodes, c);
+  return sum;
+}
+
+}  // namespace
+
+std::string CriticalPath(const std::vector<TraceEvent>& events) {
+  if (events.empty()) return "";
+  std::vector<SpanNode> nodes(events.size());
+  std::vector<size_t> roots;
+  // Events arrive sorted by start_ns (Tracer::Drain's contract). Parent of
+  // a span = the most recently started span on the same thread, one depth
+  // level up, whose interval contains it.
+  // open_by_tid_depth[tid][depth] = index of that candidate.
+  std::vector<std::vector<long>> open(1);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    nodes[i].event = &e;
+    nodes[i].own_sim = ParseSimSeconds(e);
+    if (e.tid >= open.size()) open.resize(e.tid + 1);
+    auto& stack = open[e.tid];
+    if (e.depth >= static_cast<int>(stack.size())) {
+      stack.resize(static_cast<size_t>(e.depth) + 1, -1);
+    }
+    stack[static_cast<size_t>(e.depth)] = static_cast<long>(i);
+    long parent = -1;
+    if (e.depth > 0) {
+      const long cand = stack[static_cast<size_t>(e.depth) - 1];
+      if (cand >= 0) {
+        const TraceEvent& p = events[static_cast<size_t>(cand)];
+        if (p.start_ns <= e.start_ns &&
+            e.start_ns + e.dur_ns <= p.start_ns + p.dur_ns) {
+          parent = cand;
+        }
+      }
+    }
+    if (parent >= 0) {
+      nodes[static_cast<size_t>(parent)].children.push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  // Heaviest root, then descend the heaviest child while weight remains.
+  size_t best = 0;
+  double best_w = -1;
+  for (size_t r : roots) {
+    const double w = Weight(nodes, r);
+    if (w > best_w) {
+      best_w = w;
+      best = r;
+    }
+  }
+  if (best_w <= 0) return "";
+  std::string path;
+  size_t cur = best;
+  while (true) {
+    if (!path.empty()) path += " -> ";
+    path += nodes[cur].event->name;
+    path += " (" + FormatSeconds(Weight(nodes, cur)) + ")";
+    size_t next = cur;
+    double next_w = 0;
+    for (size_t c : nodes[cur].children) {
+      const double w = Weight(nodes, c);
+      if (w > next_w) {
+        next_w = w;
+        next = c;
+      }
+    }
+    if (next == cur || next_w <= 0) break;
+    cur = next;
+  }
+  return path;
+}
+
+}  // namespace dynopt

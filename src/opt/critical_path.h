@@ -1,0 +1,26 @@
+#ifndef DYNOPT_OPT_CRITICAL_PATH_H_
+#define DYNOPT_OPT_CRITICAL_PATH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/tracer.h"
+
+namespace dynopt {
+
+/// Extracts the dominant simulated-time chain from a drained span timeline:
+/// rebuilds the span forest (per-thread, by depth and interval containment),
+/// weights each node by its "sim_seconds" arg — falling back to the sum of
+/// its children for spans that carry no metering of their own, like the
+/// pushdown/reopt stage spans — and walks from the heaviest root down the
+/// heaviest child at every level.
+///
+/// Returns e.g. "query:dynamic (1.84s) -> reopt-1 (1.10s) -> job (1.10s)",
+/// or "" when `events` is empty or no span carries simulated time (tracing
+/// off, or a zero-cost query). Kernel spans carry no sim_seconds, so the
+/// chain naturally ends at job granularity.
+std::string CriticalPath(const std::vector<TraceEvent>& events);
+
+}  // namespace dynopt
+
+#endif  // DYNOPT_OPT_CRITICAL_PATH_H_

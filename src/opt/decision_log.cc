@@ -45,6 +45,9 @@ std::string PlanDecision::ToString() const {
   os << "#" << id << " " << point << ": " << chosen;
   if (estimated_rows >= 0) os << " est_rows=" << FormatRows(estimated_rows);
   if (!provenance.empty()) os << " est_src=" << provenance;
+  if (!prior_key.empty()) {
+    os << " prior=" << prior_key << "x" << FormatQError(prior_factor);
+  }
   if (has_actual()) {
     os << " actual_rows=" << FormatRows(actual_rows)
        << " q_error=" << FormatQError(QError());
@@ -112,7 +115,7 @@ std::string SubtreeKey(const std::set<std::string>& aliases) {
 }
 
 void FinalizeProfile(QueryProfile* profile, ExecMetrics* metrics,
-                     TraceSpan* query_span) {
+                     TraceSpan* query_span, MetricsRegistry* reg) {
   DYNOPT_CHECK(profile != nullptr && metrics != nullptr);
   metrics->max_q_error = profile->decisions.MaxQError();
   metrics->num_decisions = profile->decisions.decisions().size();
@@ -120,7 +123,7 @@ void FinalizeProfile(QueryProfile* profile, ExecMetrics* metrics,
   // per-decision q-errors (bucket 1 = spot-on, each doubling one bucket
   // up) so operators can watch the error distribution across queries, not
   // just the per-query max that survives in ExecMetrics.
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = reg != nullptr ? *reg : MetricsRegistry::Global();
   Histogram* q_hist = registry.histogram("opt.q_error");
   uint64_t with_actuals = 0;
   for (const auto& d : profile->decisions.decisions()) {

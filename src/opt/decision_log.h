@@ -41,6 +41,13 @@ struct PlanDecision {
   /// a sketch-enabled planner), or empty (historical stats-only path —
   /// keeps pre-sketch renderings byte-identical).
   std::string provenance;
+  /// ErrorStatsStore prior consumed while planning this decision: the store
+  /// key of the dominant widening factor and the factor itself. Empty/1.0
+  /// when no prior was in play (the default — keeps pre-prior renderings
+  /// byte-identical). Rendered as "prior=<key>x<factor>" and used by the
+  /// plan-regression detector to name the prior that drove a divergence.
+  std::string prior_key;
+  double prior_factor = 1.0;
   std::vector<PlanAlternative> rejected;
 
   bool has_actual() const { return actual_rows >= 0; }
@@ -87,14 +94,26 @@ struct QueryProfile {
   std::map<std::string, uint64_t> subtree_actual_rows;
   ExecMetrics metrics;
   std::vector<TraceEvent> trace;
+  /// Introspection-plane annotations, filled by IntrospectionRun::Complete
+  /// (opt/profile_archive.h) and empty when introspection is off — the
+  /// ExplainAnalyze sections they feed only render when non-empty, keeping
+  /// the default output byte-identical.
+  std::string fingerprint;      ///< canonical QuerySpec fingerprint (hex)
+  std::string critical_path;    ///< dominant sim-seconds span chain
+  std::string regression_note;  ///< non-empty when a plan regression fired
 };
+
+class MetricsRegistry;
 
 /// Standard optimizer epilogue: folds the decision log into
 /// `metrics->max_q_error`/`num_decisions`, snapshots `*metrics` into the
 /// profile, ends `query_span` annotated with simulated seconds, and drains
 /// the tracer timeline into the profile when tracing is enabled.
+/// `registry` receives the estimation-quality telemetry; null falls back
+/// to MetricsRegistry::Global().
 void FinalizeProfile(QueryProfile* profile, ExecMetrics* metrics,
-                     TraceSpan* query_span);
+                     TraceSpan* query_span,
+                     MetricsRegistry* registry = nullptr);
 
 }  // namespace dynopt
 

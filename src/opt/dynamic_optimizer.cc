@@ -9,6 +9,7 @@
 #include "opt/error_stats.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
+#include "opt/profile_archive.h"
 #include "opt/reconstruction.h"
 #include "opt/static_optimizer.h"
 #include "plan/analysis.h"
@@ -138,6 +139,10 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     DynamicCheckpoint state) {
   const auto start = std::chrono::steady_clock::now();
   last_checkpoint_.reset();
+  // Fingerprints state.spec before push-down rewrites it, so a resumed run
+  // keeps the fingerprint of the original query (via spec.base_tables).
+  IntrospectionRun introspection(engine_, state.spec, options_.profile_label,
+                                 ctx_);
   TraceSpan query_span("query:" + options_.profile_label, "query");
   JobExecutor executor = engine_->MakeExecutor(ctx_);
   std::ostringstream trace;
@@ -215,6 +220,14 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       if (ref.is_intermediate) continue;
       double& f = risk.alias_factors[ref.alias];
       f = std::max(f, observed);
+    }
+  };
+  // Stamps the dominant consumed prior onto a decision planned under the
+  // current risk, so EXPLAIN can name the prior that shaped the plan.
+  auto stamp_prior = [&](PlanDecision* d) {
+    if (err_store != nullptr && risk.prior_factor > 1.0) {
+      d->prior_key = risk.prior_key;
+      d->prior_factor = risk.prior_factor;
     }
   };
   // Base-table names for a subtree's alias set (store keys must outlive
@@ -324,7 +337,8 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     profile->optimizer = options_.profile_label;
     profile->decisions = state.decisions;
     profile->subtree_actual_rows = state.subtree_actual_rows;
-    FinalizeProfile(profile.get(), &result.metrics, &query_span);
+    FinalizeProfile(profile.get(), &result.metrics, &query_span,
+                    &engine_->metrics_registry());
     result.profile = std::move(profile);
     // Persist what this query taught the error memory; a failed save only
     // costs the lesson, never the query.
@@ -333,6 +347,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    introspection.Complete(&result);
     return result;
   };
 
@@ -361,6 +376,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     decision.chosen = tree->ToString();
     decision.estimated_rows = dp_rows;
     decision.estimated_cost = dp_cost;
+    stamp_prior(&decision);
     decision.actual_rows = static_cast<double>(job.data.NumRows());
     if (err_store != nullptr) {
       err_store->Record(
@@ -465,6 +481,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     PlanDecision decision;
     decision.point = "reopt-" + std::to_string(round);
     decision.chosen = planned.ToString();
+    stamp_prior(&decision);
     decision.method = planned.method;
     decision.build_alias = planned.build_alias;
     decision.estimated_rows = planned.estimated_cardinality;
@@ -487,7 +504,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
       // and re-earns it, so it is neither lost nor double-counted.
       ++state.extra_reopts;
       state.metrics.error_reopt_triggers += 1;
-      MetricsRegistry::Global()
+      engine_->metrics_registry()
           .counter("opt.error_reopt_triggers")
           ->Increment();
     }
@@ -532,6 +549,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     PlanDecision inner;
     inner.point = "final-inner";
     inner.chosen = final_steps[0].ToString();
+    stamp_prior(&inner);
     inner.method = final_steps[0].method;
     inner.build_alias = final_steps[0].build_alias;
     inner.estimated_rows = final_steps[0].estimated_cardinality;
@@ -544,6 +562,7 @@ Result<OptimizerRunResult> DynamicOptimizer::RunFromState(
     PlanDecision decision;
     decision.point = "final";
     decision.chosen = final_tree->ToString();
+    stamp_prior(&decision);
     if (!final_steps.empty()) {
       const PlannedJoin& last = final_steps.back();
       decision.method = last.method;

@@ -78,6 +78,12 @@ ErrorStatsEntry ErrorStatsStore::Get(const std::string& key) const {
   return it != entries_.end() ? it->second : ErrorStatsEntry();
 }
 
+std::vector<std::pair<std::string, ErrorStatsEntry>> ErrorStatsStore::Entries()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {entries_.begin(), entries_.end()};
+}
+
 Status ErrorStatsStore::Load() {
   if (path_.empty()) return Status::OK();
   std::ifstream in(path_);
@@ -270,17 +276,37 @@ SelectivityRisk PriorRisk(const QuerySpec& spec, const ErrorStatsStore* store,
                           double cap) {
   SelectivityRisk risk;
   if (store == nullptr) return risk;
+  auto note_prior = [&risk](const std::string& key, double factor) {
+    if (factor > risk.prior_factor) {
+      risk.prior_factor = factor;
+      risk.prior_key = key;
+    }
+  };
   std::vector<std::string> bases;
   for (const auto& ref : spec.tables) {
-    if (ref.is_intermediate) continue;  // Exact counts, nothing to widen.
+    if (ref.is_intermediate) {
+      // Exact counts, nothing to widen per alias — but the intermediate
+      // still stands in for its base table in the join-level key, so a
+      // mid-query (post-pushdown) lookup matches the key a completed run
+      // recorded.
+      auto it = spec.base_tables.find(ref.alias);
+      if (it != spec.base_tables.end()) bases.push_back(it->second);
+      continue;
+    }
     bases.push_back(ref.table);
-    const double f = store->PriorFactor(
-        TableErrorKey(ref.table, spec.PredicatesFor(ref.alias)), cap);
-    if (f > 1.0) risk.alias_factors[ref.alias] = f;
+    const std::string key =
+        TableErrorKey(ref.table, spec.PredicatesFor(ref.alias));
+    const double f = store->PriorFactor(key, cap);
+    if (f > 1.0) {
+      risk.alias_factors[ref.alias] = f;
+      note_prior(key, f);
+    }
   }
   if (!bases.empty()) {
-    risk.global_factor = std::max(
-        risk.global_factor, store->PriorFactor(JoinErrorKey(bases), cap));
+    const std::string key = JoinErrorKey(bases);
+    const double f = store->PriorFactor(key, cap);
+    risk.global_factor = std::max(risk.global_factor, f);
+    if (f > 1.0) note_prior(key, f);
   }
   return risk;
 }

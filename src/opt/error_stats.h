@@ -73,6 +73,9 @@ class ErrorStatsStore {
   uint64_t DroppedKeys() const;
   /// Snapshot of one entry; count == 0 when the key is unknown.
   ErrorStatsEntry Get(const std::string& key) const;
+  /// Snapshot of every (key, entry) pair, sorted by key — the rows
+  /// `sys.error_stats` materializes.
+  std::vector<std::pair<std::string, ErrorStatsEntry>> Entries() const;
 
   const std::string& path() const { return path_; }
 

@@ -211,6 +211,15 @@ Result<std::string> ExplainAnalyze(Engine* engine, const QuerySpec& query,
         << "B pt_pruned_rows=" << m.pt_pruned_rows
         << " pt_pruned=" << m.pt_pruned_bytes << "B\n";
   }
+  // Introspection-plane sections, only when IntrospectionRun filled them
+  // (introspection.enabled + tracing/archive produced something): default
+  // runs leave these empty and the historical rendering byte-identical.
+  if (!profile.critical_path.empty()) {
+    out << "-- critical path --\n" << profile.critical_path << "\n";
+  }
+  if (!profile.regression_note.empty()) {
+    out << "-- regression --\n" << profile.regression_note << "\n";
+  }
   return out.str();
 }
 

@@ -10,6 +10,29 @@
 
 namespace dynopt {
 
+namespace {
+
+/// A join-less query has exactly one order, so both baselines run the bare
+/// scan. Keeps single-table queries — notably `SELECT * FROM sys.*`
+/// introspection scans — working under every strategy.
+Result<OptimizerRunResult> RunSingleTable(Engine* engine,
+                                          const QuerySpec& spec,
+                                          const std::string& optimizer,
+                                          QueryContext* ctx) {
+  auto tree = JoinTree::Leaf(spec.tables[0].alias);
+  auto profile = std::make_shared<QueryProfile>();
+  profile->optimizer = optimizer;
+  PlanDecision decision;
+  decision.point = "single-table";
+  decision.chosen = tree->ToString();
+  int decision_id = profile->decisions.Record(std::move(decision));
+  return ExecuteTreeAsSingleJob(
+      engine, spec, tree, "[" + optimizer + "] plan: " + tree->ToString() + "\n",
+      ctx, std::move(profile), decision_id);
+}
+
+}  // namespace
+
 WorstOrderOptimizer::WorstOrderOptimizer(Engine* engine,
                                          const PlannerOptions& options)
     : engine_(engine), options_(options) {}
@@ -18,10 +41,10 @@ Result<OptimizerRunResult> WorstOrderOptimizer::Run(const QuerySpec& query) {
   QuerySpec spec = query;
   spec.NormalizeJoins();
   DYNOPT_RETURN_IF_ERROR(spec.Validate());
-  if (spec.tables.size() < 2) {
-    return Status::InvalidArgument("worst-order needs at least one join");
-  }
   DYNOPT_RETURN_IF_ERROR(CheckContext());
+  if (spec.tables.size() < 2) {
+    return RunSingleTable(engine_, spec, name(), ctx_);
+  }
   StatsView view(&spec, &engine_->stats(), &engine_->catalog());
   CardinalityEstimator estimator(&view, options_.estimation);
 
@@ -97,6 +120,9 @@ Result<OptimizerRunResult> BestOrderOptimizer::Run(const QuerySpec& query) {
   QuerySpec spec = query;
   spec.NormalizeJoins();
   DYNOPT_RETURN_IF_ERROR(spec.Validate());
+  if (spec.tables.size() < 2) {
+    return RunSingleTable(engine_, spec, name(), ctx_);
+  }
   if (hint_ == nullptr) {
     return Status::InvalidArgument(
         "best-order requires a join-tree hint (run the dynamic optimizer "

@@ -8,6 +8,7 @@
 #include "opt/error_stats.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
+#include "opt/profile_archive.h"
 #include "opt/reconstruction.h"
 #include "opt/static_execution.h"
 #include "opt/static_optimizer.h"
@@ -56,6 +57,9 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   TraceSpan query_span("query:" + name(), "query");
   auto profile = std::make_shared<QueryProfile>();
   profile->optimizer = name();
+  // The <=1-join path below delegates to ExecuteTreeAsSingleJob, whose own
+  // guard archives the run; this one then only unregisters (same query id).
+  IntrospectionRun introspection(engine_, spec, name(), ctx_);
 
   // ---- Stage 1: pilot runs over samples of every base dataset -----------
   std::map<std::string, TableStats> overrides;
@@ -186,6 +190,10 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   initial_decision.chosen = initial_tree->ToString();
   initial_decision.estimated_rows = initial_rows;
   initial_decision.estimated_cost = initial_cost;
+  if (err_store != nullptr && prior_risk.prior_factor > 1.0) {
+    initial_decision.prior_key = prior_risk.prior_key;
+    initial_decision.prior_factor = prior_risk.prior_factor;
+  }
   const int initial_id =
       profile->decisions.Record(std::move(initial_decision));
 
@@ -371,6 +379,10 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
   rest_decision.chosen = rest_tree->ToString();
   rest_decision.estimated_rows = rest_rows;
   rest_decision.estimated_cost = rest_cost;
+  if (err_store != nullptr && rest_risk.prior_factor > 1.0) {
+    rest_decision.prior_key = rest_risk.prior_key;
+    rest_decision.prior_factor = rest_risk.prior_factor;
+  }
   const int rest_id = profile->decisions.Record(std::move(rest_decision));
   TraceSpan rest_span("final", "stage");
   DYNOPT_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> rest_plan,
@@ -411,12 +423,14 @@ Result<OptimizerRunResult> PilotRunOptimizer::Run(const QuerySpec& query) {
       ApplyPostProcessing(spec, cluster, &result));
   result.join_tree = ReplaceSubtree(rest_tree, new_alias, step_tree);
   result.plan_trace = trace.str();
-  FinalizeProfile(profile.get(), &result.metrics, &query_span);
+  FinalizeProfile(profile.get(), &result.metrics, &query_span,
+                  &engine_->metrics_registry());
   result.profile = std::move(profile);
 
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  introspection.Complete(&result);
   return result;
 }
 

@@ -31,6 +31,13 @@ struct SelectivityRisk {
   /// Per-alias input widening (keyed by query alias); absent alias = 1.
   /// Intermediates have exact counts, so they normally carry no entry.
   std::map<std::string, double> alias_factors;
+  /// Provenance of the dominant cross-query prior behind this risk: the
+  /// ErrorStatsStore key whose factor was largest and that factor, filled
+  /// by PriorRisk() (empty/1.0 for feedback-only or neutral risks). Copied
+  /// onto the decisions planned under this risk so EXPLAIN can name the
+  /// prior that shaped a plan ("prior=<key>x<factor>").
+  std::string prior_key;
+  double prior_factor = 1.0;
 
   double FactorFor(const std::string& alias) const {
     auto it = alias_factors.find(alias);

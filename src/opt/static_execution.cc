@@ -5,6 +5,7 @@
 #include "common/tracer.h"
 #include "opt/finalize.h"
 #include "opt/plan_builder.h"
+#include "opt/profile_archive.h"
 
 namespace dynopt {
 
@@ -18,6 +19,7 @@ Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
     DYNOPT_RETURN_IF_ERROR(ctx->CheckAlive());
   }
   if (profile == nullptr) profile = std::make_shared<QueryProfile>();
+  IntrospectionRun introspection(engine, spec, profile->optimizer, ctx);
   TraceSpan query_span("query:" + (profile->optimizer.empty()
                                        ? std::string("static")
                                        : profile->optimizer),
@@ -40,11 +42,13 @@ Result<OptimizerRunResult> ExecuteTreeAsSingleJob(
       ApplyPostProcessing(spec, engine->cluster(), &result));
   result.join_tree = std::move(tree);
   result.plan_trace = std::move(plan_trace);
-  FinalizeProfile(profile.get(), &result.metrics, &query_span);
+  FinalizeProfile(profile.get(), &result.metrics, &query_span,
+                  &engine->metrics_registry());
   result.profile = std::move(profile);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  introspection.Complete(&result);
   return result;
 }
 

@@ -285,6 +285,10 @@ Result<OptimizerRunResult> StaticCostBasedOptimizer::Run(
   decision.chosen = tree->ToString();
   decision.estimated_rows = est_rows;
   decision.estimated_cost = est_cost;
+  if (err_store != nullptr && risk.prior_factor > 1.0) {
+    decision.prior_key = risk.prior_key;
+    decision.prior_factor = risk.prior_factor;
+  }
   int decision_id = profile->decisions.Record(std::move(decision));
   auto result = ExecuteTreeAsSingleJob(engine_, spec, std::move(tree),
                                        std::move(trace), ctx_,

@@ -167,6 +167,20 @@ Result<QuerySpec> BindSelect(const SelectStatement& stmt,
     if (item.is_aggregate) has_aggregates = true;
   }
   for (const auto& item : stmt.select_list) {
+    if (item.is_star) {
+      if (has_aggregates || !stmt.group_by.empty()) {
+        return Status::BindError(
+            "SELECT * cannot be combined with aggregates or GROUP BY");
+      }
+      // Every column of every FROM entry, in declaration order.
+      for (size_t i = 0; i < stmt.from.size(); ++i) {
+        const Schema& schema = tables[i]->schema();
+        for (const auto& field : schema.fields()) {
+          add_projection(stmt.from[i].alias + "." + field.name);
+        }
+      }
+      continue;
+    }
     DYNOPT_ASSIGN_OR_RETURN(ExprPtr qualified,
                             Qualify(item.column, scope, &param_names));
     std::string name =

@@ -119,6 +119,12 @@ class Parser {
     std::vector<SelectStatement::SelectItem> list;
     do {
       SelectStatement::SelectItem item;
+      if (Peek().type == TokenType::kStar) {
+        Advance();
+        item.is_star = true;
+        list.push_back(std::move(item));
+        continue;
+      }
       if (PeekAggregateKeyword()) {
         item.is_aggregate = true;
         item.agg_fn = Advance().text;
@@ -142,11 +148,23 @@ class Parser {
       }
       SelectStatement::FromItem item;
       item.table = Advance().text;
+      // Dotted name ("sys.metrics"): the catalog name keeps the dot; the
+      // default alias is the last segment so column references stay
+      // single-dot ("metrics.name").
+      std::string default_alias = item.table;
+      if (Match(TokenType::kDot)) {
+        if (Peek().type != TokenType::kIdentifier) {
+          return Status::ParseError("expected name after '" + item.table +
+                                    ".'");
+        }
+        default_alias = Advance().text;
+        item.table += "." + default_alias;
+      }
       MatchKeyword("AS");
       if (Peek().type == TokenType::kIdentifier) {
         item.alias = Advance().text;
       } else {
-        item.alias = item.table;
+        item.alias = default_alias;
       }
       from.push_back(std::move(item));
     } while (Match(TokenType::kComma));

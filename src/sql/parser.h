@@ -18,11 +18,14 @@ struct SelectStatement {
     std::string alias;  ///< Defaults to the table name.
   };
 
-  /// One SELECT-list entry: a plain column or an aggregate over one.
+  /// One SELECT-list entry: a plain column, an aggregate over one, or the
+  /// `*` wildcard (expanded by the binder to every column of every FROM
+  /// entry, in declaration order).
   struct SelectItem {
     bool is_aggregate = false;
+    bool is_star = false;
     std::string agg_fn;  ///< COUNT/SUM/MIN/MAX/AVG when is_aggregate.
-    ExprPtr column;      ///< Always a ColumnRefExpr.
+    ExprPtr column;      ///< Always a ColumnRefExpr; null when is_star.
   };
 
   struct OrderItem {
@@ -39,7 +42,7 @@ struct SelectStatement {
 };
 
 /// Parses the dialect the paper's queries need:
-///   SELECT [agg(]col[)][, ...] FROM table [AS] alias[, ...]
+///   SELECT */[agg(]col[)][, ...] FROM table[.part] [AS] alias[, ...]
 ///   [WHERE conjunct AND ...] [GROUP BY col, ...]
 ///   [ORDER BY col [ASC|DESC], ...] [LIMIT n]
 /// Conjuncts: comparisons (= != <> < <= > >=), BETWEEN ... AND ...,

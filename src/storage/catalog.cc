@@ -14,17 +14,36 @@ Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
 
 Result<std::shared_ptr<Table>> Catalog::GetTable(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = tables_.find(name);
-  if (it == tables_.end()) {
-    return Status::NotFound("table " + name + " not in catalog");
+  std::shared_ptr<const SystemTableProvider> provider;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(name);
+    if (it != tables_.end()) return it->second;
+    provider = sys_provider_;
   }
-  return it->second;
+  // Materialize outside the catalog lock: providers read live engine state
+  // and may themselves take locks that running queries hold while touching
+  // the catalog.
+  if (IsSystemName(name) && provider != nullptr && provider->Handles(name)) {
+    return provider->Materialize(name);
+  }
+  return Status::NotFound("table " + name + " not in catalog");
 }
 
 bool Catalog::HasTable(const std::string& name) const {
+  std::shared_ptr<const SystemTableProvider> provider;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (tables_.count(name) > 0) return true;
+    provider = sys_provider_;
+  }
+  return IsSystemName(name) && provider != nullptr && provider->Handles(name);
+}
+
+void Catalog::SetSystemTableProvider(
+    std::shared_ptr<const SystemTableProvider> p) {
   std::lock_guard<std::mutex> lock(mu_);
-  return tables_.count(name) > 0;
+  sys_provider_ = std::move(p);
 }
 
 Status Catalog::DropTable(const std::string& name) {
@@ -63,10 +82,17 @@ std::vector<std::string> Catalog::DropTempTablesWithPrefix(
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const SystemTableProvider> provider;
   std::vector<std::string> names;
-  names.reserve(tables_.size());
-  for (const auto& [name, _] : tables_) names.push_back(name);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    names.reserve(tables_.size());
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    provider = sys_provider_;
+  }
+  if (provider != nullptr) {
+    for (auto& name : provider->Names()) names.push_back(std::move(name));
+  }
   return names;
 }
 

@@ -13,6 +13,25 @@
 
 namespace dynopt {
 
+/// Resolver for virtual system tables ("sys.*"): the catalog consults it
+/// when a lookup misses and the name is a system name, so `SELECT * FROM
+/// sys.queries` scans an ordinary `Table` materialized on demand from live
+/// engine state. Implementations must be thread-safe — binder and executor
+/// may materialize concurrently with running queries — and must return a
+/// *fresh snapshot* table per call (the caller may hold it across the
+/// provider's state changing underneath).
+class SystemTableProvider {
+ public:
+  virtual ~SystemTableProvider() = default;
+  /// True when this provider can materialize `name`.
+  virtual bool Handles(const std::string& name) const = 0;
+  /// Builds a snapshot Table for `name` (NotFound when unhandled).
+  virtual Result<std::shared_ptr<Table>> Materialize(
+      const std::string& name) const = 0;
+  /// Every name this provider handles (for TableNames / \tables).
+  virtual std::vector<std::string> Names() const = 0;
+};
+
 /// Name -> table registry for base datasets and the temporary datasets the
 /// dynamic optimizer materializes at each re-optimization point. Temp
 /// tables get unique generated names ("__tmp_<prefix>_<n>") so concurrent
@@ -25,6 +44,19 @@ class Catalog {
   Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
   bool HasTable(const std::string& name) const;
   Status DropTable(const std::string& name);
+
+  /// Installs (or clears, with nullptr) the virtual-table resolver; the
+  /// provider must outlive the catalog or the next SetSystemTableProvider
+  /// call. GetTable/HasTable consult it for "sys."-prefixed names that are
+  /// not registered; TableNames() appends its names.
+  void SetSystemTableProvider(std::shared_ptr<const SystemTableProvider> p);
+
+  /// True for virtual-system-table names ("sys."-prefixed). Scans of these
+  /// are metered at zero simulated cost (they read engine introspection
+  /// state, not simulated cluster data).
+  static bool IsSystemName(const std::string& name) {
+    return name.rfind("sys.", 0) == 0;
+  }
 
   /// Generates a fresh name for an intermediate-result table.
   std::string UniqueTempName(const std::string& prefix);
@@ -45,6 +77,7 @@ class Catalog {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::shared_ptr<Table>> tables_;
+  std::shared_ptr<const SystemTableProvider> sys_provider_;
   std::atomic<uint64_t> temp_counter_{0};
 };
 

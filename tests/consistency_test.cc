@@ -25,6 +25,7 @@
 #include "opt/pilot_run_optimizer.h"
 #include "opt/sketch_optimizer.h"
 #include "opt/static_optimizer.h"
+#include "sys/system_tables.h"
 
 namespace dynopt {
 namespace {
@@ -274,6 +275,79 @@ TEST_F(DegenerateInputTest, PredicateTransferOffIsByteIdentical) {
 
   auto tweaked_engine = std::make_unique<Engine>();
   tweaked_engine->mutable_cluster().sketch.pt_bits_per_key = 16.0;
+  LoadTables(tweaked_engine.get());
+  std::vector<StrategyRun> tweaked;
+  run_all(tweaked_engine.get(), &tweaked);
+  if (HasFailure()) return;
+
+  ASSERT_EQ(defaults.size(), 7u);
+  ASSERT_EQ(tweaked.size(), defaults.size());
+  for (size_t i = 0; i < defaults.size(); ++i) {
+    EXPECT_EQ(defaults[i].name, tweaked[i].name);
+    EXPECT_EQ(defaults[i].rows, tweaked[i].rows) << defaults[i].name;
+    EXPECT_EQ(defaults[i].metered, tweaked[i].metered) << defaults[i].name;
+    EXPECT_EQ(defaults[i].explained, tweaked[i].explained)
+        << defaults[i].name;
+  }
+}
+
+// With introspection.enabled=false (the default), installing the sys.*
+// catalog provider and tweaking the archive knobs must not change a single
+// metered byte or EXPLAIN ANALYZE character for any of the seven
+// strategies: the introspection plane observes, it never participates.
+TEST_F(DegenerateInputTest, IntrospectionOffIsByteIdentical) {
+  QuerySpec spec = ChainQuery();
+  spec.predicates.push_back(
+      {"x", Cmp(CompareOp::kLt, Col("x", "v"), Lit(Value(5)))});
+  spec.predicates.push_back(
+      {"x", Cmp(CompareOp::kGt, Col("x", "v"), Lit(Value(0)))});
+
+  struct StrategyRun {
+    std::string name;
+    size_t rows;
+    std::string metered;
+    std::string explained;
+  };
+  auto run_all = [&](Engine* engine, std::vector<StrategyRun>* out_runs) {
+    std::vector<StrategyRun>& out = *out_runs;
+    auto record = [&](Optimizer* opt) {
+      auto result = opt->Run(spec);
+      ASSERT_TRUE(result.ok()) << opt->name() << ": "
+                               << result.status().ToString();
+      auto explained = ExplainAnalyze(engine, spec, *result);
+      ASSERT_TRUE(explained.ok()) << explained.status().ToString();
+      out.push_back({opt->name(), result->rows.size(),
+                     MeteredString(result->metrics), explained.value()});
+    };
+    DynamicOptimizer dynamic(engine);
+    record(&dynamic);
+    auto hint = dynamic.Run(spec);
+    ASSERT_TRUE(hint.ok());
+    ASSERT_NE(hint->join_tree, nullptr);
+    BestOrderOptimizer best(engine, hint->join_tree);
+    record(&best);
+    StaticCostBasedOptimizer cost_based(engine);
+    record(&cost_based);
+    PilotRunOptimizer pilot(engine);
+    record(&pilot);
+    IngresLikeOptimizer ingres(engine);
+    record(&ingres);
+    WorstOrderOptimizer worst(engine);
+    record(&worst);
+    SketchDynamicOptimizer sketch(engine);
+    record(&sketch);
+  };
+
+  std::vector<StrategyRun> defaults;
+  run_all(engine_.get(), &defaults);
+  if (HasFailure()) return;
+
+  // sys.* tables resolvable + non-default archive knobs — but enabled stays
+  // false, so no run is fingerprinted, archived, or annotated.
+  auto tweaked_engine = std::make_unique<Engine>();
+  tweaked_engine->mutable_cluster().introspection.archive_capacity = 4;
+  tweaked_engine->mutable_cluster().introspection.regression_threshold = 1.01;
+  InstallSystemTables(tweaked_engine.get());
   LoadTables(tweaked_engine.get());
   std::vector<StrategyRun> tweaked;
   run_all(tweaked_engine.get(), &tweaked);

@@ -111,6 +111,33 @@ TEST_F(ExplainAnalyzeTest, GoldenQ9SketchDynamic) {
   CompareGolden(text.value(), "explain_analyze_q9_sketch.txt");
 }
 
+// Q9 run twice on a dedicated engine with the in-memory error store armed:
+// run 1 plans blind and records its q-errors, run 2 consumes them as priors
+// — the decisions that did so carry a "prior=<key>x<factor>" annotation in
+// EXPLAIN ANALYZE, golden-pinned like the other renderings.
+TEST(ExplainAnalyzePriorTest, GoldenQ9DynamicWithPriors) {
+  Engine engine;
+  TpchOptions tpch;
+  tpch.sf = 0.2;
+  ASSERT_TRUE(LoadTpch(&engine, tpch).ok());
+  // Empty error_stats_path = in-memory store: deterministic, no file I/O.
+  engine.mutable_cluster().risk.use_error_store = true;
+
+  auto query = TpchQ9(&engine);
+  ASSERT_TRUE(query.ok());
+  DynamicOptimizer first(&engine);
+  auto seed = first.Run(query.value());
+  ASSERT_TRUE(seed.ok()) << seed.status().ToString();
+  DynamicOptimizer second(&engine);
+  auto result = second.Run(query.value());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto text = ExplainAnalyze(&engine, query.value(), result.value());
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("prior="), std::string::npos)
+      << "second run consumed no error-store prior:\n" << text.value();
+  CompareGolden(text.value(), "explain_analyze_q9_prior.txt");
+}
+
 TEST_F(ExplainAnalyzeTest, AllSevenStrategiesProfileQ17) {
   auto query = TpcdsQ17(engine_);
   ASSERT_TRUE(query.ok());

@@ -430,8 +430,10 @@ TEST(FeedbackTest, ErrorFeedbackBuysExtraReoptCheckpointAndWins) {
   EXPECT_GT(off->metrics.max_q_error,
             engine.cluster().risk.qerror_reopt_threshold);
 
+  // Registries are engine-scoped now: the trigger counter lands in the
+  // engine's own registry, not the process-wide default.
   const uint64_t counter_before =
-      MetricsRegistry::Global().counter("opt.error_reopt_triggers")->value();
+      engine.metrics_registry().counter("opt.error_reopt_triggers")->value();
   engine.mutable_cluster().risk.error_feedback = true;
   DynamicOptimizer with_feedback(&engine);
   auto on = with_feedback.Run(spec);
@@ -440,7 +442,7 @@ TEST(FeedbackTest, ErrorFeedbackBuysExtraReoptCheckpointAndWins) {
 
   EXPECT_GE(on->metrics.error_reopt_triggers, 1u);
   EXPECT_EQ(
-      MetricsRegistry::Global().counter("opt.error_reopt_triggers")->value(),
+      engine.metrics_registry().counter("opt.error_reopt_triggers")->value(),
       counter_before + on->metrics.error_reopt_triggers);
   EXPECT_EQ(SortedRows(on.value()), SortedRows(off.value()));
   // The extra checkpoint replans the tail on exact counts and dodges the
@@ -568,7 +570,7 @@ TEST(FeedbackTest, FinalizeProfileExportsQErrorTelemetry) {
   BuildSpillTables(&engine);
   const QuerySpec spec = SpillQuery();
 
-  auto& registry = MetricsRegistry::Global();
+  auto& registry = engine.metrics_registry();
   const uint64_t decisions_before = registry.counter("opt.decisions")->value();
   const uint64_t actuals_before =
       registry.counter("opt.decisions_with_actuals")->value();
